@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every paper table/figure has one ``bench_*`` module.  The benchmarks run the
+corresponding experiment harness on a reduced workload (pytest-benchmark
+measures the harness runtime; the *reproduced numbers* are attached to the
+benchmark's ``extra_info`` so ``--benchmark-json`` output contains the same
+rows the paper reports).  EXPERIMENTS.md records the full-size runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Benchmark workload: a representative subset of the 20-matrix suite that
+#: keeps a full ``pytest benchmarks/`` run in the minutes range.
+BENCH_NAMES = ["wiki-Vote", "facebook", "poisson3Da", "email-Enron",
+               "ca-CondMat"]
+BENCH_MAX_ROWS = 600
+
+
+@pytest.fixture(scope="session")
+def bench_names() -> list[str]:
+    """Benchmark subset names shared by all experiment benchmarks."""
+    return list(BENCH_NAMES)
+
+
+@pytest.fixture(scope="session")
+def bench_matrices():
+    """The benchmark subset, generated once per session."""
+    from repro.matrices.suite import load_suite
+
+    return load_suite(max_rows=BENCH_MAX_ROWS, names=BENCH_NAMES)
+
+
+def attach_metrics(benchmark, result) -> None:
+    """Record an experiment's headline metrics in the benchmark report."""
+    for key, value in result.metrics.items():
+        benchmark.extra_info[key] = value

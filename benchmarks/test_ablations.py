@@ -1,0 +1,44 @@
+"""Benchmarks for the ablation studies called out in DESIGN.md.
+
+These are not tied to one figure: they quantify the §II-B "three orders of
+magnitude" condensation claim, the §II-D 62 % buffer hit rate, and the
+§II-C Huffman-vs-sequential scheduling gain on the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import condensing_stats, scheduler_ablation
+
+
+def test_condensing_and_prefetcher_ablation(benchmark, bench_names):
+    result = benchmark.pedantic(
+        condensing_stats.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # Condensing collapses the partial-matrix count by orders of magnitude at
+    # full scale and still by a large factor on the scaled proxies.
+    assert metrics["geomean_condensation_ratio"] > 20.0
+    assert metrics["geomean_proxy_condensation_ratio"] > 2.0
+    # The buffer hits often and cuts right-operand traffic (62 % / 2.6x in
+    # the paper).
+    assert 0.2 < metrics["geomean_hit_rate"] <= 1.0
+    assert metrics["geomean_b_traffic_reduction"] > 1.2
+
+
+def test_huffman_scheduler_ablation(benchmark, bench_names):
+    result = benchmark.pedantic(
+        scheduler_ablation.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names,
+                    merge_tree_layers=3),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    assert metrics["geomean_weight_ratio"] >= 1.0
+    assert metrics["geomean_partial_traffic_reduction"] >= 1.0
+    assert metrics["geomean_speedup"] >= 0.95

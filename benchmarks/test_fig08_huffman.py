@@ -1,0 +1,15 @@
+"""Benchmark for Figure 8 — Huffman tree scheduler example."""
+
+from __future__ import annotations
+
+from conftest import attach_metrics
+
+from repro.experiments import fig08_huffman
+
+
+def test_fig08_huffman_example(benchmark):
+    result = benchmark(fig08_huffman.run)
+    attach_metrics(benchmark, result)
+    assert result.metrics["total_weight[2-way sequential]"] == 365.0
+    assert result.metrics["total_weight[2-way huffman]"] == 354.0
+    assert result.metrics["total_weight[4-way huffman]"] == 228.0

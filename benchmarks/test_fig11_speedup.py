@@ -1,0 +1,24 @@
+"""Benchmark for Figure 11 — speedup over the five baselines."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import fig11_speedup
+
+
+def test_fig11_speedup(benchmark, bench_names):
+    result = benchmark.pedantic(
+        fig11_speedup.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # Shape of Figure 11: SpArch wins everywhere; OuterSPACE is the closest
+    # competitor; Armadillo trails by three orders of magnitude.
+    assert 2.0 < metrics["geomean_speedup[OuterSPACE]"] < 12.0
+    assert 8.0 < metrics["geomean_speedup[MKL]"] < 60.0
+    assert 8.0 < metrics["geomean_speedup[cuSPARSE]"] < 60.0
+    assert 8.0 < metrics["geomean_speedup[CUSP]"] < 60.0
+    assert metrics["geomean_speedup[Armadillo]"] > 300.0

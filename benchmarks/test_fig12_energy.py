@@ -1,0 +1,24 @@
+"""Benchmark for Figure 12 — energy saving over the five baselines."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import fig12_energy
+
+
+def test_fig12_energy_saving(benchmark, bench_names):
+    result = benchmark.pedantic(
+        fig12_energy.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # Shape of Figure 12: single-digit saving over the OuterSPACE ASIC,
+    # two to three orders of magnitude over the software libraries.
+    assert 2.0 < metrics["geomean_energy_saving[OuterSPACE]"] < 20.0
+    assert metrics["geomean_energy_saving[MKL]"] > 50.0
+    assert metrics["geomean_energy_saving[cuSPARSE]"] > 100.0
+    assert metrics["geomean_energy_saving[CUSP]"] > 100.0
+    assert 15.0 < metrics["geomean_energy_saving[Armadillo]"] < 300.0

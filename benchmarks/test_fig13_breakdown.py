@@ -1,0 +1,25 @@
+"""Benchmark for Figure 13 — area and power breakdown."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import fig13_breakdown
+
+
+def test_fig13_area_power_breakdown(benchmark, bench_names):
+    result = benchmark.pedantic(
+        fig13_breakdown.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # The merge tree dominates both area and power (60.6 % / 55.4 % in the
+    # paper); the multiplier array is negligible.
+    assert metrics["area_fraction[Merge Tree]"] > 0.5
+    assert metrics["power_fraction[Merge Tree]"] > 0.4
+    assert metrics["power_fraction[Multiplier Array]"] < 0.1
+    assert abs(metrics["total_area_mm2"]
+               - result.paper_values["total_area_mm2"]) < 0.1
+    assert 3.0 < metrics["average_power_watts"] < 15.0

@@ -1,0 +1,22 @@
+"""Benchmark for Figure 14 — rMAT sweep versus Intel MKL."""
+
+from __future__ import annotations
+
+from conftest import attach_metrics
+
+from repro.experiments import fig14_rmat
+
+#: rMAT dimensions are scaled to 2 % of the paper's (degrees preserved) so
+#: the whole 19-point sweep finishes in seconds.
+BENCH_SCALE = 0.02
+
+
+def test_fig14_rmat_sweep(benchmark):
+    result = benchmark.pedantic(
+        fig14_rmat.run, kwargs=dict(scale=BENCH_SCALE), rounds=1, iterations=1)
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # Figure 14's claim: SpArch sustains >10× MKL across the density sweep.
+    assert metrics["geomean_speedup_over_mkl"] > 5.0
+    assert metrics["geomean_flops[SpArch]"] > 1e9
+    assert metrics["geomean_flops[MKL]"] < 5e9

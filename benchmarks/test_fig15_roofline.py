@@ -1,0 +1,24 @@
+"""Benchmark for Figure 15 — roofline analysis."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import fig15_roofline
+
+
+def test_fig15_roofline(benchmark, bench_names):
+    result = benchmark.pedantic(
+        fig15_roofline.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # SpArch sits much closer to the bandwidth roof than OuterSPACE (2.3×
+    # vs 9.6× away in the paper).
+    assert metrics["roof_gap[SpArch]"] < 4.0
+    assert metrics["roof_gap[OuterSPACE]"] > metrics["roof_gap[SpArch]"] * 2
+    assert metrics["achieved_gflops[SpArch]"] > 2 * metrics[
+        "achieved_gflops[OuterSPACE]"]
+    assert metrics["roof_gflops"] <= 32.0

@@ -1,0 +1,31 @@
+"""Benchmark for Figures 2 / 16 — cumulative performance breakdown."""
+
+from __future__ import annotations
+
+from conftest import attach_metrics
+
+from repro.experiments import fig16_breakdown
+
+#: The breakdown needs larger proxies than the other benchmarks so that the
+#: un-condensed configurations actually exercise multi-round merging.
+BREAKDOWN_MAX_ROWS = 1500
+BREAKDOWN_NAMES = ["wiki-Vote", "facebook", "poisson3Da"]
+
+
+def test_fig16_performance_breakdown(benchmark):
+    result = benchmark.pedantic(
+        fig16_breakdown.run,
+        kwargs=dict(max_rows=BREAKDOWN_MAX_ROWS, names=BREAKDOWN_NAMES),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # The measured walk ends up well ahead of OuterSPACE (4.2× in the paper).
+    assert metrics["overall_speedup_vs_outerspace"] > 2.0
+    # Each of the last two techniques helps (≥1×) on top of the previous one.
+    assert metrics["speedup_vs_prev[+ Huffman Tree Scheduler]"] >= 0.95
+    assert metrics["speedup_vs_prev[+ Row Prefetcher]"] >= 1.0
+    # The §III-C projection at paper scale reproduces the 5.7× regression of
+    # the pipelined-only configuration.
+    assert 4.5 < metrics["projected_slowdown[pipelined_only]"] < 6.5
+    assert metrics["projected_speedup[condensing]"] > 4.0

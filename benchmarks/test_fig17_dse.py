@@ -1,0 +1,28 @@
+"""Benchmark for Figure 17 — buffer and comparator design space exploration."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import fig17_dse
+
+DSE_NAMES = ["wiki-Vote", "facebook", "email-Enron"]
+
+
+def test_fig17_design_space_exploration(benchmark):
+    result = benchmark.pedantic(
+        fig17_dse.run, kwargs=dict(max_rows=BENCH_MAX_ROWS, names=DSE_NAMES),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # (a) longer prefetch-buffer lines monotonically reduce DRAM access.
+    assert metrics["dram[line:96]"] <= metrics["dram[line:48]"] <= metrics[
+        "dram[line:24]"]
+    # (b) at fixed capacity, more/shorter lines reduce DRAM access.
+    assert metrics["dram[shape:2048x24]"] <= metrics["dram[shape:256x192]"]
+    # (c) performance rises with the comparator array until memory-bound.
+    assert (metrics["gflops[comparator:1]"] < metrics["gflops[comparator:4]"]
+            <= metrics["gflops[comparator:16]"])
+    # (d) a deeper look-ahead FIFO never increases DRAM access.
+    assert metrics["dram[lookahead:16384]"] <= metrics["dram[lookahead:1024]"]

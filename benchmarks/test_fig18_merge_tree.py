@@ -1,0 +1,24 @@
+"""Benchmark for Figure 18 — merge tree depth exploration."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import fig18_merge_tree
+
+
+def test_fig18_merge_tree_depth(benchmark, bench_names):
+    result = benchmark.pedantic(
+        fig18_merge_tree.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # Throughput grows with depth and saturates; DRAM traffic shrinks.
+    assert metrics["gflops[layers:2]"] < metrics["gflops[layers:4]"]
+    assert metrics["gflops[layers:6]"] >= metrics["gflops[layers:4]"]
+    assert metrics["dram[layers:6]"] <= metrics["dram[layers:2]"]
+    # Going beyond 6 layers gives only a marginal improvement (Figure 18's
+    # reason for choosing 6).
+    assert metrics["gflops[layers:7]"] < 1.25 * metrics["gflops[layers:6]"]

@@ -1,0 +1,22 @@
+"""Benchmark for Table II — area, power and bandwidth utilisation."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import table2_comparison
+
+
+def test_table2_comparison(benchmark, bench_names):
+    result = benchmark.pedantic(
+        table2_comparison.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # SpArch is smaller, lower-power, and uses the HBM better than OuterSPACE.
+    assert metrics["area_mm2[SpArch]"] < 0.5 * metrics["area_mm2[OuterSPACE]"]
+    assert metrics["power_w[SpArch]"] < metrics["power_w[OuterSPACE]"]
+    assert metrics["bandwidth_utilization[SpArch]"] > metrics[
+        "bandwidth_utilization[OuterSPACE]"]

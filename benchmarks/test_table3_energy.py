@@ -1,0 +1,23 @@
+"""Benchmark for Table III — energy and area breakdown per component."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MAX_ROWS, attach_metrics
+
+from repro.experiments import table3_energy
+
+
+def test_table3_energy_breakdown(benchmark, bench_names):
+    result = benchmark.pedantic(
+        table3_energy.run,
+        kwargs=dict(max_rows=BENCH_MAX_ROWS, names=bench_names),
+        rounds=1, iterations=1,
+    )
+    attach_metrics(benchmark, result)
+    metrics = result.metrics
+    # SpArch operates well below 1 nJ/FLOP; OuterSPACE is several times
+    # higher (0.89 vs 4.95 in the paper).
+    assert metrics["energy_per_flop[SpArch]"] < 1.5
+    assert metrics["energy_per_flop[OuterSPACE]"] > 2.0
+    assert metrics["energy_ratio"] > 3.0
+    assert metrics["area_mm2[SpArch]"] < metrics["area_mm2[OuterSPACE]"]

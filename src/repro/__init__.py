@@ -1,0 +1,37 @@
+"""SpArch reproduction: an outer-product SpGEMM accelerator simulator.
+
+This package reproduces *SpArch: Efficient Architecture for Sparse Matrix
+Multiplication* (Zhang, Wang, Han, Dally — HPCA 2020).  The public surface
+is intentionally small:
+
+* :class:`repro.core.SpArch` / :func:`repro.core.multiply` — simulate a
+  generalized sparse matrix-matrix multiplication on the accelerator and get
+  back the exact result plus DRAM-traffic / cycle / energy statistics.
+* :class:`repro.core.SpArchConfig` — the Table I architectural configuration
+  with ablation switches for the paper's four techniques.
+* :mod:`repro.formats` — COO/CSR/CSC containers and the condensed view.
+* :mod:`repro.matrices` — synthetic workloads (benchmark-suite proxies, rMAT).
+* :mod:`repro.baselines` — OuterSPACE, MKL-, cuSPARSE-, CUSP- and
+  Armadillo-class baselines used by the paper's comparisons.
+* :mod:`repro.analysis` — energy, area, roofline and analytical DRAM models.
+* :mod:`repro.experiments` — one runnable module per paper table/figure.
+"""
+
+from repro.core.accelerator import SpArch, multiply
+from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats, SpGEMMResult
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpArch",
+    "multiply",
+    "SpArchConfig",
+    "SimulationStats",
+    "SpGEMMResult",
+    "COOMatrix",
+    "CSRMatrix",
+    "__version__",
+]

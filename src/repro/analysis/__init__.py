@@ -1,0 +1,37 @@
+"""Analytical models layered on top of the simulator.
+
+* :mod:`repro.analysis.energy` — per-event energy/power model (Table III,
+  Figure 13b).
+* :mod:`repro.analysis.area` — per-module area model (Table II, Figure 13a).
+* :mod:`repro.analysis.roofline` — roofline analysis (Figure 15).
+* :mod:`repro.analysis.dram_traffic` — the closed-form DRAM traffic analysis
+  of §III-C (Equations 2–7).
+* :mod:`repro.analysis.breakdown` — cumulative-technique performance
+  breakdown (Figure 2 / Figure 16).
+"""
+
+from repro.analysis.area import AreaBreakdown, AreaModel
+from repro.analysis.breakdown import BreakdownStep, cumulative_breakdown
+from repro.analysis.dram_traffic import (
+    condensed_traffic_elements,
+    expected_partial_reads,
+    outerspace_traffic_elements,
+    uncondensed_traffic_elements,
+)
+from repro.analysis.energy import EnergyBreakdown, EnergyModel
+from repro.analysis.roofline import RooflinePoint, roofline_analysis
+
+__all__ = [
+    "AreaModel",
+    "AreaBreakdown",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "RooflinePoint",
+    "roofline_analysis",
+    "expected_partial_reads",
+    "outerspace_traffic_elements",
+    "uncondensed_traffic_elements",
+    "condensed_traffic_elements",
+    "BreakdownStep",
+    "cumulative_breakdown",
+]

@@ -1,0 +1,134 @@
+"""Per-module area model (Table II, Figure 13a).
+
+The paper synthesises its comparator arrays in TSMC 40 nm and sizes the
+SRAMs with CACTI, reporting 28.49 mm² total with the merge tree taking
+60.6 %.  The model below scales each module's area with the structural
+quantity that drives it (comparator count, SRAM capacity, multiplier count),
+with per-unit constants calibrated so that the Table I configuration
+reproduces the paper's published per-module numbers exactly.  This makes the
+design-space-exploration experiments (Figures 17/18) produce meaningful area
+trade-offs when the merger or buffer sizes change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SpArchConfig
+from repro.hardware.hierarchical_merger import comparator_count
+
+#: Published per-module areas of the Table I configuration (mm², 40 nm).
+PAPER_AREA_MM2 = {
+    "Column Fetcher": 2.64,
+    "Row Prefetcher": 5.80,
+    "Multiplier Array": 0.45,
+    "Merge Tree": 17.27,
+    "Partial Mat Writer": 2.34,
+}
+
+#: Published totals for the comparison of Table II.
+SPARCH_TOTAL_AREA_MM2 = 28.49
+OUTERSPACE_TOTAL_AREA_MM2 = 87.0
+
+
+@dataclass
+class AreaBreakdown:
+    """Area (mm²) per module for one configuration."""
+
+    column_fetcher: float
+    row_prefetcher: float
+    multiplier_array: float
+    merge_tree: float
+    partial_matrix_writer: float
+
+    @property
+    def total(self) -> float:
+        """Total accelerator area in mm²."""
+        return (self.column_fetcher + self.row_prefetcher + self.multiplier_array
+                + self.merge_tree + self.partial_matrix_writer)
+
+    def by_module(self) -> dict[str, float]:
+        """Return ``{module name: mm²}`` in Figure 13 order."""
+        return {
+            "Column Fetcher": self.column_fetcher,
+            "Row Prefetcher": self.row_prefetcher,
+            "Multiplier Array": self.multiplier_array,
+            "Merge Tree": self.merge_tree,
+            "Partial Mat Writer": self.partial_matrix_writer,
+        }
+
+    def fractions(self) -> dict[str, float]:
+        """Return each module's share of the total area."""
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in self.by_module()}
+        return {name: value / total for name, value in self.by_module().items()}
+
+
+class AreaModel:
+    """Scales module areas with the configuration's structural parameters.
+
+    The reference point is the Table I configuration, whose module areas are
+    pinned to the paper's published values; other configurations scale
+    linearly in the quantity that dominates each module (comparators and
+    FIFO capacity for the merge tree, SRAM bytes for the buffers, multiplier
+    count for the arithmetic).
+    """
+
+    #: Fraction of the merge-tree area attributed to comparator logic; the
+    #: remainder is the per-node FIFOs (SRAM).
+    MERGE_TREE_COMPARATOR_FRACTION = 0.6
+
+    def __init__(self, reference: SpArchConfig | None = None) -> None:
+        self._reference = reference or SpArchConfig()
+
+    # ------------------------------------------------------------------
+    def breakdown(self, config: SpArchConfig | None = None) -> AreaBreakdown:
+        """Return the per-module area of ``config`` (Table I by default)."""
+        config = config or SpArchConfig()
+        reference = self._reference
+
+        fetcher = PAPER_AREA_MM2["Column Fetcher"] * self._ratio(
+            config.lookahead_fifo_elements, reference.lookahead_fifo_elements)
+        prefetcher = PAPER_AREA_MM2["Row Prefetcher"] * self._ratio(
+            config.prefetch_buffer_bytes, reference.prefetch_buffer_bytes)
+        multipliers = PAPER_AREA_MM2["Multiplier Array"] * self._ratio(
+            config.num_multipliers, reference.num_multipliers)
+        merge_tree = self._merge_tree_area(config, reference)
+        writer = PAPER_AREA_MM2["Partial Mat Writer"] * self._ratio(
+            config.partial_matrix_writer_fifo, reference.partial_matrix_writer_fifo)
+        return AreaBreakdown(
+            column_fetcher=fetcher,
+            row_prefetcher=prefetcher,
+            multiplier_array=multipliers,
+            merge_tree=merge_tree,
+            partial_matrix_writer=writer,
+        )
+
+    def total_area(self, config: SpArchConfig | None = None) -> float:
+        """Total area (mm²) of ``config``."""
+        return self.breakdown(config).total
+
+    # ------------------------------------------------------------------
+    def _merge_tree_area(self, config: SpArchConfig,
+                         reference: SpArchConfig) -> float:
+        paper = PAPER_AREA_MM2["Merge Tree"]
+        comparator_part = paper * self.MERGE_TREE_COMPARATOR_FRACTION
+        fifo_part = paper - comparator_part
+
+        ref_comparators = reference.merge_tree_layers * comparator_count(
+            reference.merger_width, reference.merger_chunk_size)
+        cfg_comparators = config.merge_tree_layers * comparator_count(
+            config.merger_width, config.merger_chunk_size)
+        # One FIFO per tree node; capacity scales with the writer FIFO depth.
+        ref_fifos = 2 ** (reference.merge_tree_layers + 1) - 1
+        cfg_fifos = 2 ** (config.merge_tree_layers + 1) - 1
+
+        return (comparator_part * self._ratio(cfg_comparators, ref_comparators)
+                + fifo_part * self._ratio(cfg_fifos, ref_fifos))
+
+    @staticmethod
+    def _ratio(value: float, reference: float) -> float:
+        if reference <= 0:
+            raise ValueError("reference quantity must be positive")
+        return value / reference

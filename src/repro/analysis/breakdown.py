@@ -1,0 +1,121 @@
+"""Cumulative-technique performance breakdown (Figure 2 / Figure 16).
+
+The paper dissects its speedup by adding the four techniques one at a time,
+starting from the OuterSPACE baseline:
+
+1. pipelined multiply and merge *only* (CSC/CSR formats, random order, no
+   prefetcher) — 5.7× **slower** than OuterSPACE because the partially
+   merged results of ~140,000 partial matrices thrash DRAM;
+2. + matrix condensing — 8.8× speedup over the previous step;
+3. + Huffman tree scheduler — 1.5× further;
+4. + row prefetcher — 1.8× further, for ≈ 4.2× over OuterSPACE overall.
+
+:func:`cumulative_breakdown` replays that walk on a set of matrices using
+the ablation switches of :class:`~repro.core.config.SpArchConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.outerspace import OuterSpaceAccelerator
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.formats.csr import CSRMatrix
+from repro.utils.maths import geometric_mean
+
+
+@dataclass(frozen=True)
+class BreakdownStep:
+    """One bar of Figure 16.
+
+    Attributes:
+        name: label of the configuration step.
+        gflops: geometric-mean achieved GFLOP/s across the matrices.
+        dram_bytes: total DRAM traffic summed across the matrices.
+        speedup_vs_previous: ratio of this step's throughput to the previous
+            step's (the annotations along Figure 2).
+        speedup_vs_outerspace: ratio to the OuterSPACE baseline.
+    """
+
+    name: str
+    gflops: float
+    dram_bytes: int
+    speedup_vs_previous: float
+    speedup_vs_outerspace: float
+
+
+#: The cumulative feature walk of Figure 16, in order.
+BREAKDOWN_STEPS: tuple[tuple[str, dict[str, bool]], ...] = (
+    ("Pipelined Multiply and Merge",
+     dict(pipelined_merge=True, matrix_condensing=False,
+          huffman_scheduler=False, row_prefetcher=False)),
+    ("+ Matrix Condensing",
+     dict(pipelined_merge=True, matrix_condensing=True,
+          huffman_scheduler=False, row_prefetcher=False)),
+    ("+ Huffman Tree Scheduler",
+     dict(pipelined_merge=True, matrix_condensing=True,
+          huffman_scheduler=True, row_prefetcher=False)),
+    ("+ Row Prefetcher",
+     dict(pipelined_merge=True, matrix_condensing=True,
+          huffman_scheduler=True, row_prefetcher=True)),
+)
+
+
+def cumulative_breakdown(matrices: dict[str, CSRMatrix], *,
+                         base_config: SpArchConfig | None = None
+                         ) -> list[BreakdownStep]:
+    """Replay the Figure 16 feature walk over ``matrices`` (each squared).
+
+    Args:
+        matrices: named left operands; each is multiplied by itself, as in
+            the paper's evaluation.
+        base_config: configuration whose non-ablation parameters (merger
+            width, buffer sizes, ...) are used for every step.
+
+    Returns:
+        One :class:`BreakdownStep` for the OuterSPACE baseline followed by
+        one per cumulative technique, in Figure 16 order.
+    """
+    if not matrices:
+        raise ValueError("cumulative_breakdown() requires at least one matrix")
+    base_config = base_config or SpArchConfig()
+
+    steps: list[BreakdownStep] = []
+
+    outerspace = OuterSpaceAccelerator()
+    outerspace_gflops = []
+    outerspace_bytes = 0
+    for matrix in matrices.values():
+        result = outerspace.multiply(matrix, matrix)
+        outerspace_gflops.append(max(result.gflops, 1e-12))
+        outerspace_bytes += result.traffic_bytes
+    baseline_gflops = geometric_mean(outerspace_gflops)
+    steps.append(BreakdownStep(
+        name="OuterSPACE baseline",
+        gflops=baseline_gflops,
+        dram_bytes=outerspace_bytes,
+        speedup_vs_previous=1.0,
+        speedup_vs_outerspace=1.0,
+    ))
+
+    previous_gflops = baseline_gflops
+    for name, features in BREAKDOWN_STEPS:
+        config = base_config.with_features(**features)
+        accelerator = SpArch(config)
+        per_matrix = []
+        total_bytes = 0
+        for matrix in matrices.values():
+            result = accelerator.multiply(matrix, matrix)
+            per_matrix.append(max(result.stats.gflops, 1e-12))
+            total_bytes += result.stats.dram_bytes
+        gflops = geometric_mean(per_matrix)
+        steps.append(BreakdownStep(
+            name=name,
+            gflops=gflops,
+            dram_bytes=total_bytes,
+            speedup_vs_previous=gflops / previous_gflops,
+            speedup_vs_outerspace=gflops / baseline_gflops,
+        ))
+        previous_gflops = gflops
+    return steps

@@ -1,0 +1,103 @@
+"""Roofline analysis (Figure 15).
+
+The roofline model bounds achievable performance by
+``min(peak compute, operational intensity × memory bandwidth)``.  The paper
+computes the *theoretical* operational intensity of the outer product on its
+dataset — useful FLOPs divided by the compulsory traffic (both inputs plus
+the final result) — as 0.19 FLOP/byte, giving a 23.9 GFLOP/s roof under the
+128 GB/s HBM; SpArch achieves 10.4 GFLOP/s against OuterSPACE's 2.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats
+from repro.formats.csr import CSRMatrix
+
+#: Operational intensity the paper reports for its dataset (FLOP/byte).
+PAPER_OPERATIONAL_INTENSITY = 0.19
+
+#: Achieved throughput the paper reports (GFLOP/s).
+PAPER_SPARCH_GFLOPS = 10.4
+PAPER_OUTERSPACE_GFLOPS = 2.5
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One point under the roofline.
+
+    Attributes:
+        name: label of the design point ("SpArch", "OuterSPACE", ...).
+        operational_intensity: useful FLOPs per byte of compulsory traffic.
+        achieved_gflops: simulated or reported throughput.
+        compute_roof_gflops: peak arithmetic throughput of the machine.
+        bandwidth_roof_gflops: ``operational_intensity × peak bandwidth``.
+    """
+
+    name: str
+    operational_intensity: float
+    achieved_gflops: float
+    compute_roof_gflops: float
+    bandwidth_roof_gflops: float
+
+    @property
+    def roof_gflops(self) -> float:
+        """The binding roof at this operational intensity."""
+        return min(self.compute_roof_gflops, self.bandwidth_roof_gflops)
+
+    @property
+    def roof_fraction(self) -> float:
+        """Fraction of the binding roof actually achieved."""
+        roof = self.roof_gflops
+        return self.achieved_gflops / roof if roof > 0 else 0.0
+
+
+def compulsory_traffic_bytes(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                             result: CSRMatrix, *, element_bytes: int = 16) -> int:
+    """Minimum DRAM traffic of any SpGEMM dataflow: read inputs, write output."""
+    return (matrix_a.nnz + matrix_b.nnz + result.nnz) * element_bytes
+
+
+def theoretical_operational_intensity(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                                      result: CSRMatrix, flops: int, *,
+                                      element_bytes: int = 16) -> float:
+    """Useful FLOPs per compulsory byte — the x-axis position of Figure 15."""
+    traffic = compulsory_traffic_bytes(matrix_a, matrix_b, result,
+                                       element_bytes=element_bytes)
+    if traffic == 0:
+        return 0.0
+    return flops / traffic
+
+
+def roofline_analysis(stats: SimulationStats, *, name: str = "SpArch",
+                      config: SpArchConfig | None = None,
+                      operational_intensity: float | None = None
+                      ) -> RooflinePoint:
+    """Place one simulated execution under the SpArch roofline.
+
+    Args:
+        stats: simulation statistics of the execution.
+        name: label for the point.
+        config: architectural configuration (Table I by default), which
+            defines the compute roof and the peak bandwidth.
+        operational_intensity: override for the x-axis position; defaults to
+            the theoretical intensity implied by the simulated compulsory
+            traffic (``stats.flops`` over input+output bytes) when available,
+            falling back to the achieved intensity.
+    """
+    config = config or SpArchConfig()
+    peak_bandwidth = config.hbm.total_bandwidth_bytes_per_second
+    compute_roof = config.peak_flops / 1e9
+    intensity = operational_intensity
+    if intensity is None:
+        intensity = stats.operational_intensity
+    bandwidth_roof = intensity * peak_bandwidth / 1e9
+    return RooflinePoint(
+        name=name,
+        operational_intensity=intensity,
+        achieved_gflops=stats.gflops,
+        compute_roof_gflops=compute_roof,
+        bandwidth_roof_gflops=bandwidth_roof,
+    )

@@ -1,0 +1,98 @@
+"""Triangle counting with the SpGEMM kernel on the simulated accelerator.
+
+For an undirected graph with (symmetric, zero-diagonal, binary) adjacency
+matrix A, the number of triangles is ``trace(A³) / 6``; computing it as
+``sum((A·A) ⊙ A) / 6`` needs one SpGEMM plus an element-wise masked sum,
+which is the formulation the paper's citation (Azad, Buluç, Gilbert 2015)
+uses and the reason triangle counting appears in the SpGEMM motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats
+from repro.formats.convert import from_scipy, to_scipy
+from repro.formats.csr import CSRMatrix
+
+
+@dataclass
+class TriangleCountResult:
+    """Outcome of one triangle-counting run.
+
+    Attributes:
+        triangles: number of triangles in the graph.
+        per_node_triangles: triangles incident to each node (length =
+            number of nodes).
+        wedges: number of length-2 paths (open or closed) in the graph.
+        spgemm_stats: simulator statistics of the A·A kernel.
+    """
+
+    triangles: int
+    per_node_triangles: np.ndarray
+    wedges: int
+    spgemm_stats: SimulationStats
+
+    @property
+    def clustering_coefficient(self) -> float:
+        """Global clustering coefficient: 3·triangles / wedges."""
+        return 3.0 * self.triangles / self.wedges if self.wedges else 0.0
+
+
+def normalize_adjacency(graph: CSRMatrix) -> CSRMatrix:
+    """Return a symmetric, zero-diagonal, binary copy of ``graph``.
+
+    Triangle counting is defined on simple undirected graphs; arbitrary
+    sparse matrices (directed, weighted, with self loops) are coerced first.
+    """
+    adjacency = to_scipy(graph)
+    adjacency = adjacency + adjacency.T
+    adjacency.setdiag(0)
+    adjacency.eliminate_zeros()
+    adjacency.data[:] = 1.0
+    return from_scipy(adjacency)
+
+
+def count_triangles(graph: CSRMatrix, *, engine: SpArch | None = None,
+                    config: SpArchConfig | None = None,
+                    assume_normalized: bool = False) -> TriangleCountResult:
+    """Count the triangles of ``graph`` using the accelerator for the SpGEMM.
+
+    Args:
+        graph: graph adjacency matrix (any sparse square matrix; it is
+            symmetrised and binarised unless ``assume_normalized``).
+        engine: SpGEMM engine; a fresh :class:`SpArch` by default.
+        config: configuration for the default engine.
+        assume_normalized: skip :func:`normalize_adjacency` when the caller
+            already provides a symmetric binary zero-diagonal matrix.
+
+    Returns:
+        :class:`TriangleCountResult` with the global count, the per-node
+        counts, and the simulator statistics of the A·A product.
+    """
+    if graph.shape[0] != graph.shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got {graph.shape}")
+    adjacency = graph if assume_normalized else normalize_adjacency(graph)
+
+    engine = engine or SpArch(config)
+    spgemm = engine.multiply(adjacency, adjacency)
+
+    # Per-node triangle count: diag(A² · A) / 2 == row-wise masked sum / 2.
+    a_squared = to_scipy(spgemm.matrix)
+    mask = to_scipy(adjacency)
+    masked = a_squared.multiply(mask)
+    per_node = np.asarray(masked.sum(axis=1)).ravel() / 2.0
+    triangles = int(round(per_node.sum() / 3.0))
+
+    degrees = np.asarray(mask.sum(axis=1)).ravel()
+    wedges = int((degrees * (degrees - 1) / 2).sum())
+    return TriangleCountResult(
+        triangles=triangles,
+        per_node_triangles=per_node,
+        wedges=wedges,
+        spgemm_stats=spgemm.stats,
+    )

@@ -1,0 +1,78 @@
+"""Common interface and result container for all SpGEMM baselines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.formats.csr import CSRMatrix
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running one baseline SpGEMM.
+
+    Attributes:
+        matrix: the exact CSR result (all baselines are functionally exact).
+        runtime_seconds: modelled kernel runtime on the baseline's platform.
+        traffic_bytes: modelled main-memory traffic of the kernel.
+        multiplications: scalar multiplications performed.
+        additions: scalar additions performed.
+        bookkeeping_ops: insert/hash/sort operations the algorithm needed.
+        energy_joules: modelled dynamic energy of the run.
+        platform: name of the platform model used.
+        extras: algorithm-specific counters (hash collisions, sort passes,
+            heap operations, ...), for tests and ablation analysis.
+    """
+
+    matrix: CSRMatrix
+    runtime_seconds: float
+    traffic_bytes: int
+    multiplications: int
+    additions: int
+    bookkeeping_ops: int
+    energy_joules: float
+    platform: str
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def flops(self) -> int:
+        """Useful floating point operations (multiplications + additions)."""
+        return self.multiplications + self.additions
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s of the modelled execution."""
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.flops / self.runtime_seconds / 1e9
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros of the result matrix."""
+        return self.matrix.nnz
+
+    def __repr__(self) -> str:
+        return (f"BaselineResult(platform={self.platform!r}, nnz={self.nnz}, "
+                f"runtime={self.runtime_seconds:.3e}s, gflops={self.gflops:.3f})")
+
+
+class SpGEMMBaseline(abc.ABC):
+    """Abstract base class of every baseline SpGEMM implementation."""
+
+    #: Short identifier used in experiment tables ("MKL", "cuSPARSE", ...).
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
+        """Compute ``A · B`` functionally and model its platform cost."""
+
+    def _check_shapes(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> None:
+        if matrix_a.shape[1] != matrix_b.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: cannot multiply {matrix_a.shape} by "
+                f"{matrix_b.shape}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,124 @@
+"""Heap-based SpGEMM (HeapSpGEMM, Azad et al. 2016 — §IV related work).
+
+Each result row is formed by a k-way merge of the selected B rows using a
+binary heap keyed on column index.  The heap is hard to parallelise, so the
+only parallelism comes from processing rows independently — which, as the
+paper notes, "would suffer from the load-balance problem" on power-law
+matrices.  The model charges one heap operation (log-depth sift) per partial
+product.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.platforms import INTEL_CPU, PlatformModel
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import coo_to_csr
+from repro.formats.csr import CSRMatrix
+
+_ELEMENT_BYTES = 16
+
+
+class HeapSpGEMM(SpGEMMBaseline):
+    """Row-wise SpGEMM that merges the selected B rows with a binary heap.
+
+    Args:
+        platform: platform model used for runtime/energy estimates.
+    """
+
+    name = "HeapSpGEMM"
+
+    def __init__(self, platform: PlatformModel = INTEL_CPU) -> None:
+        self._platform = platform
+
+    @property
+    def platform(self) -> PlatformModel:
+        return self._platform
+
+    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
+        """Compute ``A · B`` with one k-way heap merge per result row."""
+        self._check_shapes(matrix_a, matrix_b)
+        shape = (matrix_a.num_rows, matrix_b.num_cols)
+
+        out_rows: list[np.ndarray] = []
+        out_cols: list[int] = []
+        out_vals: list[float] = []
+        row_boundaries: list[int] = []
+        multiplications = 0
+        additions = 0
+        heap_ops = 0
+
+        for i in range(matrix_a.num_rows):
+            a_cols, a_vals = matrix_a.row(i)
+            if len(a_cols) == 0:
+                continue
+            # One cursor per selected B row; the heap holds (column, cursor id).
+            cursors: list[tuple[np.ndarray, np.ndarray, float, int]] = []
+            heap: list[tuple[int, int]] = []
+            for cursor_id, (k, a_value) in enumerate(zip(a_cols, a_vals)):
+                b_cols, b_vals = matrix_b.row(int(k))
+                if len(b_cols) == 0:
+                    continue
+                cursors.append((b_cols, b_vals, float(a_value), 0))
+                heap.append((int(b_cols[0]), len(cursors) - 1))
+            heapq.heapify(heap)
+            heap_ops += len(heap)
+
+            row_start = len(out_cols)
+            last_col = -1
+            while heap:
+                column, cursor_id = heapq.heappop(heap)
+                heap_ops += int(math.log2(len(heap) + 1)) + 1
+                b_cols, b_vals, a_value, position = cursors[cursor_id]
+                product = a_value * float(b_vals[position])
+                multiplications += 1
+                if column == last_col:
+                    out_vals[-1] += product
+                    additions += 1
+                else:
+                    out_cols.append(column)
+                    out_vals.append(product)
+                    last_col = column
+                position += 1
+                if position < len(b_cols):
+                    cursors[cursor_id] = (b_cols, b_vals, a_value, position)
+                    heapq.heappush(heap, (int(b_cols[position]), cursor_id))
+                    heap_ops += int(math.log2(len(heap) + 1)) + 1
+            produced = len(out_cols) - row_start
+            if produced:
+                out_rows.append(np.full(produced, i, dtype=np.int64))
+            row_boundaries.append(produced)
+
+        if out_cols:
+            coo = COOMatrix(np.concatenate(out_rows),
+                            np.asarray(out_cols, dtype=np.int64),
+                            np.asarray(out_vals), shape)
+            result = coo_to_csr(coo.canonicalized())
+        else:
+            result = CSRMatrix.empty(shape)
+
+        b_row_nnz = matrix_b.nnz_per_row()
+        traffic = (matrix_a.nnz * _ELEMENT_BYTES
+                   + int(b_row_nnz[matrix_a.indices].sum()) * _ELEMENT_BYTES
+                   + result.nnz * _ELEMENT_BYTES)
+        runtime = self._platform.runtime_seconds(
+            flops=multiplications + additions,
+            traffic_bytes=traffic,
+            bookkeeping_ops=heap_ops,
+        )
+        return BaselineResult(
+            matrix=result,
+            runtime_seconds=runtime,
+            traffic_bytes=traffic,
+            multiplications=multiplications,
+            additions=additions,
+            bookkeeping_ops=heap_ops,
+            energy_joules=self._platform.energy_joules(runtime),
+            platform=self._platform.name,
+            extras={"heap_operations": float(heap_ops)},
+        )

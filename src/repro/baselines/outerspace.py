@@ -1,0 +1,134 @@
+"""OuterSPACE baseline accelerator model (Pal et al., HPCA 2018).
+
+OuterSPACE is the prior state-of-the-art SpGEMM ASIC the paper compares
+against.  It also uses the outer-product formulation (perfect input reuse),
+but it runs the multiply and merge phases separately: the multiply phase
+writes *every* partial product to DRAM, and the merge phase reads them all
+back and combines them row by row with general-purpose processing elements.
+That round trip is exactly the output-reuse problem SpArch's pipelined merge
+tree removes, and it limits OuterSPACE to 10.4 % of its theoretical peak
+(48.3 % bandwidth utilisation, Table II).
+
+The model below executes both phases functionally (so the result is exact)
+and charges the DRAM traffic of each phase:
+
+* multiply phase — read A (by column) and B (by row) once each, write all
+  ``M`` partial products;
+* merge phase — read the ``M`` partial products back, write the final
+  result.
+
+The runtime is bandwidth-bound at the paper's measured 48.3 % utilisation of
+the same 128 GB/s HBM that SpArch uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.platforms import OUTERSPACE_ASIC, PlatformModel
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import coo_to_csr, csr_to_csc
+from repro.formats.csr import CSRMatrix
+from repro.memory.traffic import TrafficCategory, TrafficCounter
+
+#: Bytes of one COO element in DRAM (32-bit row + 32-bit column + 64-bit value,
+#: the same element layout SpArch's Table I uses).
+_ELEMENT_BYTES = 16
+
+#: Published OuterSPACE implementation figures (Table II of the paper),
+#: reused by the area/energy comparison experiments.
+OUTERSPACE_AREA_MM2 = 87.0
+OUTERSPACE_POWER_W = 12.39
+OUTERSPACE_BANDWIDTH_UTILIZATION = 0.483
+
+
+class OuterSpaceAccelerator(SpGEMMBaseline):
+    """Two-phase outer-product accelerator (the OuterSPACE dataflow).
+
+    Args:
+        platform: platform model; defaults to the published OuterSPACE
+            configuration (128 GB/s HBM at 48.3 % utilisation, 12.39 W).
+    """
+
+    name = "OuterSPACE"
+
+    def __init__(self, platform: PlatformModel = OUTERSPACE_ASIC) -> None:
+        self._platform = platform
+
+    @property
+    def platform(self) -> PlatformModel:
+        return self._platform
+
+    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
+        """Run the two-phase outer-product SpGEMM and model its DRAM cost."""
+        self._check_shapes(matrix_a, matrix_b)
+        shape = (matrix_a.num_rows, matrix_b.num_cols)
+        traffic = TrafficCounter()
+
+        # --- Multiply phase -------------------------------------------------
+        # The left operand is streamed column by column (CSC view) and the
+        # right operand row by row; every partial product goes to DRAM.
+        csc_a = csr_to_csc(matrix_a)
+        b_row_nnz = matrix_b.nnz_per_row()
+        traffic.add(TrafficCategory.MATRIX_A_READ, matrix_a.nnz * _ELEMENT_BYTES)
+        touched_rows = np.nonzero(np.bincount(matrix_a.indices,
+                                              minlength=matrix_b.num_rows))[0]
+        traffic.add(TrafficCategory.MATRIX_B_READ,
+                    int(b_row_nnz[touched_rows].sum()) * _ELEMENT_BYTES)
+
+        product_rows: list[np.ndarray] = []
+        product_cols: list[np.ndarray] = []
+        product_vals: list[np.ndarray] = []
+        multiplications = 0
+        for k in range(csc_a.num_cols):
+            a_rows, a_vals = csc_a.col(k)
+            if len(a_rows) == 0:
+                continue
+            b_cols, b_vals = matrix_b.row(k)
+            if len(b_cols) == 0:
+                continue
+            # Outer product of column k of A with row k of B.
+            rows = np.repeat(a_rows, len(b_cols))
+            cols = np.tile(b_cols, len(a_rows))
+            vals = np.repeat(a_vals, len(b_cols)) * np.tile(b_vals, len(a_rows))
+            multiplications += len(vals)
+            product_rows.append(rows)
+            product_cols.append(cols)
+            product_vals.append(vals)
+        traffic.add(TrafficCategory.PARTIAL_WRITE, multiplications * _ELEMENT_BYTES)
+
+        # --- Merge phase ------------------------------------------------------
+        # Every partial product is read back and merged into the final rows.
+        traffic.add(TrafficCategory.PARTIAL_READ, multiplications * _ELEMENT_BYTES)
+        if product_rows:
+            coo = COOMatrix(np.concatenate(product_rows),
+                            np.concatenate(product_cols),
+                            np.concatenate(product_vals), shape)
+            result = coo_to_csr(coo.canonicalized())
+        else:
+            result = CSRMatrix.empty(shape)
+        additions = max(0, multiplications - result.nnz)
+        traffic.add(TrafficCategory.RESULT_WRITE, result.nnz * _ELEMENT_BYTES)
+
+        runtime = self._platform.runtime_seconds(
+            flops=multiplications + additions,
+            traffic_bytes=traffic.total_bytes,
+            bookkeeping_ops=0,
+        )
+        return BaselineResult(
+            matrix=result,
+            runtime_seconds=runtime,
+            traffic_bytes=traffic.total_bytes,
+            multiplications=multiplications,
+            additions=additions,
+            bookkeeping_ops=multiplications,
+            energy_joules=self._platform.energy_joules(runtime),
+            platform=self._platform.name,
+            extras={
+                "partial_matrix_bytes": float(traffic.partial_matrix_bytes),
+                "input_bytes": float(traffic.input_bytes),
+                "result_bytes": float(
+                    traffic.bytes_by_category[TrafficCategory.RESULT_WRITE]),
+            },
+        )

@@ -1,0 +1,34 @@
+"""Ground-truth SpGEMM via scipy, used to verify every simulated path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.convert import from_scipy, to_scipy
+from repro.formats.csr import CSRMatrix
+
+
+def scipy_spgemm(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> CSRMatrix:
+    """Exact ``A · B`` computed by ``scipy.sparse`` (the test oracle)."""
+    if matrix_a.shape[1] != matrix_b.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: cannot multiply {matrix_a.shape} by "
+            f"{matrix_b.shape}"
+        )
+    product = to_scipy(matrix_a) @ to_scipy(matrix_b)
+    product.sum_duplicates()
+    product.sort_indices()
+    product.eliminate_zeros()
+    return from_scipy(product)
+
+
+def matrices_allclose(left: CSRMatrix, right: CSRMatrix, *, rtol: float = 1e-9,
+                      atol: float = 1e-9) -> bool:
+    """Numerically compare two CSR matrices entry by entry."""
+    if left.shape != right.shape:
+        return False
+    difference = to_scipy(left) - to_scipy(right)
+    if difference.nnz == 0:
+        return True
+    magnitude = max(1.0, float(abs(to_scipy(right)).max()))
+    return bool(np.all(np.abs(difference.data) <= atol + rtol * magnitude))

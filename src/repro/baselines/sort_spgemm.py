@@ -1,0 +1,138 @@
+"""Expand-Sort-Compress (ESC) SpGEMM — the algorithm behind CUSP.
+
+CUSP's ``generalized_spgemm`` expands every partial product into a global
+(COO) list, sorts the list by output coordinate, and compresses runs of
+equal coordinates by summation (§IV: "CUSP uses a sorting algorithm which
+suffers from higher complexity and excessive DRAM access if on-chip
+resources are limited").  The expanded list is several times larger than the
+inputs and makes multiple passes through DRAM during the sort, which is what
+the performance model charges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.platforms import NVIDIA_GPU_CUSP, PlatformModel
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import coo_to_csr
+from repro.formats.csr import CSRMatrix
+
+_ELEMENT_BYTES = 16
+
+#: Radix-sort digit width used by Thrust/CUSP-style GPU sorts; each pass
+#: streams the whole expanded list through DRAM once in and once out.
+_RADIX_BITS = 8
+
+
+class ESCSpGEMM(SpGEMMBaseline):
+    """CUSP-style expand-sort-compress SpGEMM.
+
+    Args:
+        platform: platform model (defaults to the TITAN Xp used by the paper).
+    """
+
+    name = "CUSP"
+
+    def __init__(self, platform: PlatformModel = NVIDIA_GPU_CUSP) -> None:
+        self._platform = platform
+
+    @property
+    def platform(self) -> PlatformModel:
+        return self._platform
+
+    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
+        """Compute ``A · B`` by expanding, sorting and compressing products."""
+        self._check_shapes(matrix_a, matrix_b)
+        shape = (matrix_a.num_rows, matrix_b.num_cols)
+
+        # --- Expand: materialise every partial product --------------------
+        b_row_nnz = matrix_b.nnz_per_row()
+        products_per_a_nnz = b_row_nnz[matrix_a.indices]
+        total_products = int(products_per_a_nnz.sum())
+        if total_products == 0:
+            return self._empty_result(shape)
+
+        a_rows = np.repeat(np.arange(matrix_a.num_rows, dtype=np.int64),
+                           matrix_a.nnz_per_row())
+        expanded_rows = np.repeat(a_rows, products_per_a_nnz)
+        expanded_a_vals = np.repeat(matrix_a.data, products_per_a_nnz)
+        # Gather the B columns/values of every product.
+        b_starts = matrix_b.indptr[matrix_a.indices]
+        offsets = _ragged_offsets(products_per_a_nnz)
+        gather = np.repeat(b_starts, products_per_a_nnz) + offsets
+        expanded_cols = matrix_b.indices[gather]
+        expanded_vals = expanded_a_vals * matrix_b.data[gather]
+
+        # --- Sort: order products by output coordinate --------------------
+        keys = expanded_rows * shape[1] + expanded_cols
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_vals = expanded_vals[order]
+        key_bits = max(1, int(math.ceil(math.log2(max(2, shape[0] * shape[1])))))
+        sort_passes = -(-key_bits // _RADIX_BITS)
+
+        # --- Compress: sum runs of equal coordinates -----------------------
+        unique_keys, inverse, counts = np.unique(sorted_keys, return_inverse=True,
+                                                 return_counts=True)
+        summed = np.zeros(len(unique_keys))
+        np.add.at(summed, inverse, sorted_vals)
+        additions = int(np.sum(counts - 1))
+        keep = summed != 0.0
+        rows = unique_keys[keep] // shape[1]
+        cols = unique_keys[keep] % shape[1]
+        result = coo_to_csr(COOMatrix(rows, cols, summed[keep], shape))
+
+        # --- Performance model ---------------------------------------------
+        expanded_bytes = total_products * _ELEMENT_BYTES
+        traffic = (matrix_a.nnz * _ELEMENT_BYTES
+                   + int(b_row_nnz[matrix_a.indices].sum()) * _ELEMENT_BYTES
+                   + expanded_bytes                       # write expanded list
+                   + 2 * sort_passes * expanded_bytes     # radix sort passes
+                   + expanded_bytes                       # compression read
+                   + result.nnz * _ELEMENT_BYTES)         # result write
+        bookkeeping = total_products * sort_passes
+        runtime = self._platform.runtime_seconds(
+            flops=total_products + additions,
+            traffic_bytes=traffic,
+            bookkeeping_ops=bookkeeping,
+        )
+        return BaselineResult(
+            matrix=result,
+            runtime_seconds=runtime,
+            traffic_bytes=traffic,
+            multiplications=total_products,
+            additions=additions,
+            bookkeeping_ops=bookkeeping,
+            energy_joules=self._platform.energy_joules(runtime),
+            platform=self._platform.name,
+            extras={"expanded_products": float(total_products),
+                    "sort_passes": float(sort_passes)},
+        )
+
+    # ------------------------------------------------------------------
+    def _empty_result(self, shape: tuple[int, int]) -> BaselineResult:
+        runtime = self._platform.fixed_overhead_seconds
+        return BaselineResult(
+            matrix=CSRMatrix.empty(shape),
+            runtime_seconds=runtime,
+            traffic_bytes=0,
+            multiplications=0,
+            additions=0,
+            bookkeeping_ops=0,
+            energy_joules=self._platform.energy_joules(runtime),
+            platform=self._platform.name,
+        )
+
+
+def _ragged_offsets(counts: np.ndarray) -> np.ndarray:
+    """Return ``[0..counts[0]-1, 0..counts[1]-1, ...]`` as one flat array."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - starts

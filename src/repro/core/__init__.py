@@ -1,0 +1,56 @@
+"""SpArch core: the paper's primary contribution.
+
+The public entry point is :class:`repro.core.accelerator.SpArch`, which wires
+together matrix condensing, the Huffman tree scheduler, the row prefetcher
+and the pipelined multiply/merge datapath, and returns both the functional
+SpGEMM result and the simulated performance/energy statistics.
+"""
+
+from repro.core.accelerator import SpArch, multiply
+from repro.core.column_fetcher import ColumnFetcher, FetchedElement
+from repro.core.condensing import condensed_column_weights, partial_matrix_sizes
+from repro.core.config import SpArchConfig
+from repro.core.huffman import (
+    MergePlan,
+    MergeRound,
+    MergeTreeNode,
+    huffman_schedule,
+    initial_merge_way,
+    sequential_schedule,
+)
+from repro.core.lookahead import DistanceListBuilder, LookaheadFifo
+from repro.core.partial_matrix import PartialMatrixStore, PartialMatrixWriter
+from repro.core.prefetcher import PrefetchStats, RowPrefetcher
+from repro.core.replacement import (
+    BufferIndexHashTable,
+    NextUseReductionTree,
+    ReplacementStats,
+)
+from repro.core.stats import SimulationStats, SpGEMMResult
+
+__all__ = [
+    "SpArch",
+    "multiply",
+    "ColumnFetcher",
+    "FetchedElement",
+    "condensed_column_weights",
+    "partial_matrix_sizes",
+    "SpArchConfig",
+    "MergePlan",
+    "MergeRound",
+    "MergeTreeNode",
+    "huffman_schedule",
+    "initial_merge_way",
+    "sequential_schedule",
+    "DistanceListBuilder",
+    "LookaheadFifo",
+    "PartialMatrixStore",
+    "PartialMatrixWriter",
+    "PrefetchStats",
+    "RowPrefetcher",
+    "BufferIndexHashTable",
+    "NextUseReductionTree",
+    "ReplacementStats",
+    "SimulationStats",
+    "SpGEMMResult",
+]

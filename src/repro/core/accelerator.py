@@ -1,0 +1,353 @@
+"""Top-level SpArch accelerator model (§II-E, Figure 10).
+
+:class:`SpArch` wires together the paper's four techniques — pipelined
+multiply/merge, matrix condensing, the Huffman tree scheduler and the MatB
+row prefetcher — into one simulated SpGEMM execution.  Each technique can be
+disabled individually through :class:`repro.core.config.SpArchConfig`, which
+is how the breakdown experiment of Figure 16 walks from the OuterSPACE-style
+dataflow to the full design.
+
+The simulation is *functional* (the result matrix is exact and verified
+against scipy in the tests) and *transaction-level* for performance: every
+DRAM byte is charged to a :class:`~repro.memory.traffic.TrafficCategory`,
+compute cycles come from the multiplier/merger throughput models, and the
+final cycle count is the maximum of the memory-bound and compute-bound
+estimates plus the per-round startup overhead — the bandwidth-bound analysis
+the paper's roofline (Figure 15) is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.column_fetcher import ColumnFetcher
+from repro.core.condensing import (
+    multiplication_count,
+    original_column_partial_sizes,
+    partial_matrix_sizes,
+)
+from repro.core.config import SpArchConfig
+from repro.core.huffman import MergePlan, huffman_schedule, sequential_schedule
+from repro.core.partial_matrix import PartialMatrixStore, PartialMatrixWriter
+from repro.core.prefetcher import PrefetchStats, RowPrefetcher
+from repro.core.stats import SimulationStats, SpGEMMResult
+from repro.formats.condensed import CondensedMatrix
+from repro.formats.convert import csr_to_csc
+from repro.formats.csr import CSRMatrix
+from repro.hardware.merge_tree import MergeTree
+from repro.hardware.multiplier_array import MultiplierArray
+from repro.memory.hbm import HBMModel
+from repro.memory.traffic import TrafficCategory, TrafficCounter
+
+
+class _LeafStreamer:
+    """Produces the partial-product stream of one merge-plan leaf.
+
+    With matrix condensing enabled a leaf is one *condensed column* of the
+    left operand; without condensing it is one *original column*.  Either
+    way the leaf's partial products leave the multipliers already sorted by
+    linearised (row, column) key, ready for the merge tree.
+    """
+
+    def __init__(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                 multipliers: MultiplierArray, *, condensing: bool) -> None:
+        self._matrix_a = matrix_a
+        self._matrix_b = matrix_b
+        self._multipliers = multipliers
+        self._condensing = condensing
+        self._condensed = CondensedMatrix(matrix_a) if condensing else None
+        if condensing:
+            self._leaf_columns = list(range(self._condensed.num_condensed_columns))
+        else:
+            occupied = np.unique(matrix_a.indices)
+            self._leaf_columns = [int(c) for c in occupied]
+        # The un-condensed path streams original columns, so it needs the
+        # column-major (CSC) view of A; the condensed path never does.
+        self._csc = csr_to_csc(matrix_a) if not condensing else None
+
+    @property
+    def condensed(self) -> CondensedMatrix | None:
+        return self._condensed
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaf_columns)
+
+    @property
+    def leaf_columns(self) -> list[int]:
+        """Column index (condensed or original) backing every leaf."""
+        return list(self._leaf_columns)
+
+    # ------------------------------------------------------------------
+    def leaf_weights(self) -> np.ndarray:
+        """Estimated partial-matrix size of every leaf (Huffman weights)."""
+        if self._condensing:
+            return partial_matrix_sizes(self._condensed, self._matrix_b)
+        sizes = original_column_partial_sizes(self._matrix_a, self._matrix_b)
+        return sizes[self._leaf_columns]
+
+    def leaf_a_elements(self, leaf: int) -> int:
+        """Left-matrix elements the column fetcher reads for this leaf."""
+        column = self._leaf_columns[leaf]
+        if self._condensing:
+            return int(self._condensed.column_nnz(column))
+        return int(self._csc.col_nnz(column))
+
+    def leaf_access_order(self, leaf: int) -> np.ndarray:
+        """Right-matrix rows needed by this leaf, in consumption order."""
+        column = self._leaf_columns[leaf]
+        if self._condensing:
+            return self._condensed.column(column).original_cols.copy()
+        return np.full(self._csc.col_nnz(column), column, dtype=np.int64)
+
+    def leaf_stream(self, leaf: int) -> tuple[np.ndarray, np.ndarray]:
+        """Multiply one leaf and return its sorted (key, value) stream."""
+        column = self._leaf_columns[leaf]
+        if self._condensing:
+            col = self._condensed.column(column)
+            rows, cols, vals = self._multipliers.multiply_column(
+                col.rows, col.original_cols, col.values, self._matrix_b)
+        else:
+            a_rows, a_vals = self._csc.col(column)
+            a_cols = np.full(len(a_rows), column, dtype=np.int64)
+            rows, cols, vals = self._multipliers.multiply_column(
+                a_rows, a_cols, a_vals, self._matrix_b)
+        keys = rows * self._matrix_b.num_cols + cols
+        return keys, vals
+
+
+class SpArch:
+    """The SpArch accelerator: functional SpGEMM plus performance simulation.
+
+    Args:
+        config: architectural configuration; defaults to the Table I setup.
+
+    Example:
+        >>> from repro.matrices import random_matrix
+        >>> from repro.core import SpArch
+        >>> a = random_matrix(128, 128, 512, seed=1)
+        >>> result = SpArch().multiply(a, a)
+        >>> result.stats.dram_bytes > 0
+        True
+    """
+
+    def __init__(self, config: SpArchConfig | None = None) -> None:
+        self._config = config or SpArchConfig()
+
+    @property
+    def config(self) -> SpArchConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> SpGEMMResult:
+        """Simulate ``C = A · B`` and return the result with statistics.
+
+        Args:
+            matrix_a: left operand in CSR format.
+            matrix_b: right operand in CSR format; ``A.shape[1]`` must equal
+                ``B.shape[0]``.
+
+        Returns:
+            :class:`~repro.core.stats.SpGEMMResult` containing the exact CSR
+            result and the simulated performance statistics.
+        """
+        if matrix_a.shape[1] != matrix_b.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: cannot multiply {matrix_a.shape} by "
+                f"{matrix_b.shape}"
+            )
+        config = self._config
+        result_shape = (matrix_a.shape[0], matrix_b.shape[1])
+
+        traffic = TrafficCounter()
+        hbm = HBMModel(config.hbm)
+        multipliers = MultiplierArray(config.num_multipliers)
+        merge_tree = MergeTree(num_layers=config.merge_tree_layers,
+                               merger_width=config.merger_width,
+                               chunk_size=config.merger_chunk_size,
+                               fifo_capacity=config.partial_matrix_writer_fifo)
+        store = PartialMatrixStore(traffic, element_bytes=config.element_bytes)
+        writer = PartialMatrixWriter(traffic, element_bytes=config.element_bytes,
+                                     fifo_depth=config.partial_matrix_writer_fifo)
+
+        stats = SimulationStats(clock_hz=config.clock_hz,
+                                peak_bandwidth_bytes_per_cycle=config.hbm.bytes_per_cycle)
+        stats.traffic = traffic
+
+        # Degenerate cases: an empty operand produces an empty result.
+        if matrix_a.nnz == 0 or matrix_b.nnz == 0:
+            stats.scheduler = self._scheduler_name()
+            return SpGEMMResult(CSRMatrix.empty(result_shape), stats)
+
+        streamer = _LeafStreamer(matrix_a, matrix_b, multipliers,
+                                 condensing=config.enable_matrix_condensing)
+        weights = streamer.leaf_weights()
+        plan = self._build_plan(weights)
+        plan_is_pipelined = config.enable_pipelined_merge
+
+        stats.num_partial_matrices = streamer.num_leaves
+        stats.condensed_columns = (streamer.condensed.num_condensed_columns
+                                   if streamer.condensed is not None else 0)
+        stats.num_merge_rounds = len(plan.rounds)
+        stats.scheduler = plan.scheduler
+        stats.multiplications = multiplication_count(matrix_a, matrix_b)
+
+        # --- Input traffic ------------------------------------------------
+        # The left operand is streamed exactly once, leaf by leaf.
+        a_bytes = matrix_a.nnz * config.element_bytes
+        traffic.add(TrafficCategory.MATRIX_A_READ, a_bytes)
+
+        access_order = self._consumption_access_order(streamer, plan)
+        prefetch_stats = self._simulate_matrix_b_reads(matrix_b, access_order,
+                                                       traffic)
+        stats.prefetch_hit_rate = prefetch_stats.hit_rate
+        stats.prefetch_bytes_saved = (prefetch_stats.bytes_without_buffer
+                                      - prefetch_stats.dram_bytes_read)
+        stats.buffer_element_reads = prefetch_stats.element_hits
+
+        # --- Execute the merge plan ----------------------------------------
+        out_keys, out_vals = self._execute_plan(streamer, plan, merge_tree,
+                                                store, plan_is_pipelined)
+        result = writer.write_result(out_keys, out_vals, result_shape)
+
+        # --- Derived statistics --------------------------------------------
+        stats.output_nnz = result.nnz
+        stats.additions = merge_tree.stats.additions
+        stats.comparator_ops = merge_tree.stats.comparator_ops
+        stats.merge_tree_elements = merge_tree.stats.elements_into_root
+
+        multiply_cycles = -(-stats.multiplications // config.num_multipliers)
+        merge_cycles = merge_tree.stats.cycles
+        startup_cycles = (len(plan.rounds) + 1) * config.round_startup_cycles
+        stats.compute_cycles = multiply_cycles + merge_cycles
+        stats.memory_cycles = hbm.memory_cycles(traffic.read_bytes,
+                                                traffic.write_bytes)
+        stats.cycles = max(stats.compute_cycles, stats.memory_cycles) + startup_cycles
+        stats.runtime_seconds = hbm.runtime_seconds(stats.cycles)
+        return SpGEMMResult(result, stats)
+
+    # ------------------------------------------------------------------
+    def _scheduler_name(self) -> str:
+        return "huffman" if self._config.enable_huffman_scheduler else "sequential"
+
+    def _build_plan(self, weights: np.ndarray) -> MergePlan:
+        """Schedule the merge rounds over the leaf weights."""
+        ways = self._config.merge_ways
+        weight_list = [float(w) for w in weights]
+        if self._config.enable_huffman_scheduler:
+            return huffman_schedule(weight_list, ways)
+        return sequential_schedule(weight_list, ways)
+
+    def _consumption_access_order(self, streamer: _LeafStreamer,
+                                  plan: MergePlan) -> np.ndarray:
+        """Right-matrix row sequence in the order leaves are consumed."""
+        pieces: list[np.ndarray] = []
+        for merge_round in plan.rounds:
+            for node_id in merge_round.input_ids:
+                if node_id < plan.num_leaves:
+                    pieces.append(streamer.leaf_access_order(node_id))
+        if not plan.rounds and plan.num_leaves == 1:
+            pieces.append(streamer.leaf_access_order(0))
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def _simulate_matrix_b_reads(self, matrix_b: CSRMatrix,
+                                 access_order: np.ndarray,
+                                 traffic: TrafficCounter) -> PrefetchStats:
+        """Charge the right-operand read traffic, with or without the buffer.
+
+        Without the prefetcher every *run* of consecutive accesses to the same
+        row costs one full row fetch — the natural behaviour of a dataflow
+        that holds only the row it is currently multiplying (this is what
+        gives the un-condensed outer product its perfect input reuse).  With
+        the prefetcher the Bélády-replacement row buffer is simulated over the
+        whole access sequence.
+        """
+        config = self._config
+        element_bytes = config.prefetch_element_bytes
+        if len(access_order) == 0:
+            return PrefetchStats()
+
+        if config.enable_row_prefetcher:
+            prefetcher = RowPrefetcher(
+                matrix_b,
+                num_lines=config.prefetch_buffer_lines,
+                line_elements=config.prefetch_line_elements,
+                element_bytes=element_bytes,
+                lookahead_window=config.lookahead_fifo_elements,
+            )
+            prefetch_stats = prefetcher.simulate(access_order)
+            traffic.add(TrafficCategory.MATRIX_B_READ,
+                        prefetch_stats.dram_bytes_read)
+            return prefetch_stats
+
+        # No prefetcher: one row fetch per run of equal consecutive accesses.
+        row_nnz = matrix_b.nnz_per_row()
+        stats = PrefetchStats()
+        previous_row = -1
+        for row in access_order:
+            row = int(row)
+            row_bytes = int(row_nnz[row]) * element_bytes
+            stats.accesses += 1
+            stats.bytes_without_buffer += row_bytes
+            if row == previous_row:
+                stats.element_hits += int(row_nnz[row])
+                continue
+            stats.element_misses += int(row_nnz[row])
+            stats.dram_bytes_read += row_bytes
+            previous_row = row
+        traffic.add(TrafficCategory.MATRIX_B_READ, stats.dram_bytes_read)
+        return stats
+
+    def _execute_plan(self, streamer: _LeafStreamer, plan: MergePlan,
+                      merge_tree: MergeTree, store: PartialMatrixStore,
+                      pipelined: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Run every merge round functionally, charging spill traffic.
+
+        When ``pipelined`` is false the model degenerates to the two-phase
+        OuterSPACE dataflow: every leaf's multiplied result is written to DRAM
+        before merging starts and read back when its round executes, exactly
+        the behaviour the pipelined merge tree eliminates.
+        """
+        if plan.num_leaves == 1:
+            keys, vals = streamer.leaf_stream(0)
+            if not pipelined:
+                store.write(0, keys, vals)
+                keys, vals = store.read(0)
+            folded_keys, folded_vals = merge_tree.merge([(keys, vals)])
+            return folded_keys, folded_vals
+
+        results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        root_id = plan.root_id
+        for merge_round in plan.rounds:
+            streams: list[tuple[np.ndarray, np.ndarray]] = []
+            for node_id in merge_round.input_ids:
+                if node_id < plan.num_leaves:
+                    keys, vals = streamer.leaf_stream(node_id)
+                    if not pipelined:
+                        # Two-phase dataflow: the multiplied result takes a
+                        # round trip through DRAM before it can be merged.
+                        store.write(node_id, keys, vals)
+                        keys, vals = store.read(node_id)
+                else:
+                    keys, vals = store.read(node_id)
+                streams.append((keys, vals))
+            merged_keys, merged_vals = merge_tree.merge(streams)
+            if merge_round.output_id == root_id:
+                results[root_id] = (merged_keys, merged_vals)
+            else:
+                store.write(merge_round.output_id, merged_keys, merged_vals)
+        return results[root_id]
+
+
+def multiply(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+             config: SpArchConfig | None = None) -> SpGEMMResult:
+    """Convenience wrapper: simulate ``A · B`` on a fresh :class:`SpArch`.
+
+    Args:
+        matrix_a: left operand in CSR format.
+        matrix_b: right operand in CSR format.
+        config: optional architectural configuration (Table I by default).
+    """
+    return SpArch(config).multiply(matrix_a, matrix_b)

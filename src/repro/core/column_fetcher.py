@@ -1,0 +1,115 @@
+"""MatA column fetcher (§II-E, Figure 10).
+
+The left matrix is stored in CSR in DRAM but consumed by condensed column.
+The column fetcher receives the set of condensed columns scheduled for the
+current round, computes the DRAM addresses of their elements, and streams
+them out in *load-sequence* order (Figure 7): row by row, and within a row
+the scheduled condensed columns left to right.  That stream determines two
+things downstream:
+
+* the right-matrix row access order seen by the prefetcher (the element's
+  original column index), and
+* the merge-tree port each partial product is steered to (the element's
+  condensed column index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.condensed import CondensedMatrix
+
+
+@dataclass(frozen=True)
+class FetchedElement:
+    """One left-matrix element produced by the column fetcher.
+
+    Attributes:
+        row: row index in the left matrix.
+        original_col: original column index — selects the right-matrix row.
+        condensed_col: condensed column index — selects the merge-tree port.
+        value: element value.
+    """
+
+    row: int
+    original_col: int
+    condensed_col: int
+    value: float
+
+
+class ColumnFetcher:
+    """Streams condensed columns of the left matrix out of DRAM.
+
+    Args:
+        condensed: condensed view of the left operand.
+        element_bytes: DRAM footprint per element (index + value bytes).
+    """
+
+    def __init__(self, condensed: CondensedMatrix, *, element_bytes: int = 16) -> None:
+        self._condensed = condensed
+        self._element_bytes = element_bytes
+        self.total_elements_fetched = 0
+        self.total_bytes_fetched = 0
+
+    @property
+    def condensed(self) -> CondensedMatrix:
+        return self._condensed
+
+    # ------------------------------------------------------------------
+    def fetch_columns(self, columns: list[int]) -> list[FetchedElement]:
+        """Fetch the given condensed columns in load-sequence order.
+
+        The stream is ordered by left-matrix row, then by condensed column
+        within the row — the dashed-frame order of Figure 7 — so the partial
+        products of each condensed column leave the multipliers sorted by
+        (row, column) without any extra sorting hardware.
+
+        Returns:
+            The element stream; DRAM byte counters are updated as a side
+            effect.
+        """
+        if not columns:
+            return []
+        csr = self._condensed.csr
+        wanted = sorted(set(int(c) for c in columns))
+        for column in wanted:
+            if not 0 <= column < self._condensed.num_condensed_columns:
+                raise IndexError(
+                    f"condensed column {column} out of range "
+                    f"(matrix has {self._condensed.num_condensed_columns})"
+                )
+
+        elements: list[FetchedElement] = []
+        row_lengths = csr.nnz_per_row()
+        for row in range(csr.num_rows):
+            length = int(row_lengths[row])
+            if length == 0:
+                continue
+            start = int(csr.indptr[row])
+            for column in wanted:
+                if column >= length:
+                    break
+                position = start + column
+                elements.append(FetchedElement(
+                    row=row,
+                    original_col=int(csr.indices[position]),
+                    condensed_col=column,
+                    value=float(csr.data[position]),
+                ))
+        self.total_elements_fetched += len(elements)
+        self.total_bytes_fetched += len(elements) * self._element_bytes
+        return elements
+
+    def access_order(self, columns: list[int]) -> np.ndarray:
+        """Right-matrix row access sequence implied by fetching ``columns``."""
+        return np.asarray([e.original_col for e in self.fetch_columns(columns)],
+                          dtype=np.int64)
+
+    def column_bytes(self, columns: list[int]) -> int:
+        """DRAM bytes needed to read the elements of ``columns``."""
+        histogram = self._condensed.column_nnz_histogram()
+        wanted = sorted(set(int(c) for c in columns))
+        total_elements = int(sum(histogram[c] for c in wanted if c < len(histogram)))
+        return total_elements * self._element_bytes

@@ -1,0 +1,143 @@
+"""Architectural configuration of SpArch (Table I) plus ablation switches.
+
+The defaults reproduce the configuration evaluated in the paper:
+
+* 16×16 hierarchical merger (4×4 top level + 4×4 low level) at 1 GHz;
+* a 6-layer merge tree merging up to 64 arrays simultaneously;
+* 2 groups of 8 double-precision multipliers;
+* a look-ahead buffer of 8192 elements in the MatA column fetcher;
+* a prefetch buffer of 1024 lines × 48 elements × 12 bytes;
+* 16 HBM channels of 8 GB/s each (128 GB/s aggregate).
+
+The ``enable_*`` flags turn the paper's four techniques on and off for the
+breakdown experiment of Figure 16.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.memory.hbm import HBMConfig
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class SpArchConfig:
+    """Full architectural configuration of the simulated accelerator.
+
+    Attributes:
+        merger_width: elements merged per cycle by each array merger.
+        merger_chunk_size: low-level comparator array width.
+        merge_tree_layers: depth of the merge tree (ways = 2**layers).
+        num_multipliers: double precision multipliers.
+        lookahead_fifo_elements: MatA column fetcher look-ahead window.
+        prefetch_buffer_lines: number of lines in the MatB row prefetcher.
+        prefetch_line_elements: elements per prefetch buffer line.
+        prefetch_element_bytes: bytes per buffered element.
+        partial_matrix_writer_fifo: output FIFO depth before DRAM writes.
+        index_bytes: bytes per COO index pair in DRAM (32-bit row + 32-bit
+            column as in Table I).
+        value_bytes: bytes per double precision value.
+        clock_hz: core clock frequency.
+        round_startup_cycles: fixed overhead charged per merge round (filling
+            the look-ahead FIFO and the merge-tree pipelines); this is the
+            startup overhead §III-C credits matrix condensing with amortising.
+        hbm: HBM memory configuration.
+        enable_pipelined_merge: pipeline multiply and merge on chip (the
+            first of the paper's four techniques).  When disabled the model
+            degenerates to the two-phase OuterSPACE-style dataflow.
+        enable_matrix_condensing: condense the left matrix (§II-B).
+        enable_huffman_scheduler: schedule merges with a Huffman tree (§II-C).
+        enable_row_prefetcher: cache right-matrix rows with the near-optimal
+            replacement policy (§II-D).
+    """
+
+    merger_width: int = 16
+    merger_chunk_size: int = 4
+    merge_tree_layers: int = 6
+    num_multipliers: int = 16
+    lookahead_fifo_elements: int = 8192
+    prefetch_buffer_lines: int = 1024
+    prefetch_line_elements: int = 48
+    prefetch_element_bytes: int = 12
+    partial_matrix_writer_fifo: int = 1024
+    index_bytes: int = 8
+    value_bytes: int = 8
+    clock_hz: float = 1e9
+    round_startup_cycles: int = 256
+    hbm: HBMConfig = dataclasses.field(default_factory=HBMConfig)
+    enable_pipelined_merge: bool = True
+    enable_matrix_condensing: bool = True
+    enable_huffman_scheduler: bool = True
+    enable_row_prefetcher: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.merger_width, "merger_width")
+        check_positive_int(self.merger_chunk_size, "merger_chunk_size")
+        check_positive_int(self.merge_tree_layers, "merge_tree_layers")
+        check_positive_int(self.num_multipliers, "num_multipliers")
+        check_positive_int(self.lookahead_fifo_elements, "lookahead_fifo_elements")
+        check_positive_int(self.prefetch_buffer_lines, "prefetch_buffer_lines")
+        check_positive_int(self.prefetch_line_elements, "prefetch_line_elements")
+        check_positive_int(self.prefetch_element_bytes, "prefetch_element_bytes")
+        check_positive_int(self.partial_matrix_writer_fifo,
+                           "partial_matrix_writer_fifo")
+        check_positive_int(self.index_bytes, "index_bytes")
+        check_positive_int(self.value_bytes, "value_bytes")
+        check_nonnegative_int(self.round_startup_cycles, "round_startup_cycles")
+        if self.merger_width % self.merger_chunk_size != 0:
+            raise ValueError("merger_width must be a multiple of merger_chunk_size")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def merge_ways(self) -> int:
+        """Number of arrays the merge tree merges at once (64 by default)."""
+        return 2 ** self.merge_tree_layers
+
+    @property
+    def element_bytes(self) -> int:
+        """DRAM footprint of one COO element (index + value)."""
+        return self.index_bytes + self.value_bytes
+
+    @property
+    def prefetch_buffer_bytes(self) -> int:
+        """Total capacity of the MatB row prefetch buffer."""
+        return (self.prefetch_buffer_lines * self.prefetch_line_elements
+                * self.prefetch_element_bytes)
+
+    @property
+    def peak_multiply_flops(self) -> float:
+        """Peak multiply throughput in FLOP/s (16 GFLOPS in the paper)."""
+        return self.num_multipliers * self.clock_hz
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak multiply + add throughput (32 GFLOPS in the paper)."""
+        return 2 * self.peak_multiply_flops
+
+    # ------------------------------------------------------------------
+    def with_features(self, *, pipelined_merge: bool | None = None,
+                      matrix_condensing: bool | None = None,
+                      huffman_scheduler: bool | None = None,
+                      row_prefetcher: bool | None = None) -> "SpArchConfig":
+        """Return a copy with some ablation switches overridden."""
+        return dataclasses.replace(
+            self,
+            enable_pipelined_merge=(self.enable_pipelined_merge
+                                    if pipelined_merge is None else pipelined_merge),
+            enable_matrix_condensing=(self.enable_matrix_condensing
+                                      if matrix_condensing is None
+                                      else matrix_condensing),
+            enable_huffman_scheduler=(self.enable_huffman_scheduler
+                                      if huffman_scheduler is None
+                                      else huffman_scheduler),
+            enable_row_prefetcher=(self.enable_row_prefetcher
+                                   if row_prefetcher is None else row_prefetcher),
+        )
+
+    def replace(self, **overrides) -> "SpArchConfig":
+        """Return a copy with arbitrary fields overridden."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,118 @@
+"""Look-ahead FIFO and distance list builder (§II-E, Figure 10).
+
+The MatA column fetcher pushes the stream of left-matrix elements it is
+about to consume into a look-ahead FIFO (8192 elements in Table I).  The
+*distance list builder* walks that FIFO and computes, for every right-matrix
+row, when it will next be needed.  The row prefetcher uses those next-use
+times to implement the near-Bélády replacement policy: the further in the
+future a buffered row is needed again, the better a victim it is.
+
+The look-ahead window is finite, which is exactly why Figure 17(d) sweeps
+its size: a row whose next use lies beyond the window looks identical to a
+row that is never used again.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: Next-use value meaning "not referenced within the look-ahead window".
+UNKNOWN_NEXT_USE = float("inf")
+
+
+class LookaheadFifo:
+    """Sliding window over the future right-matrix row access sequence.
+
+    Args:
+        access_sequence: right-matrix row index consumed at every time step,
+            in multiplier consumption order.
+        window: number of future accesses visible at any time (the look-ahead
+            FIFO depth).
+    """
+
+    def __init__(self, access_sequence: np.ndarray, window: int) -> None:
+        check_positive_int(window, "window")
+        self._sequence = np.asarray(access_sequence, dtype=np.int64)
+        self._window = window
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def sequence(self) -> np.ndarray:
+        return self._sequence
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    def visible_slice(self, now: int) -> np.ndarray:
+        """Accesses visible from time ``now``: positions ``now+1 .. now+window``."""
+        if now < -1:
+            raise ValueError("now must be >= -1")
+        start = now + 1
+        return self._sequence[start:start + self._window]
+
+
+class DistanceListBuilder:
+    """Computes next-use times of right-matrix rows under a finite window.
+
+    The builder pre-indexes every row's access positions so that
+    :meth:`next_use` runs in amortised O(1): it keeps a cursor per row that
+    only moves forward as simulated time advances.
+    """
+
+    def __init__(self, lookahead: LookaheadFifo) -> None:
+        self._lookahead = lookahead
+        self._positions: dict[int, deque[int]] = defaultdict(deque)
+        for position, row in enumerate(lookahead.sequence):
+            self._positions[int(row)].append(position)
+
+    @property
+    def window(self) -> int:
+        return self._lookahead.window
+
+    def access_positions(self, row: int) -> list[int]:
+        """All positions at which ``row`` is accessed (for testing)."""
+        return list(self._positions.get(int(row), ()))
+
+    def next_use(self, row: int, now: int) -> float:
+        """Next access position of ``row`` strictly after time ``now``.
+
+        Returns :data:`UNKNOWN_NEXT_USE` when the next use lies beyond the
+        look-ahead window (or the row is never used again) — the prefetcher
+        cannot tell those cases apart, by design.
+        """
+        positions = self._positions.get(int(row))
+        if not positions:
+            return UNKNOWN_NEXT_USE
+        while positions and positions[0] <= now:
+            positions.popleft()
+        if not positions:
+            return UNKNOWN_NEXT_USE
+        next_position = positions[0]
+        if next_position - now > self._lookahead.window:
+            return UNKNOWN_NEXT_USE
+        return float(next_position)
+
+    def reuse_distance_histogram(self, *, max_distance: int | None = None
+                                 ) -> dict[int, int]:
+        """Histogram of distances between consecutive uses of the same row.
+
+        Useful for analysing how large the prefetch buffer must be for a
+        given matrix (the knee of Figure 17(a)).
+        """
+        last_seen: dict[int, int] = {}
+        histogram: dict[int, int] = defaultdict(int)
+        for position, row in enumerate(self._lookahead.sequence):
+            row = int(row)
+            if row in last_seen:
+                distance = position - last_seen[row]
+                if max_distance is None or distance <= max_distance:
+                    histogram[distance] += 1
+            last_seen[row] = position
+        return dict(histogram)

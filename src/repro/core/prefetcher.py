@@ -1,0 +1,228 @@
+"""MatB row prefetcher with near-optimal buffer replacement (§II-D, Fig. 9).
+
+Matrix condensing destroys the right operand's reuse: one condensed column
+touches many different rows of B.  The prefetcher restores the reuse with an
+on-chip row buffer whose replacement policy approximates Bélády's optimal
+policy — it can, because the future access order is *known*: it is exactly
+the original-column sequence of the left-matrix elements streaming through
+the look-ahead FIFO.
+
+Replacement policy, as in the paper:
+
+* the victim is the buffered row whose next use is furthest in the future;
+* rows whose next use lies beyond the look-ahead window are indistinguishable
+  from rows that are never used again, and are preferred as victims (oldest
+  first among them);
+* rows are spilled line by line, so a long row can be partially evicted and
+  the resident remainder still produces hits later (Figure 9, step 7→8).
+
+The simulation runs at *segment* (buffer line) granularity and reports the
+DRAM bytes read for matrix B, the hit rate, and the eviction count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lookahead import UNKNOWN_NEXT_USE, DistanceListBuilder, LookaheadFifo
+from repro.formats.csr import CSRMatrix
+from repro.memory.buffer import RowBuffer
+
+
+@dataclass
+class PrefetchStats:
+    """Outcome of simulating the prefetcher over one access sequence."""
+
+    accesses: int = 0
+    element_hits: int = 0
+    element_misses: int = 0
+    segment_hits: int = 0
+    segment_misses: int = 0
+    evicted_lines: int = 0
+    dram_bytes_read: int = 0
+    bytes_without_buffer: int = 0
+    per_access_miss_bytes: list[int] = field(default_factory=list, repr=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Element-granularity buffer hit rate (the paper reports 62%)."""
+        total = self.element_hits + self.element_misses
+        return self.element_hits / total if total else 0.0
+
+    @property
+    def traffic_reduction(self) -> float:
+        """How much DRAM read traffic of matrix B the buffer removed."""
+        if self.dram_bytes_read == 0:
+            return float("inf") if self.bytes_without_buffer else 1.0
+        return self.bytes_without_buffer / self.dram_bytes_read
+
+
+class RowPrefetcher:
+    """Simulates the MatB row prefetcher over a known access sequence.
+
+    Args:
+        matrix_b: right operand in CSR format.
+        num_lines: prefetch buffer lines (1024 in Table I).
+        line_elements: elements per buffer line (48 in Table I).
+        element_bytes: bytes per buffered element (12 in Table I).
+        lookahead_window: look-ahead FIFO depth in elements (8192 in Table I).
+    """
+
+    def __init__(self, matrix_b: CSRMatrix, *, num_lines: int = 1024,
+                 line_elements: int = 48, element_bytes: int = 12,
+                 lookahead_window: int = 8192) -> None:
+        self._matrix_b = matrix_b
+        self._buffer = RowBuffer(num_lines, line_elements, element_bytes)
+        self._lookahead_window = lookahead_window
+        self._row_nnz = matrix_b.nnz_per_row()
+
+    @property
+    def buffer(self) -> RowBuffer:
+        """The underlying row buffer (for occupancy/area accounting)."""
+        return self._buffer
+
+    # ------------------------------------------------------------------
+    def _row_segments(self, row: int) -> int:
+        return self._buffer.segments_for_row(int(self._row_nnz[row]))
+
+    def _segment_elements(self, row: int, segment: int) -> int:
+        """Number of real elements stored in segment ``segment`` of ``row``."""
+        nnz = int(self._row_nnz[row])
+        full = self._buffer.line_elements
+        start = segment * full
+        return max(0, min(full, nnz - start))
+
+    def _segment_bytes(self, row: int, segment: int) -> int:
+        return self._segment_elements(row, segment) * self._buffer.element_bytes
+
+    # ------------------------------------------------------------------
+    def simulate(self, access_sequence: np.ndarray) -> PrefetchStats:
+        """Run the access sequence through the buffer and collect statistics.
+
+        Args:
+            access_sequence: right-matrix row index required by each
+                successive left-matrix element (multiplier consumption order).
+
+        Returns:
+            :class:`PrefetchStats` with hit rates and DRAM byte counts.
+        """
+        access_sequence = np.asarray(access_sequence, dtype=np.int64)
+        stats = PrefetchStats()
+        if len(access_sequence) == 0:
+            return stats
+
+        lookahead = LookaheadFifo(access_sequence, self._lookahead_window)
+        distances = DistanceListBuilder(lookahead)
+        initially_resident = sorted(self._buffer.resident_rows)
+
+        # Lazy max-heap of eviction candidates.  Priority is the next-use
+        # position (smaller = needed sooner = keep); rows with unknown next
+        # use get a large priority offset plus their insertion age so the
+        # oldest unknown row is evicted first.  heapq is a min-heap, so we
+        # negate priorities.
+        unknown_base = float(len(access_sequence) + 1)
+        counter = itertools.count()
+        heap: list[tuple[float, int, int]] = []
+        latest_stamp: dict[int, int] = {}
+
+        def push_candidate(row: int, now: int) -> None:
+            next_use = distances.next_use(row, now)
+            if next_use == UNKNOWN_NEXT_USE:
+                priority = unknown_base + (unknown_base - now)
+            else:
+                priority = float(next_use)
+            stamp = next(counter)
+            latest_stamp[row] = stamp
+            heapq.heappush(heap, (-priority, stamp, row))
+
+        def pop_victim(exclude_row: int) -> int:
+            while heap:
+                _, stamp, row = heap[0]
+                if latest_stamp.get(row) != stamp or not self._buffer.resident_segments(row):
+                    heapq.heappop(heap)
+                    continue
+                if row == exclude_row:
+                    # Never spill the row we are currently fetching; fall back
+                    # to the next candidate.
+                    heapq.heappop(heap)
+                    push_later.append(row)
+                    continue
+                return row
+            # Degenerate case: the row being fetched is longer than the whole
+            # buffer, so its own earlier segments are the only candidates.
+            if self._buffer.resident_segments(exclude_row):
+                return exclude_row
+            raise RuntimeError("no eviction candidate available")
+
+        # Rows left resident by an earlier simulate() call (warm start) must
+        # be eviction candidates too, or they could never be replaced.
+        for row in initially_resident:
+            push_candidate(row, -1)
+
+        for now, row in enumerate(access_sequence):
+            row = int(row)
+            stats.accesses += 1
+            num_segments = self._row_segments(row)
+            row_elements = int(self._row_nnz[row])
+            row_bytes = row_elements * self._buffer.element_bytes
+            stats.bytes_without_buffer += row_bytes
+
+            if num_segments == 0:
+                stats.per_access_miss_bytes.append(0)
+                continue
+
+            resident = self._buffer.resident_segments(row)
+            missing = [s for s in range(num_segments) if s not in resident]
+            hit_elements = sum(self._segment_elements(row, s) for s in resident)
+            miss_elements = row_elements - hit_elements
+
+            stats.element_hits += hit_elements
+            stats.element_misses += miss_elements
+            stats.segment_hits += len(resident)
+            stats.segment_misses += len(missing)
+
+            miss_bytes = 0
+            push_later: list[int] = []
+            for segment in missing:
+                # Make room line by line, spilling the furthest-next-use row.
+                while self._buffer.lines_free == 0:
+                    victim = pop_victim(exclude_row=row)
+                    victim_segments = sorted(self._buffer.resident_segments(victim),
+                                             reverse=True)
+                    self._buffer.evict(victim, victim_segments[0])
+                    stats.evicted_lines += 1
+                    if len(victim_segments) > 1:
+                        push_candidate(victim, now)
+                self._buffer.insert(row, segment)
+                miss_bytes += self._segment_bytes(row, segment)
+            for deferred_row in push_later:
+                push_candidate(deferred_row, now)
+
+            self._buffer.record_hit(len(resident))
+            self._buffer.record_miss(len(missing))
+            stats.dram_bytes_read += miss_bytes
+            stats.per_access_miss_bytes.append(miss_bytes)
+            # The row was just touched: refresh its eviction priority.
+            push_candidate(row, now)
+
+        return stats
+
+    def simulate_without_buffer(self, access_sequence: np.ndarray) -> PrefetchStats:
+        """Model the no-prefetcher case: every access re-reads its full row."""
+        access_sequence = np.asarray(access_sequence, dtype=np.int64)
+        stats = PrefetchStats()
+        element_bytes = self._buffer.element_bytes
+        for row in access_sequence:
+            row_elements = int(self._row_nnz[int(row)])
+            row_bytes = row_elements * element_bytes
+            stats.accesses += 1
+            stats.element_misses += row_elements
+            stats.segment_misses += self._row_segments(int(row))
+            stats.dram_bytes_read += row_bytes
+            stats.bytes_without_buffer += row_bytes
+            stats.per_access_miss_bytes.append(row_bytes)
+        return stats

@@ -1,0 +1,188 @@
+"""Hardware victim selection: hash table + next-use reduction tree (§II-E).
+
+The paper implements the near-Bélády replacement policy with two structures:
+"to perform the associative search, we use a hash table to map row indexes
+to positions in the buffer and a reduction tree of next use time to decide
+which line to spill".  The behavioural simulation in
+:mod:`repro.core.prefetcher` uses a software priority queue; this module
+models the *hardware* structures so that
+
+* the victim decisions can be cross-checked against the behavioural model
+  (the tests do this), and
+* the cost of a lookup / update / victim selection can be expressed in the
+  quantities the hardware pays: hash probes and reduction-tree levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.utils.validation import check_positive_int
+
+#: Next-use value stored for lines whose row is not needed again within the
+#: look-ahead window; ties are broken towards the oldest line, mirroring the
+#: behavioural model.
+FAR_FUTURE = float("inf")
+
+
+@dataclass
+class ReplacementStats:
+    """Activity counters of the victim-selection hardware."""
+
+    hash_probes: int = 0
+    hash_insertions: int = 0
+    hash_collisions: int = 0
+    next_use_updates: int = 0
+    victim_selections: int = 0
+    reduction_levels_traversed: int = 0
+
+
+class BufferIndexHashTable:
+    """Open-addressing hash table mapping row index → buffer line set.
+
+    The width of the table is "much lower than the buffer itself" (§II-E);
+    it is sized to twice the line count so the load factor stays below one
+    half and probe chains stay short.
+    """
+
+    def __init__(self, num_lines: int, *, stats: ReplacementStats | None = None
+                 ) -> None:
+        check_positive_int(num_lines, "num_lines")
+        self._size = max(8, 2 * num_lines)
+        self._keys: list[int | None] = [None] * self._size
+        self._values: list[set[int]] = [set() for _ in range(self._size)]
+        self.stats = stats if stats is not None else ReplacementStats()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _slot_of(self, row: int, *, for_insert: bool) -> int | None:
+        slot = (row * 2654435761) % self._size
+        for _ in range(self._size):
+            self.stats.hash_probes += 1
+            key = self._keys[slot]
+            if key == row:
+                return slot
+            if key is None:
+                return slot if for_insert else None
+            self.stats.hash_collisions += 1
+            slot = (slot + 1) % self._size
+        return None
+
+    def add_line(self, row: int, line: int) -> None:
+        """Record that buffer ``line`` currently holds a segment of ``row``."""
+        slot = self._slot_of(row, for_insert=True)
+        if slot is None:
+            raise RuntimeError("hash table is full; buffer larger than table")
+        if self._keys[slot] is None:
+            self._keys[slot] = row
+            self.stats.hash_insertions += 1
+        self._values[slot].add(line)
+
+    def remove_line(self, row: int, line: int) -> None:
+        """Remove one line of ``row``; frees the slot when none remain."""
+        slot = self._slot_of(row, for_insert=False)
+        if slot is None or line not in self._values[slot]:
+            raise KeyError(f"line {line} of row {row} is not indexed")
+        self._values[slot].discard(line)
+        if not self._values[slot]:
+            # Mark-deleted semantics: keep the key so later probe chains that
+            # passed through this slot still find their entries.
+            self._values[slot] = set()
+
+    def lines_of(self, row: int) -> set[int]:
+        """Buffer lines currently holding segments of ``row``."""
+        slot = self._slot_of(row, for_insert=False)
+        if slot is None or self._keys[slot] != row:
+            return set()
+        return set(self._values[slot])
+
+
+class NextUseReductionTree:
+    """Binary max-reduction tree over per-line next-use times.
+
+    Every buffer line holds the next-use time of the row it caches; the
+    victim is the line with the *largest* next-use time (furthest in the
+    future).  The hardware evaluates this with a ``log2(lines)``-level
+    comparator tree; updating one leaf touches one path of the same depth.
+    """
+
+    #: Leaf key of an empty (never-occupied or invalidated) line; loses every
+    #: comparison against an occupied line.
+    _EMPTY = (-1, -math.inf, -1)
+
+    def __init__(self, num_lines: int, *,
+                 stats: ReplacementStats | None = None) -> None:
+        check_positive_int(num_lines, "num_lines")
+        self._num_leaves = 1
+        while self._num_leaves < num_lines:
+            self._num_leaves *= 2
+        self._num_lines = num_lines
+        # Heap-style array of (unknown?, time-or-age, line) keys; internal
+        # nodes hold the maximum of their children.  Unknown-next-use lines
+        # outrank every known one, and older unknown lines outrank newer
+        # ones — the same ordering the behavioural model uses.
+        self._tree: list[tuple[int, float, int]] = (
+            [self._EMPTY] * (2 * self._num_leaves))
+        self.stats = stats if stats is not None else ReplacementStats()
+
+    @property
+    def depth(self) -> int:
+        """Number of comparator levels between a leaf and the root."""
+        return max(1, int(math.log2(self._num_leaves))) if self._num_leaves > 1 else 1
+
+    def update(self, line: int, next_use: float, *, age: int = 0) -> None:
+        """Set the next-use time of buffer ``line`` and repair the tree path.
+
+        Args:
+            line: buffer line index.
+            next_use: next-use time; :data:`FAR_FUTURE` when unknown.
+            age: tie-breaker for FAR_FUTURE lines — larger means older, and
+                older lines are preferred victims, matching the behavioural
+                model's oldest-unknown-first rule.
+        """
+        if not 0 <= line < self._num_lines:
+            raise IndexError(f"line {line} out of range ({self._num_lines} lines)")
+        if next_use == FAR_FUTURE:
+            key = (1, float(age), line)
+        else:
+            key = (0, float(next_use), line)
+        index = self._num_leaves + line
+        self._tree[index] = key
+        index //= 2
+        while index >= 1:
+            left, right = self._tree[2 * index], self._tree[2 * index + 1]
+            self._tree[index] = max(left, right)
+            index //= 2
+            self.stats.reduction_levels_traversed += 1
+        self.stats.next_use_updates += 1
+
+    def invalidate(self, line: int) -> None:
+        """Remove ``line`` from consideration (its slot is empty)."""
+        if not 0 <= line < self._num_lines:
+            raise IndexError(f"line {line} out of range ({self._num_lines} lines)")
+        index = self._num_leaves + line
+        self._tree[index] = self._EMPTY
+        index //= 2
+        while index >= 1:
+            self._tree[index] = max(self._tree[2 * index], self._tree[2 * index + 1])
+            index //= 2
+
+    def victim(self) -> int:
+        """Return the line with the furthest next use (the spill victim)."""
+        self.stats.victim_selections += 1
+        self.stats.reduction_levels_traversed += self.depth
+        unknown, _, line = self._tree[1]
+        if line < 0 or unknown < 0:
+            raise RuntimeError("no occupied line to evict")
+        return line
+
+    def furthest_next_use(self) -> float:
+        """Next-use time of the current victim (for inspection/testing)."""
+        unknown, time, line = self._tree[1]
+        if line < 0:
+            raise RuntimeError("no occupied line to evict")
+        return FAR_FUTURE if unknown == 1 else time

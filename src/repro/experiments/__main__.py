@@ -1,0 +1,52 @@
+"""Command-line runner: ``python -m repro.experiments <id> [...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SpArch paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to run (e.g. fig11 table2), or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered experiments and exit")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="override the benchmark proxy dimension cap")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        for experiment_id in list_experiments():
+            entry = get_experiment(experiment_id)
+            print(f"{experiment_id:>8}  {entry.title}")
+        return 0
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = list_experiments()
+
+    for experiment_id in requested:
+        entry = get_experiment(experiment_id)
+        kwargs = {}
+        if args.max_rows is not None and experiment_id not in ("fig08", "fig14"):
+            kwargs["max_rows"] = args.max_rows
+        print(f"== {entry.title} ==")
+        result = entry.run(**kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

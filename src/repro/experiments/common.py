@@ -1,0 +1,128 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SpArchConfig
+from repro.formats.csr import CSRMatrix
+from repro.matrices.suite import (
+    DEFAULT_MAX_ROWS,
+    benchmark_names,
+    get_benchmark_spec,
+    load_benchmark,
+    load_suite,
+)
+from repro.utils.reporting import Table
+
+#: Floors applied when scaling the on-chip buffers down with the proxies, so
+#: degenerate configurations (a one-line buffer) never appear.
+MIN_PREFETCH_LINES = 32
+MIN_LOOKAHEAD_ELEMENTS = 256
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment harness.
+
+    Attributes:
+        experiment_id: registry key ("fig11", "table2", ...).
+        title: human-readable title, matching the paper artefact.
+        table: the rendered rows/series the paper reports.
+        metrics: flat ``{name: value}`` dict of headline numbers, used by the
+            tests and by EXPERIMENTS.md.
+        paper_values: the corresponding numbers reported in the paper, for
+            side-by-side comparison.
+        notes: free-form remarks (scaling caveats, substitutions).
+    """
+
+    experiment_id: str
+    title: str
+    table: Table
+    metrics: dict[str, float] = field(default_factory=dict)
+    paper_values: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render the experiment output as plain text."""
+        lines = [self.table.render()]
+        if self.metrics:
+            lines.append("")
+            lines.append("Headline metrics (measured vs paper):")
+            for key, value in self.metrics.items():
+                paper = self.paper_values.get(key)
+                if paper is None:
+                    lines.append(f"  {key}: {value:.4g}")
+                else:
+                    lines.append(f"  {key}: {value:.4g}  (paper: {paper:.4g})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def default_suite(*, max_rows: int = DEFAULT_MAX_ROWS,
+                  names: list[str] | None = None) -> dict[str, CSRMatrix]:
+    """Load the (scaled) 20-matrix benchmark suite used by most experiments.
+
+    Args:
+        max_rows: proxy dimension cap (see
+            :func:`repro.matrices.suite.proxy_dimensions`).
+        names: subset of benchmark names; defaults to all 20.
+    """
+    return load_suite(max_rows=max_rows, names=names)
+
+
+def small_suite(*, max_rows: int = 600, count: int = 5) -> dict[str, CSRMatrix]:
+    """A few-matrix subset for quick runs (tests, pytest-benchmark)."""
+    names = benchmark_names()[:count]
+    return load_suite(max_rows=max_rows, names=names)
+
+
+def scaled_config(name: str, *, max_rows: int = DEFAULT_MAX_ROWS,
+                  base_config: SpArchConfig | None = None) -> SpArchConfig:
+    """Scale the on-chip buffers down with the benchmark proxy.
+
+    The paper's Table I buffers (1024-line prefetch buffer, 8192-element
+    look-ahead FIFO) are sized against matrices with 10⁵–10⁶ rows.  A proxy
+    capped at a few thousand rows fits entirely in those buffers, which
+    would overstate the prefetcher's hit rate (the paper measures 62 %).
+    Scaling the buffer capacities by the same factor as the matrix keeps
+    the capacity-to-working-set ratio — the quantity the replacement policy
+    actually sees — at the paper's operating point.  DESIGN.md §3 and
+    EXPERIMENTS.md document this.
+
+    Args:
+        name: benchmark name (used to look up the original dimension).
+        max_rows: proxy dimension cap used when generating the matrix.
+        base_config: configuration to scale (Table I by default).
+    """
+    base_config = base_config or SpArchConfig()
+    spec = get_benchmark_spec(name)
+    scale = min(1.0, max_rows / spec.num_rows)
+    lines = max(MIN_PREFETCH_LINES,
+                int(round(base_config.prefetch_buffer_lines * scale)))
+    lookahead = max(MIN_LOOKAHEAD_ELEMENTS,
+                    int(round(base_config.lookahead_fifo_elements * scale)))
+    return base_config.replace(prefetch_buffer_lines=lines,
+                               lookahead_fifo_elements=lookahead)
+
+
+def load_scaled_suite(*, max_rows: int = DEFAULT_MAX_ROWS,
+                      names: list[str] | None = None,
+                      base_config: SpArchConfig | None = None
+                      ) -> dict[str, tuple[CSRMatrix, SpArchConfig]]:
+    """Load benchmark proxies together with their proxy-scaled configurations.
+
+    Returns:
+        ``{name: (matrix, config)}`` where ``config`` is
+        :func:`scaled_config` of that benchmark.
+    """
+    selected = names if names is not None else benchmark_names()
+    return {
+        name: (load_benchmark(name, max_rows=max_rows),
+               scaled_config(name, max_rows=max_rows, base_config=base_config))
+        for name in selected
+    }

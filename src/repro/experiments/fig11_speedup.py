@@ -1,0 +1,104 @@
+"""Figure 11 — speedup of SpArch over the five baselines, per matrix.
+
+The paper reports, for each of the 20 benchmark matrices, the speedup of
+SpArch over OuterSPACE, Intel MKL, cuSPARSE, CUSP and ARM Armadillo, with
+geometric means of 4×, 19×, 18×, 17× and 1285× respectively.
+
+This harness runs every matrix (as a synthetic proxy — see DESIGN.md §3)
+through the SpArch simulator and through each baseline's functional
+implementation + platform model, and prints the same per-matrix rows and
+geomean that the paper's Figure 11 plots.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    ArmadilloSpGEMM,
+    ESCSpGEMM,
+    GustavsonSpGEMM,
+    HashSpGEMM,
+    OuterSpaceAccelerator,
+    SpGEMMBaseline,
+)
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.formats.csr import CSRMatrix
+from repro.utils.maths import geometric_mean
+from repro.utils.reporting import Table
+
+#: Geometric-mean speedups reported by the paper (Figure 11).
+PAPER_GEOMEAN_SPEEDUP = {
+    "OuterSPACE": 4.15,
+    "MKL": 18.67,
+    "cuSPARSE": 17.56,
+    "CUSP": 16.55,
+    "Armadillo": 1284.83,
+}
+
+
+def default_baselines() -> list[SpGEMMBaseline]:
+    """The five comparison systems of Figure 11, in paper order."""
+    return [OuterSpaceAccelerator(), GustavsonSpGEMM(), HashSpGEMM(),
+            ESCSpGEMM(), ArmadilloSpGEMM()]
+
+
+def run(*, max_rows: int = 1000, names: list[str] | None = None,
+        matrices: dict[str, CSRMatrix] | None = None,
+        config: SpArchConfig | None = None,
+        baselines: list[SpGEMMBaseline] | None = None) -> ExperimentResult:
+    """Reproduce Figure 11 on the (scaled) benchmark suite.
+
+    Args:
+        max_rows: proxy dimension cap for the suite matrices.
+        names: subset of benchmark names (default: all 20).
+        matrices: explicit matrices to use instead of the generated suite.
+        config: SpArch configuration (Table I by default).
+        baselines: comparison systems (the paper's five by default).
+    """
+    if matrices is not None:
+        workload = {name: (matrix, config) for name, matrix in matrices.items()}
+    else:
+        workload = load_scaled_suite(max_rows=max_rows, names=names,
+                                     base_config=config)
+    baselines = baselines if baselines is not None else default_baselines()
+
+    columns = ["matrix"] + [f"over {b.name}" for b in baselines]
+    table = Table(title="Figure 11 — speedup of SpArch over baselines", columns=columns)
+
+    speedups: dict[str, list[float]] = {b.name: [] for b in baselines}
+    for name, (matrix, matrix_config) in workload.items():
+        sparch_result = SpArch(matrix_config).multiply(matrix, matrix)
+        sparch_runtime = sparch_result.stats.runtime_seconds
+        row: list[object] = [name]
+        for baseline in baselines:
+            baseline_result = baseline.multiply(matrix, matrix)
+            speedup = baseline_result.runtime_seconds / max(sparch_runtime, 1e-15)
+            speedups[baseline.name].append(speedup)
+            row.append(speedup)
+        table.add_row(*row)
+
+    geomeans = {name: geometric_mean(values) for name, values in speedups.items()}
+    table.add_row("Geo Mean", *[geomeans[b.name] for b in baselines])
+
+    metrics = {f"geomean_speedup[{name}]": value for name, value in geomeans.items()}
+    paper_values = {f"geomean_speedup[{name}]": value
+                    for name, value in PAPER_GEOMEAN_SPEEDUP.items()
+                    if f"geomean_speedup[{name}]" in metrics}
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Speedup over OuterSPACE, MKL, cuSPARSE, CUSP, Armadillo (Figure 11)",
+        table=table,
+        metrics=metrics,
+        paper_values=paper_values,
+        notes=[f"benchmark proxies capped at {max_rows} rows with "
+               "proxy-scaled on-chip buffers (DESIGN.md §3, EXPERIMENTS.md)"],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

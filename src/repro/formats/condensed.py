@@ -1,0 +1,159 @@
+"""Condensed matrix representation (§II-B, Figure 7 of the paper).
+
+Matrix condensing pushes all nonzeros of the left operand to the left: the
+*i*-th nonzero of every row lands in condensed column *i*.  Because CSR
+already stores each row's nonzeros contiguously, the condensed format is a
+*view* over CSR — "CSR format and our condensed format are two different
+views of the same data".  Each condensed-column element keeps its **original
+column index**, which the multiplier array uses to select the row of the
+right operand.
+
+The number of condensed columns equals the length of the longest row, which
+for the paper's benchmarks shrinks the partial-matrix count from ~100,000 to
+~100–1,000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class CondensedColumn:
+    """One condensed column of the left operand.
+
+    Attributes:
+        index: the condensed-column index (0 = leftmost).
+        rows: row index of every element, strictly increasing.
+        original_cols: original column index of every element; this is the
+            row of the right operand each element multiplies.
+        values: the element values.
+    """
+
+    index: int
+    rows: np.ndarray
+    original_cols: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of elements in this condensed column."""
+        return int(len(self.values))
+
+    def __len__(self) -> int:
+        return self.nnz
+
+
+class CondensedMatrix:
+    """Condensed-column view over a CSR matrix (zero-copy per construction).
+
+    Args:
+        csr: the left operand in CSR format with sorted rows.
+    """
+
+    def __init__(self, csr: CSRMatrix) -> None:
+        self._csr = csr
+        self._num_condensed_cols = csr.max_row_length()
+
+    # ------------------------------------------------------------------
+    @property
+    def csr(self) -> CSRMatrix:
+        """The underlying CSR matrix."""
+        return self._csr
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the original (un-condensed) matrix."""
+        return self._csr.shape
+
+    @property
+    def nnz(self) -> int:
+        """Total number of nonzeros (unchanged by condensing)."""
+        return self._csr.nnz
+
+    @property
+    def num_condensed_columns(self) -> int:
+        """Number of condensed columns == length of the longest row."""
+        return self._num_condensed_cols
+
+    # ------------------------------------------------------------------
+    def column_nnz(self, j: int) -> int:
+        """Number of elements in condensed column ``j``.
+
+        This equals the number of rows with at least ``j + 1`` nonzeros and is
+        the leaf weight used by the Huffman tree scheduler.
+        """
+        self._check_column(j)
+        return int(np.count_nonzero(self._csr.nnz_per_row() > j))
+
+    def column_nnz_histogram(self) -> np.ndarray:
+        """Return ``nnz`` of every condensed column as an int64 array.
+
+        ``histogram[j]`` is the number of rows whose length exceeds ``j``;
+        it is non-increasing in ``j`` by construction.
+        """
+        row_lengths = self._csr.nnz_per_row()
+        if self._num_condensed_cols == 0:
+            return np.zeros(0, dtype=np.int64)
+        counts = np.bincount(row_lengths, minlength=self._num_condensed_cols + 1)
+        # histogram[j] = number of rows with length > j = total - cumsum(counts[:j+1])
+        suffix = self._csr.num_rows - np.cumsum(counts)[: self._num_condensed_cols]
+        return suffix.astype(np.int64)
+
+    def column(self, j: int) -> CondensedColumn:
+        """Materialise condensed column ``j``.
+
+        Elements are ordered by increasing row index (the order in which the
+        column fetcher streams them from DRAM).
+        """
+        self._check_column(j)
+        row_lengths = self._csr.nnz_per_row()
+        rows = np.nonzero(row_lengths > j)[0]
+        positions = self._csr.indptr[rows] + j
+        return CondensedColumn(
+            index=j,
+            rows=rows.astype(np.int64),
+            original_cols=self._csr.indices[positions].copy(),
+            values=self._csr.data[positions].copy(),
+        )
+
+    def columns(self):
+        """Yield every condensed column from left to right."""
+        for j in range(self._num_condensed_cols):
+            yield self.column(j)
+
+    def access_order(self, columns: list[int] | None = None) -> np.ndarray:
+        """Right-operand row access sequence for the given condensed columns.
+
+        Streaming condensed columns in ``columns`` order (default: left to
+        right), the multiplier needs right-operand row ``original_col`` for
+        every element.  The returned sequence drives the row prefetcher's
+        Bélády replacement decisions.
+        """
+        if columns is None:
+            columns = list(range(self._num_condensed_cols))
+        pieces = [self.column(j).original_cols for j in columns]
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    # ------------------------------------------------------------------
+    def _check_column(self, j: int) -> None:
+        if not 0 <= j < self._num_condensed_cols:
+            raise IndexError(
+                f"condensed column {j} out of range "
+                f"(matrix has {self._num_condensed_cols})"
+            )
+
+    def __repr__(self) -> str:
+        return (f"CondensedMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"condensed_columns={self.num_condensed_columns})")
+
+
+def condense(csr: CSRMatrix) -> CondensedMatrix:
+    """Return the condensed view of ``csr`` (convenience constructor)."""
+    return CondensedMatrix(csr)

@@ -1,0 +1,88 @@
+"""Conversions between sparse formats and to/from ``scipy.sparse``.
+
+All converters produce canonical output: rows/columns sorted, duplicate
+entries accumulated, and explicit zeros preserved only when they are stored
+in the input (the merge tree's zero eliminator is responsible for dropping
+accumulated zeros during simulation, not the format layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def coo_to_csr(matrix: COOMatrix) -> CSRMatrix:
+    """Convert COO to CSR, sorting rows and summing duplicates."""
+    canonical = matrix.canonicalized(drop_zeros=False)
+    num_rows, num_cols = canonical.shape
+    counts = np.bincount(canonical.rows, minlength=num_rows)
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(indptr, canonical.cols.copy(), canonical.vals.copy(),
+                     canonical.shape)
+
+
+def csr_to_coo(matrix: CSRMatrix) -> COOMatrix:
+    """Convert CSR to COO; output is sorted by (row, col)."""
+    rows = np.repeat(np.arange(matrix.num_rows, dtype=np.int64),
+                     matrix.nnz_per_row())
+    return COOMatrix(rows, matrix.indices.copy(), matrix.data.copy(), matrix.shape)
+
+
+def coo_to_csc(matrix: COOMatrix) -> CSCMatrix:
+    """Convert COO to CSC, sorting columns and summing duplicates."""
+    canonical = matrix.transpose().canonicalized(drop_zeros=False)
+    # canonical is the transpose sorted by (col-of-original, row-of-original)
+    num_rows, num_cols = matrix.shape
+    counts = np.bincount(canonical.rows, minlength=num_cols)
+    indptr = np.zeros(num_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSCMatrix(indptr, canonical.cols.copy(), canonical.vals.copy(),
+                     (num_rows, num_cols))
+
+
+def csc_to_coo(matrix: CSCMatrix) -> COOMatrix:
+    """Convert CSC to COO (entries ordered column-major)."""
+    cols = np.repeat(np.arange(matrix.num_cols, dtype=np.int64),
+                     matrix.nnz_per_col())
+    return COOMatrix(matrix.indices.copy(), cols, matrix.data.copy(), matrix.shape)
+
+
+def csr_to_csc(matrix: CSRMatrix) -> CSCMatrix:
+    """Convert CSR to CSC."""
+    return coo_to_csc(csr_to_coo(matrix))
+
+
+def csc_to_csr(matrix: CSCMatrix) -> CSRMatrix:
+    """Convert CSC to CSR."""
+    return coo_to_csr(csc_to_coo(matrix))
+
+
+def from_scipy(matrix: sp.spmatrix | sp.sparray) -> CSRMatrix:
+    """Build a :class:`CSRMatrix` from any scipy sparse matrix."""
+    csr = sp.csr_matrix(matrix)
+    csr.sum_duplicates()
+    csr.sort_indices()
+    return CSRMatrix(csr.indptr.astype(np.int64), csr.indices.astype(np.int64),
+                     csr.data.astype(np.float64), csr.shape)
+
+
+def to_scipy(matrix: CSRMatrix | CSCMatrix | COOMatrix) -> sp.csr_matrix:
+    """Convert any of our containers to a scipy CSR matrix."""
+    if isinstance(matrix, CSRMatrix):
+        return sp.csr_matrix((matrix.data, matrix.indices, matrix.indptr),
+                             shape=matrix.shape)
+    if isinstance(matrix, CSCMatrix):
+        csc = sp.csc_matrix((matrix.data, matrix.indices, matrix.indptr),
+                            shape=matrix.shape)
+        return csc.tocsr()
+    if isinstance(matrix, COOMatrix):
+        coo = sp.coo_matrix((matrix.vals, (matrix.rows, matrix.cols)),
+                            shape=matrix.shape)
+        return coo.tocsr()
+    raise TypeError(f"unsupported matrix type: {type(matrix).__name__}")

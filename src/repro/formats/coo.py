@@ -1,0 +1,168 @@
+"""Coordinate (COO) sparse matrix container.
+
+Partial product matrices inside SpArch are represented in COO format as
+``[row index, column index, value]`` triples sorted by row index then column
+index (§II-A of the paper).  This module provides an immutable-ish container
+with exactly the operations the simulator needs: canonicalisation (sort +
+duplicate accumulation), dense conversion for testing, and equality with a
+floating point tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative_int
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix stored as coordinate triples.
+
+    Attributes:
+        rows: 1-D int64 array of row indices.
+        cols: 1-D int64 array of column indices.
+        vals: 1-D float64 array of values.
+        shape: ``(num_rows, num_cols)`` of the logical matrix.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.vals = np.asarray(self.vals, dtype=np.float64)
+        if not (self.rows.ndim == self.cols.ndim == self.vals.ndim == 1):
+            raise ValueError("rows, cols and vals must be 1-D arrays")
+        if not (len(self.rows) == len(self.cols) == len(self.vals)):
+            raise ValueError(
+                "rows, cols and vals must have equal length, got "
+                f"{len(self.rows)}, {len(self.cols)}, {len(self.vals)}"
+            )
+        num_rows, num_cols = self.shape
+        check_nonnegative_int(int(num_rows), "shape[0]")
+        check_nonnegative_int(int(num_cols), "shape[1]")
+        self.shape = (int(num_rows), int(num_cols))
+        if len(self.rows):
+            if self.rows.min() < 0 or self.cols.min() < 0:
+                raise ValueError("negative indices are not allowed")
+            if self.rows.max() >= self.shape[0] or self.cols.max() >= self.shape[1]:
+                raise ValueError(
+                    f"index out of bounds for shape {self.shape}: "
+                    f"max row {self.rows.max()}, max col {self.cols.max()}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "COOMatrix":
+        """Return an all-zero matrix of the given ``shape``."""
+        return cls(np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build a COO matrix from a dense 2-D array, dropping explicit zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense() expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(len(self.vals))
+
+    @property
+    def density(self) -> float:
+        """Fraction of positions that hold a stored entry."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def is_canonical(self) -> bool:
+        """True when entries are sorted by (row, col) with no duplicates."""
+        if self.nnz <= 1:
+            return True
+        keys = self.rows * self.shape[1] + self.cols
+        return bool(np.all(np.diff(keys) > 0))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def canonicalized(self, *, drop_zeros: bool = True) -> "COOMatrix":
+        """Return a copy sorted by (row, col) with duplicate entries summed.
+
+        Args:
+            drop_zeros: when true, entries whose accumulated value is exactly
+                zero are removed (this mirrors the adder + zero eliminator
+                stage of the merge tree).
+        """
+        if self.nnz == 0:
+            return COOMatrix.empty(self.shape)
+        keys = self.rows * self.shape[1] + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = self.vals[order]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        summed = np.zeros(len(unique_keys))
+        np.add.at(summed, inverse, vals)
+        rows = unique_keys // self.shape[1]
+        cols = unique_keys % self.shape[1]
+        if drop_zeros:
+            keep = summed != 0.0
+            rows, cols, summed = rows[keep], cols[keep], summed[keep]
+        return COOMatrix(rows, cols, summed, self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Return the dense 2-D array equivalent (duplicates accumulated)."""
+        dense = np.zeros(self.shape)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (entries are not re-sorted)."""
+        return COOMatrix(self.cols.copy(), self.rows.copy(), self.vals.copy(),
+                         (self.shape[1], self.shape[0]))
+
+    def scaled(self, factor: float) -> "COOMatrix":
+        """Return a copy with every value multiplied by ``factor``."""
+        return COOMatrix(self.rows.copy(), self.cols.copy(), self.vals * factor,
+                         self.shape)
+
+    # ------------------------------------------------------------------
+    # Comparison / iteration
+    # ------------------------------------------------------------------
+    def allclose(self, other: "COOMatrix", *, rtol: float = 1e-9,
+                 atol: float = 1e-12) -> bool:
+        """Numerically compare two matrices after canonicalisation."""
+        if self.shape != other.shape:
+            return False
+        a = self.canonicalized()
+        b = other.canonicalized()
+        if a.nnz != b.nnz:
+            return False
+        return bool(
+            np.array_equal(a.rows, b.rows)
+            and np.array_equal(a.cols, b.cols)
+            and np.allclose(a.vals, b.vals, rtol=rtol, atol=atol)
+        )
+
+    def iter_triples(self):
+        """Yield ``(row, col, value)`` triples in storage order."""
+        for r, c, v in zip(self.rows, self.cols, self.vals):
+            yield int(r), int(c), float(v)
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,107 @@
+"""Compressed Sparse Column (CSC) matrix container.
+
+The un-condensed outer-product baseline (OuterSPACE) streams the left operand
+column by column, which is the natural access pattern of CSC.  The container
+mirrors :class:`repro.formats.csr.CSRMatrix` with rows and columns swapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative_int
+
+
+@dataclass
+class CSCMatrix:
+    """A sparse matrix in compressed sparse column format.
+
+    Attributes:
+        indptr: int64 array of length ``num_cols + 1``; column *j* occupies
+            ``indices[indptr[j]:indptr[j+1]]``.
+        indices: int64 array of row indices, sorted within each column.
+        data: float64 array of values aligned with ``indices``.
+        shape: ``(num_rows, num_cols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        num_rows, num_cols = self.shape
+        check_nonnegative_int(int(num_rows), "shape[0]")
+        check_nonnegative_int(int(num_cols), "shape[1]")
+        self.shape = (int(num_rows), int(num_cols))
+        if len(self.indptr) != self.shape[1] + 1:
+            raise ValueError(
+                f"indptr length {len(self.indptr)} does not match "
+                f"{self.shape[1]} columns"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data must have equal length")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[0]
+        ):
+            raise ValueError("row index out of bounds")
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CSCMatrix":
+        """Return an all-zero CSC matrix of ``shape``."""
+        return cls(np.zeros(shape[1] + 1, np.int64), np.empty(0, np.int64),
+                   np.empty(0), shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(len(self.data))
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    def nnz_per_col(self) -> np.ndarray:
+        """Return an int64 array with the nonzero count of every column."""
+        return np.diff(self.indptr)
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(row_indices, values)`` of column ``j`` (views, no copy)."""
+        if not 0 <= j < self.num_cols:
+            raise IndexError(f"column {j} out of range for {self.num_cols} columns")
+        start, stop = self.indptr[j], self.indptr[j + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def col_nnz(self, j: int) -> int:
+        """Return the number of nonzeros in column ``j``."""
+        if not 0 <= j < self.num_cols:
+            raise IndexError(f"column {j} out of range for {self.num_cols} columns")
+        return int(self.indptr[j + 1] - self.indptr[j])
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for j in range(self.num_cols):
+            rows, vals = self.col(j)
+            dense[rows, j] = vals
+        return dense
+
+    def storage_bytes(self, *, index_bytes: int = 8, value_bytes: int = 8,
+                      pointer_bytes: int = 8) -> int:
+        """Total DRAM footprint of the CSC structure."""
+        return (self.nnz * (index_bytes + value_bytes)
+                + len(self.indptr) * pointer_bytes)
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,160 @@
+"""Compressed Sparse Row (CSR) matrix container.
+
+Both input operands of SpArch are stored in CSR in HBM (Table I).  The left
+operand is additionally *consumed* by condensed column — but as the paper
+notes, "CSR format and our condensed format are two different views of the
+same data" (§II-B), so the condensed view in
+:mod:`repro.formats.condensed` wraps a :class:`CSRMatrix` without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative_int
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row format.
+
+    Attributes:
+        indptr: int64 array of length ``num_rows + 1``; row *i* occupies
+            ``indices[indptr[i]:indptr[i+1]]``.
+        indices: int64 array of column indices, sorted within each row.
+        data: float64 array of values aligned with ``indices``.
+        shape: ``(num_rows, num_cols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        num_rows, num_cols = self.shape
+        check_nonnegative_int(int(num_rows), "shape[0]")
+        check_nonnegative_int(int(num_cols), "shape[1]")
+        self.shape = (int(num_rows), int(num_cols))
+        if len(self.indptr) != self.shape[0] + 1:
+            raise ValueError(
+                f"indptr length {len(self.indptr)} does not match "
+                f"{self.shape[0]} rows"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data must have equal length")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ValueError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CSRMatrix":
+        """Return an all-zero CSR matrix of ``shape``."""
+        return cls(np.zeros(shape[0] + 1, np.int64), np.empty(0, np.int64),
+                   np.empty(0), shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense array, dropping explicit zeros."""
+        from repro.formats.convert import coo_to_csr
+        from repro.formats.coo import COOMatrix
+
+        return coo_to_csr(COOMatrix.from_dense(np.asarray(dense)))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(len(self.data))
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def nnz_per_row(self) -> np.ndarray:
+        """Return an int64 array with the nonzero count of every row."""
+        return np.diff(self.indptr)
+
+    def max_row_length(self) -> int:
+        """Length of the longest row — the condensed column count (§II-B)."""
+        if self.num_rows == 0:
+            return 0
+        return int(self.nnz_per_row().max(initial=0))
+
+    def has_sorted_rows(self) -> bool:
+        """True when column indices are strictly increasing within each row."""
+        for r in range(self.num_rows):
+            cols = self.indices[self.indptr[r]:self.indptr[r + 1]]
+            if len(cols) > 1 and np.any(np.diff(cols) <= 0):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(column_indices, values)`` of row ``i`` (views, no copy)."""
+        if not 0 <= i < self.num_rows:
+            raise IndexError(f"row {i} out of range for {self.num_rows} rows")
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def row_nnz(self, i: int) -> int:
+        """Return the number of nonzeros in row ``i``."""
+        if not 0 <= i < self.num_rows:
+            raise IndexError(f"row {i} out of range for {self.num_rows} rows")
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def row_bytes(self, i: int, *, index_bytes: int = 8,
+                  value_bytes: int = 8) -> int:
+        """DRAM footprint of row ``i`` in bytes for traffic accounting."""
+        return self.row_nnz(i) * (index_bytes + value_bytes)
+
+    # ------------------------------------------------------------------
+    # Conversions / helpers
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for r in range(self.num_rows):
+            cols, vals = self.row(r)
+            dense[r, cols] = vals
+        return dense
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose, itself in CSR format."""
+        from repro.formats.convert import coo_to_csr, csr_to_coo
+
+        return coo_to_csr(csr_to_coo(self).transpose())
+
+    def storage_bytes(self, *, index_bytes: int = 8, value_bytes: int = 8,
+                      pointer_bytes: int = 8) -> int:
+        """Total DRAM footprint of the CSR structure."""
+        return (self.nnz * (index_bytes + value_bytes)
+                + len(self.indptr) * pointer_bytes)
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,70 @@
+"""Two-phase clocked simulation kernel.
+
+The paper's C++ simulator abstracts each module as a class with a
+``clock_update`` method (compute next state from current inputs) and a
+``clock_apply`` method (commit the next state, modelling the flip-flops)
+(§III-A).  The same structure is reproduced here for the cycle-level micro
+models (zero eliminator pipeline, FIFOs, merge-tree node interplay); the
+large-scale experiments use the transaction-level models instead because
+Python cannot step billions of cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class ClockedModule(abc.ABC):
+    """A hardware module driven by a two-phase clock.
+
+    Subclasses implement :meth:`clock_update` to compute combinational
+    outputs and next-state from the *current* state, and :meth:`clock_apply`
+    to latch the next state.  Separating the phases lets modules read each
+    other's current-cycle outputs without order dependence, exactly like
+    flip-flop based RTL.
+    """
+
+    @abc.abstractmethod
+    def clock_update(self) -> None:
+        """Compute next-state from current state and inputs."""
+
+    @abc.abstractmethod
+    def clock_apply(self) -> None:
+        """Commit next-state (the rising clock edge)."""
+
+
+class CycleSimulator:
+    """Drives a set of :class:`ClockedModule` instances cycle by cycle."""
+
+    def __init__(self, modules: list[ClockedModule]) -> None:
+        if not modules:
+            raise ValueError("CycleSimulator requires at least one module")
+        self._modules = list(modules)
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        """Number of cycles simulated so far."""
+        return self._cycle
+
+    def step(self, cycles: int = 1) -> int:
+        """Advance the simulation by ``cycles`` clock edges."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        for _ in range(cycles):
+            for module in self._modules:
+                module.clock_update()
+            for module in self._modules:
+                module.clock_apply()
+            self._cycle += 1
+        return self._cycle
+
+    def run_until(self, predicate, *, max_cycles: int = 1_000_000) -> int:
+        """Step until ``predicate()`` returns true; raise if it never does."""
+        while not predicate():
+            if self._cycle >= max_cycles:
+                raise RuntimeError(
+                    f"simulation did not converge within {max_cycles} cycles"
+                )
+            self.step()
+        return self._cycle

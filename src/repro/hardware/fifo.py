@@ -1,0 +1,124 @@
+"""Bounded FIFO with occupancy statistics.
+
+Every node of the merge tree is a FIFO (Fig. 5); the look-ahead FIFO, the
+merger FIFOs and the partial matrix writer buffer are all instances of this
+class.  The capacity and the observed high-water mark feed the SRAM area and
+energy models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.utils.validation import check_positive_int
+
+
+class Fifo:
+    """A bounded first-in first-out queue.
+
+    Args:
+        capacity: maximum number of elements the FIFO can hold.
+        name: optional label used in statistics reporting.
+    """
+
+    def __init__(self, capacity: int, name: str = "fifo") -> None:
+        check_positive_int(capacity, "capacity")
+        self._capacity = capacity
+        self._name = name
+        self._items: deque[Any] = deque()
+        self._total_pushed = 0
+        self._total_popped = 0
+        self._high_water = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Number of elements currently stored."""
+        return len(self._items)
+
+    @property
+    def free_space(self) -> int:
+        """Remaining capacity."""
+        return self._capacity - len(self._items)
+
+    @property
+    def high_water_mark(self) -> int:
+        """Maximum occupancy ever observed."""
+        return self._high_water
+
+    @property
+    def total_pushed(self) -> int:
+        """Total number of elements pushed over the FIFO's lifetime."""
+        return self._total_pushed
+
+    @property
+    def total_popped(self) -> int:
+        """Total number of elements popped over the FIFO's lifetime."""
+        return self._total_popped
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    # ------------------------------------------------------------------
+    def push(self, item: Any) -> None:
+        """Append ``item``; raises :class:`OverflowError` when full."""
+        if self.is_full():
+            raise OverflowError(f"FIFO {self._name!r} is full (capacity {self._capacity})")
+        self._items.append(item)
+        self._total_pushed += 1
+        self._high_water = max(self._high_water, len(self._items))
+
+    def push_many(self, items: list[Any]) -> int:
+        """Push as many of ``items`` as fit; return how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.is_full():
+                break
+            self.push(item)
+            accepted += 1
+        return accepted
+
+    def pop(self) -> Any:
+        """Remove and return the oldest element; raises when empty."""
+        if self.is_empty():
+            raise IndexError(f"FIFO {self._name!r} is empty")
+        self._total_popped += 1
+        return self._items.popleft()
+
+    def pop_many(self, count: int) -> list[Any]:
+        """Pop up to ``count`` elements (fewer if the FIFO drains)."""
+        out = []
+        for _ in range(count):
+            if self.is_empty():
+                break
+            out.append(self.pop())
+        return out
+
+    def peek(self) -> Any:
+        """Return the oldest element without removing it."""
+        if self.is_empty():
+            raise IndexError(f"FIFO {self._name!r} is empty")
+        return self._items[0]
+
+    def clear(self) -> None:
+        """Drop all stored elements (statistics are preserved)."""
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (f"Fifo(name={self._name!r}, occupancy={self.occupancy}/"
+                f"{self._capacity})")

@@ -1,0 +1,234 @@
+"""Cycle-level streaming model of the merge tree (§II-A.3, Figure 5).
+
+The transaction-level :class:`repro.hardware.merge_tree.MergeTree` charges
+``ceil(elements / merger_width)`` cycles per merge — the steady-state
+throughput of the pipelined tree.  This module provides a *clock-stepped*
+model built from :class:`~repro.hardware.clock.ClockedModule` pieces:
+
+* every tree node is a bounded FIFO;
+* each layer owns one shared binary merger that, every cycle, picks one
+  ready node pair of its layer (round-robin), pops up to ``merger_width``
+  elements from the pair and pushes the merged window to the parent FIFO —
+  "each layer shares one merger to balance the throughput";
+* the root FIFO drains ``merger_width`` elements per cycle to the partial
+  matrix writer, modelling the DRAM write port.
+
+It is used by the tests to validate that the transaction-level cycle model
+is a faithful steady-state abstraction (the clock-stepped cycle count stays
+within a small factor of the throughput bound), and by anyone who wants to
+inspect per-cycle FIFO occupancies.  It is far too slow for full benchmark
+matrices — exactly why the large-scale experiments use the transaction
+model (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.clock import ClockedModule, CycleSimulator
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class StreamingStats:
+    """Per-run statistics of the clock-stepped merge tree."""
+
+    cycles: int = 0
+    elements_out: int = 0
+    merger_busy_cycles: dict[int, int] = field(default_factory=dict)
+    fifo_high_water: dict[str, int] = field(default_factory=dict)
+
+    def utilization(self, layer: int) -> float:
+        """Busy fraction of the shared merger of ``layer``."""
+        if self.cycles == 0:
+            return 0.0
+        return self.merger_busy_cycles.get(layer, 0) / self.cycles
+
+
+class _NodeFifo:
+    """A bounded FIFO of (key, value) element tuples with drain tracking."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.items: list[tuple[int, float]] = []
+        self.source_exhausted = False
+        self.high_water = 0
+
+    def push_many(self, elements: list[tuple[int, float]]) -> None:
+        self.items.extend(elements)
+        self.high_water = max(self.high_water, len(self.items))
+
+    def pop_many(self, count: int) -> list[tuple[int, float]]:
+        taken, self.items = self.items[:count], self.items[count:]
+        return taken
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self.items)
+
+    @property
+    def drained(self) -> bool:
+        """True when no element will ever appear here again."""
+        return self.source_exhausted and not self.items
+
+
+class _LayerMerger(ClockedModule):
+    """The single binary merger shared by one layer of the tree."""
+
+    def __init__(self, layer: int, pairs: list[tuple[_NodeFifo, _NodeFifo, _NodeFifo]],
+                 width: int, stats: StreamingStats) -> None:
+        self._layer = layer
+        self._pairs = pairs
+        self._width = width
+        self._stats = stats
+        self._round_robin = 0
+        self._pending: tuple[_NodeFifo, list[tuple[int, float]]] | None = None
+
+    def clock_update(self) -> None:
+        self._pending = None
+        for offset in range(len(self._pairs)):
+            index = (self._round_robin + offset) % len(self._pairs)
+            left, right, parent = self._pairs[index]
+            if parent.free_space < self._width:
+                continue
+            if left.drained and right.drained:
+                if not parent.source_exhausted:
+                    parent.source_exhausted = True
+                continue
+            # The merger may only consume elements it can safely order: it can
+            # take from one child past the other's horizon only when the other
+            # child is fully drained.
+            merged = self._merge_window(left, right)
+            if not merged:
+                continue
+            self._pending = (parent, merged)
+            self._round_robin = (index + 1) % len(self._pairs)
+            break
+
+    def clock_apply(self) -> None:
+        if self._pending is None:
+            return
+        parent, merged = self._pending
+        parent.push_many(merged)
+        self._stats.merger_busy_cycles[self._layer] = (
+            self._stats.merger_busy_cycles.get(self._layer, 0) + 1)
+
+    # ------------------------------------------------------------------
+    def _merge_window(self, left: _NodeFifo, right: _NodeFifo
+                      ) -> list[tuple[int, float]]:
+        """Pop up to ``width`` safely mergeable elements from the child pair.
+
+        An element may only be emitted when it is provably the smallest key
+        either child will ever offer: when the other child still has pending
+        elements to compare against, or is fully drained.  Otherwise the
+        merger stalls for this pair — exactly what the hardware does when a
+        child FIFO runs empty mid-stream.
+        """
+        budget = self._width
+        output: list[tuple[int, float]] = []
+        while budget > 0:
+            if left.items and (right.drained or (
+                    right.items and left.items[0][0] <= right.items[0][0])):
+                source = left
+            elif right.items and (left.drained or (
+                    left.items and right.items[0][0] < left.items[0][0])):
+                source = right
+            else:
+                break
+            output.append(source.pop_many(1)[0])
+            budget -= 1
+        return output
+
+
+class StreamingMergeTree:
+    """Clock-stepped ``2**num_layers``-way merge tree.
+
+    Args:
+        num_layers: tree depth (6 → 64-way in SpArch).
+        merger_width: elements each layer's shared merger moves per cycle.
+        fifo_capacity: capacity of every node FIFO.
+    """
+
+    def __init__(self, num_layers: int = 3, merger_width: int = 16,
+                 fifo_capacity: int = 64) -> None:
+        check_positive_int(num_layers, "num_layers")
+        check_positive_int(merger_width, "merger_width")
+        check_positive_int(fifo_capacity, "fifo_capacity")
+        self._num_layers = num_layers
+        self._width = merger_width
+        self._fifo_capacity = fifo_capacity
+
+    @property
+    def num_ways(self) -> int:
+        return 2 ** self._num_layers
+
+    # ------------------------------------------------------------------
+    def merge(self, streams: list[tuple[np.ndarray, np.ndarray]], *,
+              max_cycles: int = 1_000_000
+              ) -> tuple[np.ndarray, np.ndarray, StreamingStats]:
+        """Merge sorted key/value streams cycle by cycle.
+
+        Unlike the transaction-level tree, duplicates are *not* folded here —
+        this model validates the movement of elements through the FIFOs, not
+        the adder/zero-eliminator datapath.
+
+        Returns:
+            ``(keys, values, stats)`` where ``keys`` is the sorted
+            interleaving of all inputs and ``stats`` holds the cycle count
+            and per-layer merger utilisation.
+        """
+        if len(streams) > self.num_ways:
+            raise ValueError(
+                f"cannot merge {len(streams)} streams on a {self.num_ways}-way tree")
+        stats = StreamingStats()
+        if not streams:
+            return np.empty(0, np.int64), np.empty(0), stats
+
+        # Build the FIFO tree: leaves hold the input streams in full (the
+        # leaves model the multiplier-side FIFOs which are backed by DRAM, so
+        # they are not capacity-limited).
+        leaves: list[_NodeFifo] = []
+        for index in range(self.num_ways):
+            fifo = _NodeFifo(f"leaf{index}", capacity=1 << 60)
+            if index < len(streams):
+                keys, values = streams[index]
+                keys = np.asarray(keys, dtype=np.int64)
+                values = np.asarray(values, dtype=np.float64)
+                if len(keys) != len(values):
+                    raise ValueError("keys and values must have equal length")
+                if len(keys) > 1 and np.any(np.diff(keys) < 0):
+                    raise ValueError("streaming merge tree inputs must be sorted")
+                fifo.push_many(list(zip(keys.tolist(), values.tolist())))
+            fifo.source_exhausted = True
+            leaves.append(fifo)
+
+        mergers: list[_LayerMerger] = []
+        current_level = leaves
+        for layer in range(self._num_layers):
+            is_root_layer = layer == self._num_layers - 1
+            parents: list[_NodeFifo] = []
+            pairs = []
+            for index in range(0, len(current_level), 2):
+                capacity = 1 << 60 if is_root_layer else self._fifo_capacity
+                parent = _NodeFifo(f"L{layer}n{index // 2}", capacity)
+                pairs.append((current_level[index], current_level[index + 1],
+                              parent))
+                parents.append(parent)
+            mergers.append(_LayerMerger(layer, pairs, self._width, stats))
+            current_level = parents
+        root = current_level[0]
+
+        simulator = CycleSimulator(mergers)
+        simulator.run_until(lambda: root.drained or root.source_exhausted,
+                            max_cycles=max_cycles)
+        stats.cycles = simulator.cycle
+        for fifo in leaves:
+            stats.fifo_high_water[fifo.name] = fifo.high_water
+
+        keys = np.array([key for key, _ in root.items], dtype=np.int64)
+        values = np.array([value for _, value in root.items])
+        stats.elements_out = len(keys)
+        return keys, values, stats

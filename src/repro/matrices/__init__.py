@@ -1,0 +1,44 @@
+"""Workload generation: synthetic sparse matrices and the benchmark suite.
+
+The paper evaluates SpArch on 20 real-world matrices from SuiteSparse and
+SNAP plus synthetic rMAT matrices.  This environment has no network access,
+so the real matrices are replaced by synthetic proxies that match each
+matrix's published dimension, nonzero count, and structural family (see
+DESIGN.md §3 for the substitution rationale).
+"""
+
+from repro.matrices.rmat import RMATConfig, generate_rmat, rmat_benchmark_name
+from repro.matrices.synthetic import (
+    banded_matrix,
+    bipartite_matrix,
+    diagonal_matrix,
+    powerlaw_matrix,
+    random_matrix,
+    road_network_matrix,
+)
+from repro.matrices.suite import (
+    BenchmarkSpec,
+    SUITE,
+    benchmark_names,
+    get_benchmark_spec,
+    load_benchmark,
+    load_suite,
+)
+
+__all__ = [
+    "RMATConfig",
+    "generate_rmat",
+    "rmat_benchmark_name",
+    "banded_matrix",
+    "bipartite_matrix",
+    "diagonal_matrix",
+    "powerlaw_matrix",
+    "random_matrix",
+    "road_network_matrix",
+    "BenchmarkSpec",
+    "SUITE",
+    "benchmark_names",
+    "get_benchmark_spec",
+    "load_benchmark",
+    "load_suite",
+]

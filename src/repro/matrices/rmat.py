@@ -1,0 +1,109 @@
+"""Recursive-MATrix (rMAT) graph generator.
+
+The paper's Figure 14 sweeps synthetic rMAT matrices named ``rmat-<rows>-x<d>``
+where ``<rows>`` is the dimension (5k/10k/20k/40k/80k) and ``<d>`` the average
+number of nonzeros per row (4/8/16/32).  rMAT [Chakrabarti et al., 2004; used
+by Graph500] recursively subdivides the adjacency matrix into quadrants with
+probabilities ``(a, b, c, d)``; the skew between quadrants yields the heavy
+power-law degree distribution that makes SpGEMM irregular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import coo_to_csr
+from repro.formats.csr import CSRMatrix
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class RMATConfig:
+    """Parameters of an rMAT matrix.
+
+    Attributes:
+        num_rows: matrix dimension (the matrix is square).
+        edge_factor: target average nonzeros per row.
+        a, b, c, d: quadrant probabilities, must sum to 1.  The Graph500
+            defaults (0.57, 0.19, 0.19, 0.05) are used by the paper's
+            benchmark generator.
+        seed: RNG seed for reproducible generation.
+    """
+
+    num_rows: int
+    edge_factor: int
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+    d: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_rows, "num_rows")
+        check_positive_int(self.edge_factor, "edge_factor")
+        total = self.a + self.b + self.c + self.d
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"quadrant probabilities must sum to 1, got {total}")
+        if min(self.a, self.b, self.c, self.d) < 0:
+            raise ValueError("quadrant probabilities must be non-negative")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges generated before deduplication."""
+        return self.num_rows * self.edge_factor
+
+    @property
+    def density(self) -> float:
+        """Approximate density of the generated matrix."""
+        return self.edge_factor / self.num_rows
+
+
+def rmat_benchmark_name(num_rows: int, edge_factor: int) -> str:
+    """Return the paper's naming convention, e.g. ``rmat-5k-x32``."""
+    if num_rows % 1000 == 0:
+        size = f"{num_rows // 1000}k"
+    else:
+        size = str(num_rows)
+    return f"rmat-{size}-x{edge_factor}"
+
+
+def generate_rmat(config: RMATConfig) -> CSRMatrix:
+    """Generate an rMAT adjacency matrix as a :class:`CSRMatrix`.
+
+    Edge endpoints are drawn bit-by-bit: at each of ``ceil(log2(n))`` levels a
+    quadrant is chosen with probabilities ``(a, b, c, d)``, setting one bit of
+    the row and column index.  Duplicate edges are merged (values summed),
+    which slightly reduces the realised edge factor for dense configurations —
+    the same behaviour as the Graph500 reference generator.
+    """
+    rng = np.random.default_rng(config.seed)
+    levels = max(1, int(np.ceil(np.log2(config.num_rows))))
+    num_edges = config.num_edges
+
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    # Probability that the row bit is 1 is c + d; given the row bit, the
+    # column bit distribution follows from the quadrant probabilities.
+    prob_row1 = config.c + config.d
+    prob_col1_given_row0 = config.b / (config.a + config.b) if config.a + config.b else 0.0
+    prob_col1_given_row1 = config.d / (config.c + config.d) if config.c + config.d else 0.0
+
+    for level in range(levels):
+        row_bit = rng.random(num_edges) < prob_row1
+        col_prob = np.where(row_bit, prob_col1_given_row1, prob_col1_given_row0)
+        col_bit = rng.random(num_edges) < col_prob
+        rows = (rows << 1) | row_bit.astype(np.int64)
+        cols = (cols << 1) | col_bit.astype(np.int64)
+
+    # Fold indices that exceed the requested dimension back into range (the
+    # dimension need not be a power of two, e.g. 5k/10k/20k in the paper).
+    rows %= config.num_rows
+    cols %= config.num_rows
+    vals = rng.standard_normal(num_edges)
+    # Avoid exact zeros so nnz is not silently reduced by canonicalisation.
+    vals[vals == 0.0] = 1.0
+    coo = COOMatrix(rows, cols, vals, (config.num_rows, config.num_rows))
+    return coo_to_csr(coo)

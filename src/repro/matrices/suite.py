@@ -1,0 +1,180 @@
+"""The paper's 20-matrix benchmark suite, regenerated as synthetic proxies.
+
+The paper (Figure 11/12) evaluates on 20 matrices from SuiteSparse [27] and
+SNAP [28].  Without network access, we cannot download the originals, so each
+matrix is replaced by a synthetic proxy matching its published dimension,
+nonzero count, and structural family.  The proxies are generated at a
+configurable *scale* (fraction of the original dimension) because a pure
+Python simulator cannot sweep matrices with millions of rows in reasonable
+time; the average row length (and hence condensed column count, partial
+matrix count and reuse distances) is preserved at every scale.
+
+Like the paper (and OuterSPACE before it), the evaluated kernel is ``C = A·A``
+for square matrices and ``C = A·Aᵀ`` for rectangular ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.formats.csr import CSRMatrix
+from repro.matrices.synthetic import (
+    banded_matrix,
+    bipartite_matrix,
+    powerlaw_matrix,
+    random_matrix,
+    road_network_matrix,
+)
+
+#: Structural families used to pick a generator for each proxy.
+FAMILIES = ("fem", "powerlaw", "road", "bipartite", "random")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published statistics of one benchmark matrix.
+
+    Attributes:
+        name: SuiteSparse / SNAP matrix name.
+        num_rows: published row count.
+        num_cols: published column count.
+        nnz: published nonzero count.
+        family: structural family used to choose the synthetic generator.
+        description: one-line description of the original matrix.
+    """
+
+    name: str
+    num_rows: int
+    num_cols: int
+    nnz: int
+    family: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}")
+
+    @property
+    def avg_row_nnz(self) -> float:
+        """Average nonzeros per row of the original matrix."""
+        return self.nnz / self.num_rows
+
+    @property
+    def density(self) -> float:
+        """Density of the original matrix."""
+        return self.nnz / (self.num_rows * self.num_cols)
+
+
+#: The 20 matrices of Figure 11/12 with their published sizes.
+SUITE: tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec("2cubes_sphere", 101_492, 101_492, 1_647_264, "fem",
+                  "Electromagnetics FEM, two cubes in a sphere"),
+    BenchmarkSpec("amazon0312", 400_727, 400_727, 3_200_440, "powerlaw",
+                  "Amazon product co-purchasing network (SNAP)"),
+    BenchmarkSpec("ca-CondMat", 23_133, 23_133, 186_936, "powerlaw",
+                  "Condensed-matter collaboration network (SNAP)"),
+    BenchmarkSpec("cage12", 130_228, 130_228, 2_032_536, "fem",
+                  "DNA electrophoresis transition matrix"),
+    BenchmarkSpec("cit-Patents", 3_774_768, 3_774_768, 16_518_948, "powerlaw",
+                  "US patent citation graph (SNAP)"),
+    BenchmarkSpec("cop20k_A", 121_192, 121_192, 2_624_331, "fem",
+                  "Accelerator cavity design FEM"),
+    BenchmarkSpec("email-Enron", 36_692, 36_692, 367_662, "powerlaw",
+                  "Enron email communication network (SNAP)"),
+    BenchmarkSpec("facebook", 4_039, 4_039, 176_468, "powerlaw",
+                  "Facebook combined ego networks (SNAP)"),
+    BenchmarkSpec("filter3D", 106_437, 106_437, 2_707_179, "fem",
+                  "3-D optical filter FEM"),
+    BenchmarkSpec("m133-b3", 200_200, 200_200, 800_800, "bipartite",
+                  "Simplicial complex boundary map"),
+    BenchmarkSpec("mario002", 389_874, 389_874, 2_101_242, "fem",
+                  "2-D linear elasticity mesh"),
+    BenchmarkSpec("offshore", 259_789, 259_789, 4_242_673, "fem",
+                  "Transient field diffusion FEM, offshore structure"),
+    BenchmarkSpec("p2p-Gnutella31", 62_586, 62_586, 147_892, "powerlaw",
+                  "Gnutella peer-to-peer network (SNAP)"),
+    BenchmarkSpec("patents_main", 240_547, 240_547, 560_943, "powerlaw",
+                  "Main component of the patent citation graph"),
+    BenchmarkSpec("poisson3Da", 13_514, 13_514, 352_762, "fem",
+                  "3-D Poisson problem FEM"),
+    BenchmarkSpec("roadNet-CA", 1_971_281, 1_971_281, 5_533_214, "road",
+                  "California road network (SNAP)"),
+    BenchmarkSpec("scircuit", 170_998, 170_998, 958_936, "road",
+                  "Integrated circuit simulation matrix"),
+    BenchmarkSpec("web-Google", 916_428, 916_428, 5_105_039, "powerlaw",
+                  "Google web graph (SNAP)"),
+    BenchmarkSpec("webbase-1M", 1_000_005, 1_000_005, 3_105_536, "powerlaw",
+                  "Web connectivity matrix, 1M-page crawl"),
+    BenchmarkSpec("wiki-Vote", 8_297, 8_297, 103_689, "powerlaw",
+                  "Wikipedia adminship vote network (SNAP)"),
+)
+
+_SUITE_BY_NAME = {spec.name: spec for spec in SUITE}
+
+#: Default dimension cap for proxies so that the pure-Python simulator can
+#: sweep the full suite in seconds.  Experiments may raise it.
+DEFAULT_MAX_ROWS = 2_000
+
+
+def benchmark_names() -> list[str]:
+    """Return the names of all 20 benchmark matrices in paper order."""
+    return [spec.name for spec in SUITE]
+
+
+def get_benchmark_spec(name: str) -> BenchmarkSpec:
+    """Look up the published statistics of benchmark ``name``."""
+    try:
+        return _SUITE_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(benchmark_names())}"
+        ) from None
+
+
+def proxy_dimensions(spec: BenchmarkSpec, *, max_rows: int = DEFAULT_MAX_ROWS
+                     ) -> tuple[int, int, float]:
+    """Return ``(rows, cols, avg_row_nnz)`` of the scaled synthetic proxy.
+
+    The row count is capped at ``max_rows`` while the average row length of
+    the original matrix is preserved, because the quantities SpArch's results
+    depend on (condensed-column count, partial-matrix sizes, reuse distance
+    relative to buffer capacity) are functions of row length, not of the raw
+    dimension.
+    """
+    scale = min(1.0, max_rows / spec.num_rows)
+    rows = max(64, int(round(spec.num_rows * scale)))
+    cols = max(64, int(round(spec.num_cols * scale)))
+    return rows, cols, spec.avg_row_nnz
+
+
+def load_benchmark(name: str, *, max_rows: int = DEFAULT_MAX_ROWS,
+                   seed: int | None = None) -> CSRMatrix:
+    """Generate the synthetic proxy for benchmark ``name``.
+
+    Args:
+        name: one of :func:`benchmark_names`.
+        max_rows: dimension cap applied by :func:`proxy_dimensions`.
+        seed: RNG seed; defaults to a per-benchmark stable seed so repeated
+            runs of the harness see identical matrices.
+    """
+    spec = get_benchmark_spec(name)
+    rows, cols, avg_row_nnz = proxy_dimensions(spec, max_rows=max_rows)
+    if seed is None:
+        seed = zlib.crc32(name.encode("utf-8")) % (2**31)
+    if spec.family == "fem":
+        return banded_matrix(rows, avg_row_nnz, seed=seed)
+    if spec.family == "powerlaw":
+        return powerlaw_matrix(rows, avg_row_nnz, seed=seed)
+    if spec.family == "road":
+        return road_network_matrix(rows, seed=seed)
+    if spec.family == "bipartite":
+        return bipartite_matrix(rows, cols, avg_row_nnz, seed=seed)
+    return random_matrix(rows, cols, int(rows * avg_row_nnz), seed=seed)
+
+
+def load_suite(*, max_rows: int = DEFAULT_MAX_ROWS,
+               names: list[str] | None = None) -> dict[str, CSRMatrix]:
+    """Generate proxies for every benchmark (or the subset ``names``)."""
+    selected = names if names is not None else benchmark_names()
+    return {name: load_benchmark(name, max_rows=max_rows) for name in selected}

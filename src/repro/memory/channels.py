@@ -1,0 +1,191 @@
+"""Multi-channel HBM model with per-channel data fetchers (§II-D).
+
+The prefetcher "uses a data fetcher for each DRAM channel; accesses to
+different DRAM channels and banks are overlapped, thus the DRAM latency can
+be hidden".  The aggregate-bandwidth model in :mod:`repro.memory.hbm` is
+what the performance experiments use (SpArch is bandwidth-bound, so the sum
+of bytes is what matters); this module adds the channel-level view needed to
+check that assumption: transactions are interleaved across channels at a
+fixed address granularity, each channel serialises its own queue, and the
+completion time is set by the most-loaded channel.
+
+A well-interleaved access stream keeps the load imbalance near 1.0, which is
+what lets the aggregate model stand in for the channel model; the tests and
+the channel-balance experiment quantify that for the benchmark matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class MemoryTransaction:
+    """One DRAM request.
+
+    Attributes:
+        address: byte address of the first byte touched.
+        num_bytes: transfer size in bytes.
+        is_read: read (True) or write (False).
+    """
+
+    address: int
+    num_bytes: int
+    is_read: bool = True
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.num_bytes <= 0:
+            raise ValueError(f"num_bytes must be positive, got {self.num_bytes}")
+
+
+@dataclass
+class ChannelStats:
+    """Outcome of scheduling a transaction stream over the channels.
+
+    Attributes:
+        busy_cycles: per-channel busy cycle counts.
+        total_cycles: completion time (most-loaded channel plus the fixed
+            access latency, which overlapped fetchers hide for all but the
+            first access).
+        bytes_per_channel: bytes handled by each channel.
+        transactions: number of transactions scheduled.
+    """
+
+    busy_cycles: np.ndarray
+    total_cycles: int
+    bytes_per_channel: np.ndarray
+    transactions: int = 0
+    access_latency_cycles: int = 0
+    bytes_per_cycle_per_channel: float = 8.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-to-mean ratio of per-channel bytes (1.0 = perfectly balanced)."""
+        mean = self.bytes_per_channel.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.bytes_per_channel.max() / mean)
+
+    @property
+    def effective_bandwidth_fraction(self) -> float:
+        """Achieved fraction of the aggregate peak over the busy window."""
+        total_bytes = int(self.bytes_per_channel.sum())
+        if self.total_cycles == 0:
+            return 0.0
+        peak = (len(self.busy_cycles) * self.bytes_per_cycle_per_channel
+                * self.total_cycles)
+        return min(1.0, total_bytes / peak) if peak else 0.0
+
+
+class HBMChannelModel:
+    """Schedules a transaction stream over address-interleaved HBM channels.
+
+    Args:
+        num_channels: independent channels (16 in Table I).
+        bytes_per_cycle_per_channel: per-channel transfer rate at the core
+            clock (8 GB/s at 1 GHz = 8 bytes/cycle).
+        interleave_bytes: address-interleaving granularity; consecutive
+            ``interleave_bytes`` blocks map to consecutive channels.
+        access_latency_cycles: fixed latency of one access (row activation +
+            CAS); overlapping fetchers expose it only once per stream.
+    """
+
+    def __init__(self, *, num_channels: int = 16,
+                 bytes_per_cycle_per_channel: float = 8.0,
+                 interleave_bytes: int = 256,
+                 access_latency_cycles: int = 100) -> None:
+        check_positive_int(num_channels, "num_channels")
+        check_positive_int(interleave_bytes, "interleave_bytes")
+        if bytes_per_cycle_per_channel <= 0:
+            raise ValueError("bytes_per_cycle_per_channel must be positive")
+        if access_latency_cycles < 0:
+            raise ValueError("access_latency_cycles must be non-negative")
+        self._num_channels = num_channels
+        self._rate = bytes_per_cycle_per_channel
+        self._interleave = interleave_bytes
+        self._latency = access_latency_cycles
+
+    @property
+    def num_channels(self) -> int:
+        return self._num_channels
+
+    @property
+    def interleave_bytes(self) -> int:
+        return self._interleave
+
+    # ------------------------------------------------------------------
+    def channel_of(self, address: int) -> int:
+        """Channel that owns byte ``address`` under the interleaving."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        return (address // self._interleave) % self._num_channels
+
+    def schedule(self, transactions: list[MemoryTransaction]) -> ChannelStats:
+        """Spread ``transactions`` over the channels and compute completion time.
+
+        A transaction spanning several interleave blocks is split across the
+        owning channels, exactly as a long CSR row read is striped over the
+        HBM channels in hardware.
+        """
+        bytes_per_channel = np.zeros(self._num_channels, dtype=np.int64)
+        for transaction in transactions:
+            first_block = transaction.address // self._interleave
+            last_block = (transaction.address + transaction.num_bytes - 1
+                          ) // self._interleave
+            remaining = transaction.num_bytes
+            offset = transaction.address
+            for block in range(first_block, last_block + 1):
+                block_end = (block + 1) * self._interleave
+                chunk = min(remaining, block_end - offset)
+                bytes_per_channel[block % self._num_channels] += chunk
+                offset += chunk
+                remaining -= chunk
+
+        busy = np.ceil(bytes_per_channel / self._rate).astype(np.int64)
+        total = int(busy.max(initial=0))
+        if transactions:
+            total += self._latency
+        return ChannelStats(
+            busy_cycles=busy,
+            total_cycles=total,
+            bytes_per_channel=bytes_per_channel,
+            transactions=len(transactions),
+            access_latency_cycles=self._latency,
+            bytes_per_cycle_per_channel=self._rate,
+        )
+
+    def schedule_row_reads(self, row_addresses: np.ndarray,
+                           row_bytes: np.ndarray) -> ChannelStats:
+        """Convenience wrapper: one read transaction per (address, bytes) row."""
+        row_addresses = np.asarray(row_addresses, dtype=np.int64)
+        row_bytes = np.asarray(row_bytes, dtype=np.int64)
+        if len(row_addresses) != len(row_bytes):
+            raise ValueError("row_addresses and row_bytes must have equal length")
+        transactions = [MemoryTransaction(int(address), int(size))
+                        for address, size in zip(row_addresses, row_bytes)
+                        if size > 0]
+        return self.schedule(transactions)
+
+
+def csr_row_addresses(indptr: np.ndarray, *, element_bytes: int = 16,
+                      base_address: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Byte address and size of every CSR row, for channel-balance analysis.
+
+    Args:
+        indptr: CSR row pointer array.
+        element_bytes: bytes per stored element.
+        base_address: address of the first element.
+
+    Returns:
+        ``(addresses, sizes)`` arrays of length ``len(indptr) - 1``.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    addresses = base_address + indptr[:-1] * element_bytes
+    sizes = np.diff(indptr) * element_bytes
+    return addresses, sizes

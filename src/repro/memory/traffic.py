@@ -1,0 +1,88 @@
+"""DRAM traffic accounting.
+
+Every byte moved to or from HBM is charged to a :class:`TrafficCategory`.
+The categories mirror the paper's breakdown analysis (§III-C): input operand
+reads, partial-matrix spills/reloads, and final-result writes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TrafficCategory(enum.Enum):
+    """Why a DRAM transfer happened."""
+
+    MATRIX_A_READ = "matrix_a_read"
+    MATRIX_B_READ = "matrix_b_read"
+    PARTIAL_WRITE = "partial_write"
+    PARTIAL_READ = "partial_read"
+    RESULT_WRITE = "result_write"
+
+    def is_read(self) -> bool:
+        """True for read categories, False for writes."""
+        return self in (TrafficCategory.MATRIX_A_READ,
+                        TrafficCategory.MATRIX_B_READ,
+                        TrafficCategory.PARTIAL_READ)
+
+
+@dataclass
+class TrafficCounter:
+    """Byte counters per traffic category."""
+
+    bytes_by_category: dict[TrafficCategory, int] = field(
+        default_factory=lambda: {category: 0 for category in TrafficCategory}
+    )
+
+    def add(self, category: TrafficCategory, num_bytes: int) -> None:
+        """Charge ``num_bytes`` to ``category``."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        self.bytes_by_category[category] += int(num_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def read_bytes(self) -> int:
+        """Total bytes read from DRAM."""
+        return sum(v for k, v in self.bytes_by_category.items() if k.is_read())
+
+    @property
+    def write_bytes(self) -> int:
+        """Total bytes written to DRAM."""
+        return sum(v for k, v in self.bytes_by_category.items() if not k.is_read())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total DRAM traffic in bytes."""
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def partial_matrix_bytes(self) -> int:
+        """Traffic spent on partially merged results (spill + reload)."""
+        return (self.bytes_by_category[TrafficCategory.PARTIAL_WRITE]
+                + self.bytes_by_category[TrafficCategory.PARTIAL_READ])
+
+    @property
+    def input_bytes(self) -> int:
+        """Traffic spent reading the two input operands."""
+        return (self.bytes_by_category[TrafficCategory.MATRIX_A_READ]
+                + self.bytes_by_category[TrafficCategory.MATRIX_B_READ])
+
+    def by_category(self) -> dict[str, int]:
+        """Return a plain ``{category name: bytes}`` dict for reporting."""
+        return {category.value: count
+                for category, count in self.bytes_by_category.items()}
+
+    def merge(self, other: "TrafficCounter") -> "TrafficCounter":
+        """Return a new counter with the sums of both operands."""
+        merged = TrafficCounter()
+        for category in TrafficCategory:
+            merged.bytes_by_category[category] = (
+                self.bytes_by_category[category] + other.bytes_by_category[category]
+            )
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"TrafficCounter(total={self.total_bytes}, "
+                f"read={self.read_bytes}, write={self.write_bytes})")

@@ -1,0 +1,28 @@
+"""Small shared helpers used across the SpArch reproduction.
+
+The utilities here deliberately avoid any dependency on the simulator
+packages so that every subpackage (formats, hardware, core, baselines,
+analysis, experiments) can import them without creating cycles.
+"""
+
+from repro.utils.maths import geometric_mean, harmonic_mean, human_bytes, human_count
+from repro.utils.reporting import Table, format_table
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+    require,
+)
+
+__all__ = [
+    "geometric_mean",
+    "harmonic_mean",
+    "human_bytes",
+    "human_count",
+    "Table",
+    "format_table",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_power_of_two",
+    "require",
+]

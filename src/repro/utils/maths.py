@@ -1,0 +1,62 @@
+"""Numeric helpers: aggregate statistics and human-readable formatting."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Return the geometric mean of ``values``.
+
+    The paper reports all cross-benchmark aggregates (speedup, energy
+    saving) as geometric means; this helper mirrors that convention.
+
+    Raises:
+        ValueError: if ``values`` is empty or contains a non-positive entry.
+    """
+    items = list(values)
+    if not items:
+        raise ValueError("geometric_mean() requires at least one value")
+    total = 0.0
+    for value in items:
+        if value <= 0:
+            raise ValueError(f"geometric_mean() requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(items))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Return the harmonic mean of ``values`` (used for aggregate rates)."""
+    items = list(values)
+    if not items:
+        raise ValueError("harmonic_mean() requires at least one value")
+    denominator = 0.0
+    for value in items:
+        if value <= 0:
+            raise ValueError(f"harmonic_mean() requires positive values, got {value}")
+        denominator += 1.0 / value
+    return len(items) / denominator
+
+
+def human_bytes(num_bytes: float) -> str:
+    """Format a byte count using binary prefixes (e.g. ``1.50 MiB``)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(num_bytes)
+    for unit in units:
+        if value < 1024.0 or unit == units[-1]:
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_count(count: float) -> str:
+    """Format a large count using SI suffixes (e.g. ``1.2M``)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if count >= threshold:
+            return f"{count / threshold:.2f}{suffix}"
+    return f"{count:.0f}"

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment harnesses.
+
+The experiment modules print the same rows/series the paper reports.  A tiny
+fixed-width table formatter keeps that output readable without pulling in any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table accumulated row by row."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; the number of values must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render the table as an aligned plain-text block."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(title: str, columns: list[str], rows: list[list[Any]]) -> str:
+    """Render ``rows`` under ``columns`` as a fixed-width text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Unit tests for the roofline and analytical DRAM-traffic models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.dram_traffic import (
+    condensed_traffic_elements,
+    expected_partial_reads,
+    merge_rounds,
+    outerspace_traffic_elements,
+    uncondensed_traffic_elements,
+)
+from repro.analysis.roofline import (
+    compulsory_traffic_bytes,
+    roofline_analysis,
+    theoretical_operational_intensity,
+)
+from repro.baselines.reference import scipy_spgemm
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.matrices.synthetic import powerlaw_matrix
+
+
+class TestAnalyticalTraffic:
+    def test_merge_rounds(self):
+        assert merge_rounds(1, 64) == 0
+        assert merge_rounds(64, 64) == 1
+        assert merge_rounds(65, 64) == 2
+        assert merge_rounds(140_000, 64) == math.ceil(139_999 / 63)
+        with pytest.raises(ValueError):
+            merge_rounds(10, 1)
+
+    def test_expected_reads_matches_papers_example(self):
+        """§III-C: each element is read ≈ ln(140000/63) ≈ 7.7 times, i.e.
+        ≈ 6.7 DRAM round trips once the multiplier-fed first round is free."""
+        expected = expected_partial_reads(140_000, 64)
+        assert expected == pytest.approx(math.log(140_000 / 63) * 64 / 63,
+                                         rel=1e-2)
+        assert 6.3 < expected - 1.0 < 7.3
+
+    def test_expected_reads_zero_when_everything_fits(self):
+        assert expected_partial_reads(64, 64) == 0.0
+        assert expected_partial_reads(10, 64) == 0.0
+
+    def test_exact_sum_close_to_log_approximation(self):
+        approx = expected_partial_reads(10_000, 64)
+        exact = expected_partial_reads(10_000, 64, exact=True)
+        assert approx == pytest.approx(exact, rel=0.1)
+
+    def test_outerspace_traffic_is_2_5M(self):
+        assert outerspace_traffic_elements(1_000_000) == pytest.approx(2.5e6)
+
+    def test_uncondensed_traffic_reproduces_the_5_7x_regression(self):
+        """Figure 2/16: pipelining alone is ~5.7× more traffic than OuterSPACE."""
+        uncondensed = uncondensed_traffic_elements(1.0, 140_000, 64)
+        outerspace = outerspace_traffic_elements(1.0)
+        assert 12.0 < uncondensed < 16.0       # the paper estimates ≈ 13.9 M
+        assert 4.5 < uncondensed / outerspace < 6.5
+
+    def test_condensed_traffic_recovers_to_2_5M(self):
+        condensed = condensed_traffic_elements(1.0, 100, 64)
+        assert 2.0 < condensed < 3.0
+        saving = uncondensed_traffic_elements(1.0, 140_000, 64) / condensed
+        assert saving > 4.0                     # the paper reports ≈ 5.5×
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_partial_reads(100, 1)
+        with pytest.raises(ValueError):
+            outerspace_traffic_elements(-1)
+
+
+class TestRoofline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        matrix = powerlaw_matrix(250, 5.0, seed=41)
+        result = SpArch().multiply(matrix, matrix)
+        return matrix, result
+
+    def test_compulsory_traffic_and_intensity(self, run):
+        matrix, result = run
+        reference = scipy_spgemm(matrix, matrix)
+        traffic = compulsory_traffic_bytes(matrix, matrix, reference)
+        assert traffic == (2 * matrix.nnz + reference.nnz) * 16
+        intensity = theoretical_operational_intensity(
+            matrix, matrix, reference, result.stats.flops)
+        assert 0.05 < intensity < 1.0
+
+    def test_roofline_point_properties(self, run):
+        _, result = run
+        point = roofline_analysis(result.stats, config=SpArchConfig())
+        assert point.compute_roof_gflops == pytest.approx(32.0)
+        assert point.roof_gflops == min(point.compute_roof_gflops,
+                                        point.bandwidth_roof_gflops)
+        assert 0.0 < point.roof_fraction <= 1.0
+        assert point.achieved_gflops <= point.compute_roof_gflops
+
+    def test_paper_operating_point(self):
+        """At OI = 0.19 and 128 GB/s the bandwidth roof is the paper's 23.9."""
+        stats = SpArch().multiply(powerlaw_matrix(64, 3.0, seed=1),
+                                  powerlaw_matrix(64, 3.0, seed=1)).stats
+        point = roofline_analysis(stats, operational_intensity=0.19)
+        assert point.bandwidth_roof_gflops == pytest.approx(24.32, rel=0.02)
+        assert point.roof_gflops < point.compute_roof_gflops

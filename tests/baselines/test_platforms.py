@@ -1,0 +1,59 @@
+"""Unit tests for the platform performance/energy models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.platforms import (
+    ARM_A53,
+    INTEL_CPU,
+    NVIDIA_GPU_CUSP,
+    NVIDIA_GPU_CUSPARSE,
+    OUTERSPACE_ASIC,
+    PlatformModel,
+)
+
+
+def test_runtime_is_max_of_bottlenecks():
+    platform = PlatformModel(
+        name="test", memory_bandwidth=100.0, sustained_flops=10.0,
+        seconds_per_bookkeeping_op=1.0, fixed_overhead_seconds=0.5,
+        dynamic_power_watts=2.0)
+    # Memory-bound: 1000 bytes at 100 B/s = 10 s > 1 flop / 10 = 0.1 s.
+    assert platform.runtime_seconds(flops=1, traffic_bytes=1000,
+                                    bookkeeping_ops=0) == pytest.approx(10.5)
+    # Compute-bound.
+    assert platform.runtime_seconds(flops=100, traffic_bytes=1,
+                                    bookkeeping_ops=0) == pytest.approx(10.5)
+    # Bookkeeping-bound.
+    assert platform.runtime_seconds(flops=1, traffic_bytes=1,
+                                    bookkeeping_ops=20) == pytest.approx(20.5)
+    with pytest.raises(ValueError):
+        platform.runtime_seconds(flops=-1, traffic_bytes=0, bookkeeping_ops=0)
+
+
+def test_energy_is_power_times_runtime():
+    assert INTEL_CPU.energy_joules(2.0) == pytest.approx(160.0)
+    with pytest.raises(ValueError):
+        INTEL_CPU.energy_joules(-1.0)
+
+
+def test_platform_constants_are_ordered_sensibly():
+    # Peak bandwidth: GPU > CPU > ARM; the ASIC sits between CPU and GPU.
+    assert NVIDIA_GPU_CUSPARSE.memory_bandwidth > INTEL_CPU.memory_bandwidth
+    assert INTEL_CPU.memory_bandwidth > ARM_A53.memory_bandwidth
+    # Dynamic power: GPU > CPU > ASIC > ARM.
+    assert (NVIDIA_GPU_CUSPARSE.dynamic_power_watts
+            > INTEL_CPU.dynamic_power_watts
+            > OUTERSPACE_ASIC.dynamic_power_watts
+            > ARM_A53.dynamic_power_watts)
+    # Per-operation bookkeeping cost: ARM is by far the slowest.
+    assert ARM_A53.seconds_per_bookkeeping_op > 10 * max(
+        INTEL_CPU.seconds_per_bookkeeping_op,
+        NVIDIA_GPU_CUSPARSE.seconds_per_bookkeeping_op)
+
+
+def test_outerspace_matches_published_operating_point():
+    # 128 GB/s HBM at the measured 48.3 % utilisation.
+    assert OUTERSPACE_ASIC.memory_bandwidth == pytest.approx(0.483 * 128e9)
+    assert OUTERSPACE_ASIC.dynamic_power_watts == pytest.approx(12.39)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the SpArch reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.matrices.synthetic import (
+    banded_matrix,
+    diagonal_matrix,
+    powerlaw_matrix,
+    random_matrix,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need ad-hoc random data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense_pair() -> tuple[np.ndarray, np.ndarray]:
+    """A tiny dense matrix pair with an exactly known product."""
+    a = np.array([
+        [1.0, 0.0, 2.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+        [3.0, 4.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 5.0],
+    ])
+    b = np.array([
+        [0.0, 1.0, 0.0, 0.0],
+        [2.0, 0.0, 0.0, 3.0],
+        [0.0, 0.0, 4.0, 0.0],
+        [5.0, 0.0, 0.0, 6.0],
+    ])
+    return a, b
+
+
+@pytest.fixture
+def small_csr_pair(small_dense_pair) -> tuple[CSRMatrix, CSRMatrix]:
+    """The dense pair above as CSR matrices."""
+    a, b = small_dense_pair
+    return CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)
+
+
+@pytest.fixture(params=["random", "banded", "powerlaw", "diagonal"])
+def family_matrix(request) -> CSRMatrix:
+    """One representative matrix per structural family."""
+    if request.param == "random":
+        return random_matrix(96, 96, 700, seed=3)
+    if request.param == "banded":
+        return banded_matrix(120, 6.0, seed=4)
+    if request.param == "powerlaw":
+        return powerlaw_matrix(128, 5.0, seed=5)
+    return diagonal_matrix(64, value=2.0)
+
+
+def assert_same_product(result: CSRMatrix, matrix_a: CSRMatrix,
+                        matrix_b: CSRMatrix, *, atol: float = 1e-9) -> None:
+    """Assert ``result`` equals the dense product of the operands."""
+    expected = matrix_a.to_dense() @ matrix_b.to_dense()
+    np.testing.assert_allclose(result.to_dense(), expected, atol=atol)

@@ -1,0 +1,78 @@
+"""Property-based tests: SpArch is exact for arbitrary sparse operands."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import matrices_allclose, scipy_spgemm
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.formats.convert import coo_to_csr
+from repro.formats.coo import COOMatrix
+from repro.memory.traffic import TrafficCategory
+
+
+@st.composite
+def csr_pairs(draw, max_dim: int = 14, max_nnz: int = 50):
+    """Pairs of small random CSR matrices with compatible shapes."""
+    rows_a = draw(st.integers(1, max_dim))
+    inner = draw(st.integers(1, max_dim))
+    cols_b = draw(st.integers(1, max_dim))
+
+    def build(num_rows, num_cols):
+        nnz = draw(st.integers(0, max_nnz))
+        rows = draw(st.lists(st.integers(0, num_rows - 1), min_size=nnz,
+                             max_size=nnz))
+        cols = draw(st.lists(st.integers(0, num_cols - 1), min_size=nnz,
+                             max_size=nnz))
+        vals = draw(st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False,
+                      allow_infinity=False).filter(lambda v: abs(v) > 1e-6),
+            min_size=nnz, max_size=nnz))
+        coo = COOMatrix(np.array(rows, np.int64), np.array(cols, np.int64),
+                        np.array(vals), (num_rows, num_cols))
+        return coo_to_csr(coo.canonicalized())
+
+    return build(rows_a, inner), build(inner, cols_b)
+
+
+@given(csr_pairs())
+@settings(max_examples=40, deadline=None)
+def test_sparch_matches_scipy_for_random_operands(pair):
+    a, b = pair
+    result = SpArch().multiply(a, b)
+    assert matrices_allclose(result.matrix, scipy_spgemm(a, b), atol=1e-7)
+
+
+@given(csr_pairs(), st.sampled_from([
+    dict(matrix_condensing=False),
+    dict(huffman_scheduler=False),
+    dict(row_prefetcher=False),
+    dict(pipelined_merge=False, matrix_condensing=False),
+]))
+@settings(max_examples=30, deadline=None)
+def test_ablated_configurations_match_scipy(pair, features):
+    a, b = pair
+    config = SpArchConfig().replace(merge_tree_layers=3,
+                                    prefetch_buffer_lines=8,
+                                    lookahead_fifo_elements=32,
+                                    round_startup_cycles=4)
+    result = SpArch(config.with_features(**features)).multiply(a, b)
+    assert matrices_allclose(result.matrix, scipy_spgemm(a, b), atol=1e-7)
+
+
+@given(csr_pairs())
+@settings(max_examples=30, deadline=None)
+def test_statistics_invariants(pair):
+    a, b = pair
+    stats = SpArch().multiply(a, b).stats
+    assert stats.dram_bytes >= 0
+    assert stats.cycles >= 0
+    assert stats.multiplications >= stats.output_nnz - a.nnz * b.nnz  # trivial lower bound
+    assert 0.0 <= stats.prefetch_hit_rate <= 1.0
+    assert stats.traffic.read_bytes + stats.traffic.write_bytes == stats.dram_bytes
+    if a.nnz and b.nnz:
+        assert stats.traffic.bytes_by_category[
+            TrafficCategory.MATRIX_A_READ] == a.nnz * 16

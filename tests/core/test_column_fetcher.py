@@ -1,0 +1,74 @@
+"""Unit tests for the MatA column fetcher (§II-E, Figure 7 load order)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.column_fetcher import ColumnFetcher
+from repro.formats.condensed import CondensedMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def _matrix() -> CSRMatrix:
+    dense = np.array([
+        [1.0, 0.0, 2.0, 0.0],
+        [0.0, 3.0, 0.0, 0.0],
+        [4.0, 5.0, 6.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+    ])
+    return CSRMatrix.from_dense(dense)
+
+
+def test_fetch_single_column_streams_by_row():
+    fetcher = ColumnFetcher(CondensedMatrix(_matrix()))
+    elements = fetcher.fetch_columns([0])
+    assert [e.row for e in elements] == [0, 1, 2]
+    assert [e.original_col for e in elements] == [0, 1, 0]
+    assert [e.condensed_col for e in elements] == [0, 0, 0]
+    assert [e.value for e in elements] == [1.0, 3.0, 4.0]
+
+
+def test_fetch_multiple_columns_uses_figure7_load_sequence():
+    """Row-major over rows, condensed columns left to right within a row."""
+    fetcher = ColumnFetcher(CondensedMatrix(_matrix()))
+    elements = fetcher.fetch_columns([0, 1])
+    order = [(e.row, e.condensed_col) for e in elements]
+    assert order == [(0, 0), (0, 1), (1, 0), (2, 0), (2, 1)]
+    # Duplicated or unordered requests do not change the stream.
+    assert order == [(e.row, e.condensed_col)
+                     for e in fetcher.fetch_columns([1, 0, 1])]
+
+
+def test_access_order_matches_original_columns():
+    fetcher = ColumnFetcher(CondensedMatrix(_matrix()))
+    np.testing.assert_array_equal(fetcher.access_order([0, 1]),
+                                  [0, 2, 1, 0, 1])
+
+
+def test_byte_accounting():
+    fetcher = ColumnFetcher(CondensedMatrix(_matrix()), element_bytes=16)
+    fetcher.fetch_columns([0])
+    assert fetcher.total_elements_fetched == 3
+    assert fetcher.total_bytes_fetched == 48
+    assert fetcher.column_bytes([0, 1]) == 5 * 16
+    assert fetcher.column_bytes([2]) == 1 * 16
+
+
+def test_empty_and_invalid_requests():
+    fetcher = ColumnFetcher(CondensedMatrix(_matrix()))
+    assert fetcher.fetch_columns([]) == []
+    with pytest.raises(IndexError):
+        fetcher.fetch_columns([5])
+
+
+def test_all_columns_cover_every_nonzero():
+    matrix = _matrix()
+    condensed = CondensedMatrix(matrix)
+    fetcher = ColumnFetcher(condensed)
+    elements = fetcher.fetch_columns(list(range(condensed.num_condensed_columns)))
+    assert len(elements) == matrix.nnz
+    dense = np.zeros(matrix.shape)
+    for element in elements:
+        dense[element.row, element.original_col] = element.value
+    np.testing.assert_allclose(dense, matrix.to_dense())

@@ -1,0 +1,96 @@
+"""Unit tests for the condensing-derived quantities (§II-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.condensing import (
+    condensation_ratio,
+    condensed_column_weights,
+    multiplication_count,
+    original_column_partial_sizes,
+    partial_matrix_sizes,
+)
+from repro.formats.condensed import CondensedMatrix
+from repro.formats.convert import to_scipy
+from repro.formats.csr import CSRMatrix
+from repro.matrices.synthetic import powerlaw_matrix, random_matrix
+
+
+@pytest.fixture
+def pair() -> tuple[CSRMatrix, CSRMatrix]:
+    a = random_matrix(40, 50, 200, seed=1)
+    b = random_matrix(50, 30, 220, seed=2)
+    return a, b
+
+
+def test_condensed_column_weights_match_histogram(pair):
+    a, _ = pair
+    condensed = CondensedMatrix(a)
+    np.testing.assert_array_equal(condensed_column_weights(condensed),
+                                  condensed.column_nnz_histogram())
+
+
+def test_partial_matrix_sizes_sum_to_multiplication_count(pair):
+    a, b = pair
+    condensed = CondensedMatrix(a)
+    sizes = partial_matrix_sizes(condensed, b)
+    assert len(sizes) == condensed.num_condensed_columns
+    assert int(sizes.sum()) == multiplication_count(a, b)
+
+
+def test_original_column_sizes_sum_to_multiplication_count(pair):
+    a, b = pair
+    sizes = original_column_partial_sizes(a, b)
+    assert len(sizes) == a.num_cols
+    assert int(sizes.sum()) == multiplication_count(a, b)
+
+
+def test_multiplication_count_matches_scipy(pair):
+    a, b = pair
+    # The number of multiplications equals the number of stored products
+    # before duplicate folding, which scipy exposes via (bool A) @ row counts.
+    b_row_nnz = b.nnz_per_row()
+    expected = int(sum(b_row_nnz[k] for k in a.indices))
+    assert multiplication_count(a, b) == expected
+    # And it is invariant under condensing by construction.
+    condensed = CondensedMatrix(a)
+    assert int(partial_matrix_sizes(condensed, b).sum()) == expected
+
+
+def test_partial_matrix_size_of_single_column():
+    a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [3.0, 0.0]]))
+    b = CSRMatrix.from_dense(np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]]))
+    condensed = CondensedMatrix(a)
+    sizes = partial_matrix_sizes(condensed, b)
+    # Condensed column 0 holds A[0,0] and A[1,0] (both original column 0,
+    # each hitting B row 0 with 2 nonzeros); column 1 holds A[0,1].
+    np.testing.assert_array_equal(sizes, [4, 2])
+
+
+def test_dimension_mismatch_rejected(pair):
+    a, _ = pair
+    wrong = random_matrix(7, 7, 10, seed=3)
+    with pytest.raises(ValueError):
+        partial_matrix_sizes(CondensedMatrix(a), wrong)
+    with pytest.raises(ValueError):
+        original_column_partial_sizes(a, wrong)
+    with pytest.raises(ValueError):
+        multiplication_count(a, wrong)
+
+
+def test_condensation_ratio_is_large_for_sparse_matrices():
+    matrix = powerlaw_matrix(1024, 4.0, seed=5)
+    ratio = condensation_ratio(matrix)
+    occupied = len(np.unique(matrix.indices))
+    condensed_cols = CondensedMatrix(matrix).num_condensed_columns
+    assert ratio == pytest.approx(occupied / condensed_cols)
+    assert ratio > 5.0
+
+
+def test_condensation_ratio_degenerate_cases():
+    assert condensation_ratio(CSRMatrix.empty((4, 4))) == 1.0
+    diagonal = CSRMatrix.from_dense(np.eye(6))
+    # Every row has exactly one nonzero: 6 occupied columns, 1 condensed.
+    assert condensation_ratio(diagonal) == 6.0

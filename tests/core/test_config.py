@@ -1,0 +1,74 @@
+"""Unit tests for the architectural configuration (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SpArchConfig
+from repro.memory.hbm import HBMConfig
+
+
+def test_default_matches_table1():
+    config = SpArchConfig()
+    assert config.merger_width == 16
+    assert config.merger_chunk_size == 4
+    assert config.merge_tree_layers == 6
+    assert config.merge_ways == 64
+    assert config.num_multipliers == 16
+    assert config.lookahead_fifo_elements == 8192
+    assert config.prefetch_buffer_lines == 1024
+    assert config.prefetch_line_elements == 48
+    assert config.prefetch_element_bytes == 12
+    assert config.hbm.num_channels == 16
+    assert config.hbm.total_bandwidth_bytes_per_second == pytest.approx(128e9)
+
+
+def test_derived_quantities():
+    config = SpArchConfig()
+    assert config.element_bytes == 16
+    assert config.prefetch_buffer_bytes == 1024 * 48 * 12
+    assert config.peak_multiply_flops == pytest.approx(16e9)
+    assert config.peak_flops == pytest.approx(32e9)
+
+
+def test_with_features_overrides_only_requested_flags():
+    config = SpArchConfig().with_features(matrix_condensing=False)
+    assert not config.enable_matrix_condensing
+    assert config.enable_pipelined_merge
+    assert config.enable_huffman_scheduler
+    assert config.enable_row_prefetcher
+    unchanged = config.with_features()
+    assert unchanged == config
+
+
+def test_replace_arbitrary_fields():
+    config = SpArchConfig().replace(merge_tree_layers=4, prefetch_buffer_lines=256)
+    assert config.merge_ways == 16
+    assert config.prefetch_buffer_lines == 256
+    # The original default is untouched (frozen dataclass semantics).
+    assert SpArchConfig().merge_tree_layers == 6
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        SpArchConfig(merger_width=0)
+    with pytest.raises(ValueError):
+        SpArchConfig(merger_width=10, merger_chunk_size=4)
+    with pytest.raises(ValueError):
+        SpArchConfig(clock_hz=0.0)
+    with pytest.raises(ValueError):
+        SpArchConfig(round_startup_cycles=-1)
+    with pytest.raises(TypeError):
+        SpArchConfig(num_multipliers=2.5)
+
+
+def test_hbm_config_validation():
+    with pytest.raises(ValueError):
+        HBMConfig(num_channels=0)
+    with pytest.raises(ValueError):
+        HBMConfig(read_efficiency=0.0)
+    with pytest.raises(ValueError):
+        HBMConfig(bytes_per_second_per_channel=-1)
+    config = HBMConfig(num_channels=8, bytes_per_second_per_channel=4e9)
+    assert config.total_bandwidth_bytes_per_second == pytest.approx(32e9)
+    assert config.bytes_per_cycle == pytest.approx(32.0)

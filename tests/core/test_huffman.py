@@ -1,0 +1,168 @@
+"""Unit and property tests for the Huffman tree merge scheduler (§II-C)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.huffman import (
+    MergePlan,
+    huffman_schedule,
+    initial_merge_way,
+    sequential_schedule,
+)
+
+#: The leaf weights of the Figure 8 example.
+FIG8_WEIGHTS = [15.0, 15.0, 13.0, 12.0, 9.0, 7.0, 3.0, 2.0, 2.0, 2.0, 2.0, 2.0]
+
+
+class TestInitialMergeWay:
+    def test_paper_formula(self):
+        # k_init = (num_leaves - 2) mod (ways - 1) + 2
+        assert initial_merge_way(12, 4) == (12 - 2) % 3 + 2
+        assert initial_merge_way(100, 64) == (100 - 2) % 63 + 2
+
+    def test_small_inputs_merge_everything_at_once(self):
+        assert initial_merge_way(1, 4) == 1
+        assert initial_merge_way(3, 4) == 3
+        assert initial_merge_way(4, 4) == 4
+
+    @pytest.mark.parametrize("ways", [2, 4, 8, 64])
+    @pytest.mark.parametrize("leaves", [2, 5, 17, 63, 64, 65, 100, 1000])
+    def test_guarantees_full_final_round(self, leaves, ways):
+        """After the first round, the leaf count reduces to 1 in full steps."""
+        first = initial_merge_way(leaves, ways)
+        remaining = leaves - first + 1
+        assert (remaining - 1) % (ways - 1) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            initial_merge_way(5, 1)
+        with pytest.raises(ValueError):
+            initial_merge_way(0, 4)
+
+
+class TestFigure8:
+    def test_two_way_huffman_total_weight(self):
+        assert huffman_schedule(FIG8_WEIGHTS, 2).total_weight == 354.0
+
+    def test_four_way_huffman_total_weight(self):
+        assert huffman_schedule(FIG8_WEIGHTS, 4).total_weight == 228.0
+
+    def test_two_way_sequential_total_weight(self):
+        assert sequential_schedule(FIG8_WEIGHTS, 2).total_weight == 365.0
+
+    def test_huffman_beats_sequential(self):
+        for ways in (2, 4, 8):
+            huffman = huffman_schedule(FIG8_WEIGHTS, ways).total_weight
+            sequential = sequential_schedule(FIG8_WEIGHTS, ways).total_weight
+            assert huffman <= sequential
+
+    def test_wider_merger_reduces_weight(self):
+        weights = [huffman_schedule(FIG8_WEIGHTS, ways).total_weight
+                   for ways in (2, 4, 8, 64)]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestPlanStructure:
+    def test_single_leaf_has_no_rounds(self):
+        plan = huffman_schedule([5.0], 4)
+        assert plan.rounds == []
+        assert plan.total_weight == 5.0
+        assert plan.root_id == 0
+        assert plan.internal_weight == 0.0
+
+    def test_empty_plan(self):
+        plan = huffman_schedule([], 4)
+        assert plan.rounds == []
+        assert plan.total_weight == 0.0
+
+    def test_every_leaf_merged_exactly_once(self):
+        plan = huffman_schedule([float(i + 1) for i in range(37)], 4)
+        merged = list(itertools.chain.from_iterable(
+            r.input_ids for r in plan.rounds))
+        leaves_merged = [node_id for node_id in merged if node_id < 37]
+        assert sorted(leaves_merged) == list(range(37))
+        assert len(merged) == len(set(merged))
+
+    def test_round_sizes_respect_ways(self):
+        plan = huffman_schedule([1.0] * 100, 8)
+        for merge_round in plan.rounds:
+            assert 2 <= len(merge_round.input_ids) <= 8
+        # Every round after the first merges exactly `ways` nodes.
+        for merge_round in plan.rounds[1:]:
+            assert len(merge_round.input_ids) == 8
+
+    def test_root_weight_equals_total_leaf_weight(self):
+        weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        plan = huffman_schedule(weights, 4)
+        assert plan.nodes[plan.root_id].weight == pytest.approx(sum(weights))
+
+    def test_leaf_depths_consistent_with_weighted_sum(self):
+        plan = huffman_schedule(FIG8_WEIGHTS, 2)
+        depths = plan.leaf_depths()
+        weighted = sum(w * d for w, d in zip(FIG8_WEIGHTS, depths))
+        # total = leaves + internal = sum_i w_i (depth_i + 1) - ... for a
+        # full merge tree the internal weight equals sum_i w_i * depth_i.
+        assert weighted == pytest.approx(plan.internal_weight)
+
+    def test_validate_rejects_inconsistent_plans(self):
+        plan = huffman_schedule([1.0, 2.0, 3.0], 2)
+        plan.rounds[0] = type(plan.rounds[0])(
+            round_index=0, input_ids=(0, 0), output_id=plan.rounds[0].output_id,
+            output_weight=2.0)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_schedule([1.0, -2.0], 2)
+        with pytest.raises(ValueError):
+            sequential_schedule([-1.0], 2)
+        with pytest.raises(ValueError):
+            huffman_schedule([1.0], 1)
+
+
+def _brute_force_optimal(weights: list[float], ways: int) -> float:
+    """Exhaustively find the minimum total node weight for tiny inputs."""
+    best = [float("inf")]
+
+    def recurse(nodes: tuple[float, ...], internal: float, first: bool) -> None:
+        if len(nodes) == 1:
+            best[0] = min(best[0], internal)
+            return
+        take = initial_merge_way(len(nodes), ways) if first else min(
+            ways, len(nodes))
+        for combo in itertools.combinations(range(len(nodes)), take):
+            merged = sum(nodes[i] for i in combo)
+            rest = tuple(w for i, w in enumerate(nodes) if i not in combo)
+            recurse(rest + (merged,), internal + merged, False)
+
+    recurse(tuple(weights), 0.0, True)
+    return best[0] + sum(weights)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=6),
+       st.sampled_from([2, 3]))
+@settings(max_examples=30, deadline=None)
+def test_huffman_is_optimal_for_small_inputs(weights, ways):
+    """The k-ary Huffman schedule minimises the total node weight."""
+    weights = [float(w) for w in weights]
+    plan = huffman_schedule(weights, ways)
+    assert plan.total_weight == pytest.approx(_brute_force_optimal(weights, ways))
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=0, max_size=200),
+       st.sampled_from([2, 4, 64]))
+@settings(max_examples=50, deadline=None)
+def test_schedules_always_validate(weights, ways):
+    for build in (huffman_schedule, sequential_schedule):
+        plan: MergePlan = build(list(weights), ways)
+        plan.validate()
+        if len(weights) > 1:
+            assert plan.nodes[plan.root_id].weight == pytest.approx(sum(weights))
+            assert plan.total_weight >= sum(weights)

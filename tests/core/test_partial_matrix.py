@@ -1,0 +1,70 @@
+"""Unit tests for the partial-matrix store and result writer (§II-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partial_matrix import PartialMatrixStore, PartialMatrixWriter
+from repro.memory.traffic import TrafficCategory, TrafficCounter
+
+
+def test_store_write_read_roundtrip():
+    traffic = TrafficCounter()
+    store = PartialMatrixStore(traffic, element_bytes=16)
+    keys = np.array([1, 5, 9])
+    vals = np.array([1.0, 2.0, 3.0])
+    store.write(7, keys, vals)
+    assert store.num_stored == 1
+    assert store.contains(7)
+    assert store.peek_nnz(7) == 3
+    got_keys, got_vals = store.read(7)
+    np.testing.assert_array_equal(got_keys, keys)
+    np.testing.assert_allclose(got_vals, vals)
+    assert store.num_stored == 0
+    assert not store.contains(7)
+
+
+def test_store_traffic_accounting():
+    traffic = TrafficCounter()
+    store = PartialMatrixStore(traffic, element_bytes=16)
+    store.write(1, np.array([1, 2]), np.array([1.0, 2.0]))
+    store.read(1)
+    assert traffic.bytes_by_category[TrafficCategory.PARTIAL_WRITE] == 32
+    assert traffic.bytes_by_category[TrafficCategory.PARTIAL_READ] == 32
+    assert store.total_spilled_elements == 2
+    assert store.total_reloaded_elements == 2
+
+
+def test_store_error_paths():
+    store = PartialMatrixStore(TrafficCounter())
+    store.write(1, np.array([1]), np.array([1.0]))
+    with pytest.raises(ValueError, match="already stored"):
+        store.write(1, np.array([2]), np.array([2.0]))
+    with pytest.raises(ValueError, match="equal length"):
+        store.write(2, np.array([1, 2]), np.array([1.0]))
+    with pytest.raises(KeyError):
+        store.read(99)
+
+
+def test_writer_produces_csr_and_charges_traffic():
+    traffic = TrafficCounter()
+    writer = PartialMatrixWriter(traffic, element_bytes=16, fifo_depth=64)
+    # Keys are linearised (row * num_cols + col) for a 3x4 result.
+    keys = np.array([0 * 4 + 1, 1 * 4 + 2, 2 * 4 + 3])
+    vals = np.array([1.0, 2.0, 3.0])
+    result = writer.write_result(keys, vals, (3, 4))
+    expected = np.zeros((3, 4))
+    expected[0, 1], expected[1, 2], expected[2, 3] = 1.0, 2.0, 3.0
+    np.testing.assert_allclose(result.to_dense(), expected)
+    assert traffic.bytes_by_category[TrafficCategory.RESULT_WRITE] == 3 * 16
+    assert writer.total_elements_written == 3
+    assert writer.fifo_depth == 64
+
+
+def test_writer_empty_result():
+    writer = PartialMatrixWriter(TrafficCounter())
+    result = writer.write_result(np.empty(0, np.int64), np.empty(0), (2, 2))
+    assert result.nnz == 0
+    with pytest.raises(ValueError):
+        writer.write_result(np.array([1]), np.empty(0), (2, 2))

@@ -1,0 +1,123 @@
+"""Tests for the hardware victim-selection structures (§II-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.replacement import (
+    FAR_FUTURE,
+    BufferIndexHashTable,
+    NextUseReductionTree,
+    ReplacementStats,
+)
+
+
+class TestHashTable:
+    def test_add_lookup_remove(self):
+        table = BufferIndexHashTable(num_lines=8)
+        table.add_line(row=42, line=3)
+        table.add_line(row=42, line=5)
+        table.add_line(row=7, line=0)
+        assert table.lines_of(42) == {3, 5}
+        assert table.lines_of(7) == {0}
+        assert table.lines_of(99) == set()
+        table.remove_line(42, 3)
+        assert table.lines_of(42) == {5}
+
+    def test_remove_missing_line_raises(self):
+        table = BufferIndexHashTable(num_lines=4)
+        table.add_line(1, 0)
+        with pytest.raises(KeyError):
+            table.remove_line(1, 3)
+        with pytest.raises(KeyError):
+            table.remove_line(2, 0)
+
+    def test_collisions_are_counted_and_resolved(self):
+        stats = ReplacementStats()
+        table = BufferIndexHashTable(num_lines=4, stats=stats)
+        # Rows that collide modulo the table size still resolve correctly.
+        for offset in range(5):
+            table.add_line(row=offset * table.size, line=offset)
+        for offset in range(5):
+            assert table.lines_of(offset * table.size) == {offset}
+        assert stats.hash_collisions > 0
+        assert stats.hash_probes > stats.hash_insertions
+
+    def test_table_is_wider_than_the_buffer(self):
+        assert BufferIndexHashTable(num_lines=1024).size == 2048
+
+
+class TestReductionTree:
+    def test_victim_is_furthest_next_use(self):
+        tree = NextUseReductionTree(num_lines=8)
+        for line, next_use in enumerate([5.0, 100.0, 3.0, 47.0]):
+            tree.update(line, next_use)
+        assert tree.victim() == 1
+        assert tree.furthest_next_use() == 100.0
+        tree.update(1, 2.0)           # row 1 was just touched again
+        assert tree.victim() == 3
+
+    def test_far_future_lines_win_and_oldest_wins_ties(self):
+        tree = NextUseReductionTree(num_lines=4)
+        tree.update(0, 500.0)
+        tree.update(1, FAR_FUTURE, age=10)
+        tree.update(2, FAR_FUTURE, age=3)
+        assert tree.victim() == 1      # unknown next use beats any known one
+        assert tree.furthest_next_use() == FAR_FUTURE
+
+    def test_invalidate_removes_line_from_consideration(self):
+        tree = NextUseReductionTree(num_lines=4)
+        tree.update(0, 10.0)
+        tree.update(1, 20.0)
+        tree.invalidate(1)
+        assert tree.victim() == 0
+        tree.invalidate(0)
+        with pytest.raises(RuntimeError):
+            tree.victim()
+
+    def test_depth_and_activity_accounting(self):
+        stats = ReplacementStats()
+        tree = NextUseReductionTree(num_lines=1024, stats=stats)
+        assert tree.depth == 10
+        tree.update(0, 1.0)
+        tree.victim()
+        assert stats.victim_selections == 1
+        assert stats.next_use_updates == 1
+        assert stats.reduction_levels_traversed >= tree.depth
+
+    def test_bounds_checked(self):
+        tree = NextUseReductionTree(num_lines=4)
+        with pytest.raises(IndexError):
+            tree.update(4, 1.0)
+        with pytest.raises(IndexError):
+            tree.invalidate(-1)
+
+
+class TestAgreementWithBehaviouralPolicy:
+    def test_matches_argmax_reference_over_random_updates(self, rng):
+        """The tree always returns the same victim as a direct argmax."""
+        num_lines = 32
+        tree = NextUseReductionTree(num_lines=num_lines)
+        reference = np.full(num_lines, -np.inf)
+        for step in range(500):
+            line = int(rng.integers(0, num_lines))
+            if rng.random() < 0.15:
+                tree.invalidate(line)
+                reference[line] = -np.inf
+                continue
+            if rng.random() < 0.2:
+                # Unknown next use outranks every known one; encode it above
+                # the largest possible known time, ordered by age.
+                next_use = FAR_FUTURE
+                encoded = 1e6 + step
+            else:
+                next_use = float(rng.integers(0, 10_000))
+                encoded = next_use
+            tree.update(line, next_use, age=step)
+            reference[line] = encoded
+            if np.all(np.isinf(reference) & (reference < 0)):
+                continue
+            expected = int(np.argmax(reference + np.arange(num_lines) * 1e-9))
+            victim = tree.victim()
+            assert reference[victim] == pytest.approx(reference[expected])

@@ -1,0 +1,59 @@
+"""Tests for the experiment command-line runner and the public import surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list_option_prints_every_experiment(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig08", "fig11", "table2", "dram", "scheduler"):
+            assert experiment_id in output
+
+    def test_no_arguments_behaves_like_list(self, capsys):
+        assert main([]) == 0
+        assert "fig11" in capsys.readouterr().out
+
+    def test_running_one_experiment(self, capsys):
+        assert main(["fig08"]) == 0
+        output = capsys.readouterr().out
+        assert "354" in output and "228" in output
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["not-an-experiment"])
+
+    def test_max_rows_override_is_forwarded(self, capsys):
+        assert main(["dram", "--max-rows", "300"]) == 0
+        assert "Geo Mean" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig11", "fig12"])
+        assert args.experiments == ["fig11", "fig12"]
+        assert args.max_rows is None
+        assert not args.list
+
+
+class TestPublicImportSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        assert repro.__version__
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.formats", "repro.matrices", "repro.hardware", "repro.memory",
+        "repro.core", "repro.baselines", "repro.analysis", "repro.apps",
+        "repro.experiments", "repro.utils",
+    ])
+    def test_subpackage_all_resolves(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None

@@ -1,0 +1,109 @@
+"""Unit tests for the condensed matrix view (§II-B, Figure 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.condensed import CondensedMatrix, condense
+from repro.formats.csr import CSRMatrix
+from repro.matrices.synthetic import powerlaw_matrix, random_matrix
+
+
+def _example() -> CSRMatrix:
+    dense = np.array([
+        [1.0, 0.0, 2.0, 0.0, 3.0],
+        [0.0, 4.0, 0.0, 0.0, 0.0],
+        [5.0, 0.0, 0.0, 6.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+    ])
+    return CSRMatrix.from_dense(dense)
+
+
+def test_condensed_column_count_equals_longest_row():
+    condensed = condense(_example())
+    assert condensed.num_condensed_columns == 3
+    assert condensed.nnz == 6
+    assert condensed.shape == (4, 5)
+
+
+def test_column_contents_preserve_original_indices():
+    condensed = CondensedMatrix(_example())
+    col0 = condensed.column(0)
+    # Condensed column 0 holds the first nonzero of every non-empty row.
+    np.testing.assert_array_equal(col0.rows, [0, 1, 2])
+    np.testing.assert_array_equal(col0.original_cols, [0, 1, 0])
+    np.testing.assert_allclose(col0.values, [1.0, 4.0, 5.0])
+    col2 = condensed.column(2)
+    np.testing.assert_array_equal(col2.rows, [0])
+    np.testing.assert_array_equal(col2.original_cols, [4])
+    assert col2.nnz == 1
+    assert len(col2) == 1
+
+
+def test_column_nnz_histogram_is_non_increasing():
+    condensed = CondensedMatrix(_example())
+    histogram = condensed.column_nnz_histogram()
+    np.testing.assert_array_equal(histogram, [3, 2, 1])
+    assert all(histogram[i] >= histogram[i + 1] for i in range(len(histogram) - 1))
+    assert int(histogram.sum()) == condensed.nnz
+    for j in range(condensed.num_condensed_columns):
+        assert condensed.column_nnz(j) == histogram[j]
+
+
+def test_columns_iterator_covers_every_nonzero_exactly_once():
+    matrix = powerlaw_matrix(80, 4.0, seed=9)
+    condensed = CondensedMatrix(matrix)
+    seen = set()
+    for column in condensed.columns():
+        for row, col, value in zip(column.rows, column.original_cols,
+                                   column.values):
+            key = (int(row), int(col))
+            assert key not in seen
+            seen.add(key)
+    assert len(seen) == matrix.nnz
+
+
+def test_condensed_view_is_lossless():
+    """Re-assembling every condensed column reproduces the original matrix."""
+    matrix = random_matrix(50, 60, 300, seed=2)
+    condensed = CondensedMatrix(matrix)
+    dense = np.zeros(matrix.shape)
+    for column in condensed.columns():
+        dense[column.rows, column.original_cols] = column.values
+    np.testing.assert_allclose(dense, matrix.to_dense())
+
+
+def test_access_order_matches_column_concatenation():
+    matrix = _example()
+    condensed = CondensedMatrix(matrix)
+    order = condensed.access_order()
+    expected = np.concatenate([condensed.column(j).original_cols
+                               for j in range(3)])
+    np.testing.assert_array_equal(order, expected)
+    subset = condensed.access_order([1])
+    np.testing.assert_array_equal(subset, condensed.column(1).original_cols)
+
+
+def test_out_of_range_column_rejected():
+    condensed = CondensedMatrix(_example())
+    with pytest.raises(IndexError):
+        condensed.column(3)
+    with pytest.raises(IndexError):
+        condensed.column_nnz(-1)
+
+
+def test_empty_matrix_has_no_condensed_columns():
+    condensed = CondensedMatrix(CSRMatrix.empty((4, 4)))
+    assert condensed.num_condensed_columns == 0
+    assert len(condensed.column_nnz_histogram()) == 0
+    assert len(condensed.access_order()) == 0
+
+
+def test_condensing_reduces_column_count_on_sparse_matrices():
+    """The headline property of §II-B: far fewer condensed columns."""
+    matrix = powerlaw_matrix(512, 4.0, seed=11)
+    condensed = CondensedMatrix(matrix)
+    occupied_columns = len(np.unique(matrix.indices))
+    assert condensed.num_condensed_columns < occupied_columns
+    assert condensed.num_condensed_columns == matrix.max_row_length()

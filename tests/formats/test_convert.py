@@ -1,0 +1,89 @@
+"""Unit tests for format conversions (COO/CSR/CSC/scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    from_scipy,
+    to_scipy,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+@pytest.fixture
+def dense() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    matrix = rng.random((8, 6))
+    matrix[matrix < 0.6] = 0.0
+    return matrix
+
+
+def test_coo_csr_roundtrip(dense):
+    coo = COOMatrix.from_dense(dense)
+    csr = coo_to_csr(coo)
+    np.testing.assert_allclose(csr.to_dense(), dense)
+    np.testing.assert_allclose(csr_to_coo(csr).to_dense(), dense)
+
+
+def test_coo_csc_roundtrip(dense):
+    coo = COOMatrix.from_dense(dense)
+    csc = coo_to_csc(coo)
+    np.testing.assert_allclose(csc.to_dense(), dense)
+    np.testing.assert_allclose(csc_to_coo(csc).to_dense(), dense)
+
+
+def test_csr_csc_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    csc = csr_to_csc(csr)
+    assert isinstance(csc, CSCMatrix)
+    np.testing.assert_allclose(csc.to_dense(), dense)
+    np.testing.assert_allclose(csc_to_csr(csc).to_dense(), dense)
+
+
+def test_coo_to_csr_sums_duplicates():
+    coo = COOMatrix(np.array([0, 0, 1]), np.array([1, 1, 0]),
+                    np.array([1.0, 2.0, 3.0]), (2, 2))
+    csr = coo_to_csr(coo)
+    assert csr.nnz == 2
+    np.testing.assert_allclose(csr.to_dense(), [[0.0, 3.0], [3.0, 0.0]])
+
+
+def test_csr_rows_sorted_after_conversion(dense):
+    csr = coo_to_csr(COOMatrix.from_dense(dense))
+    assert csr.has_sorted_rows()
+
+
+def test_scipy_roundtrip(dense):
+    scipy_matrix = sp.csr_matrix(dense)
+    ours = from_scipy(scipy_matrix)
+    assert isinstance(ours, CSRMatrix)
+    np.testing.assert_allclose(ours.to_dense(), dense)
+    back = to_scipy(ours)
+    np.testing.assert_allclose(back.toarray(), dense)
+
+
+def test_to_scipy_accepts_all_containers(dense):
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(to_scipy(csr).toarray(), dense)
+    np.testing.assert_allclose(to_scipy(csr_to_coo(csr)).toarray(), dense)
+    np.testing.assert_allclose(to_scipy(csr_to_csc(csr)).toarray(), dense)
+    with pytest.raises(TypeError):
+        to_scipy(dense)
+
+
+def test_empty_conversions():
+    empty = COOMatrix.empty((3, 4))
+    assert coo_to_csr(empty).nnz == 0
+    assert coo_to_csc(empty).nnz == 0
+    assert csr_to_csc(CSRMatrix.empty((3, 4))).shape == (3, 4)

@@ -1,0 +1,106 @@
+"""Unit tests for the COO matrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+
+
+def test_from_dense_roundtrip():
+    dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+    coo = COOMatrix.from_dense(dense)
+    assert coo.nnz == 4
+    assert coo.shape == (3, 3)
+    np.testing.assert_allclose(coo.to_dense(), dense)
+
+
+def test_empty_matrix():
+    coo = COOMatrix.empty((5, 7))
+    assert coo.nnz == 0
+    assert coo.shape == (5, 7)
+    assert coo.density == 0.0
+    np.testing.assert_allclose(coo.to_dense(), np.zeros((5, 7)))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="equal length"):
+        COOMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+
+def test_out_of_bounds_index_rejected():
+    with pytest.raises(ValueError, match="out of bounds"):
+        COOMatrix(np.array([0]), np.array([5]), np.array([1.0]), (2, 2))
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        COOMatrix(np.array([-1]), np.array([0]), np.array([1.0]), (2, 2))
+
+
+def test_canonicalized_sorts_and_sums_duplicates():
+    coo = COOMatrix(np.array([1, 0, 1]), np.array([1, 0, 1]),
+                    np.array([2.0, 1.0, 3.0]), (2, 2))
+    canonical = coo.canonicalized()
+    assert canonical.nnz == 2
+    assert canonical.is_canonical()
+    np.testing.assert_array_equal(canonical.rows, [0, 1])
+    np.testing.assert_array_equal(canonical.cols, [0, 1])
+    np.testing.assert_allclose(canonical.vals, [1.0, 5.0])
+
+
+def test_canonicalized_drops_cancelled_entries():
+    coo = COOMatrix(np.array([0, 0]), np.array([1, 1]),
+                    np.array([2.0, -2.0]), (1, 2))
+    assert coo.canonicalized(drop_zeros=True).nnz == 0
+    assert coo.canonicalized(drop_zeros=False).nnz == 1
+
+
+def test_is_canonical_detects_duplicates_and_disorder():
+    sorted_coo = COOMatrix(np.array([0, 1]), np.array([1, 0]),
+                           np.array([1.0, 1.0]), (2, 2))
+    assert sorted_coo.is_canonical()
+    unsorted = COOMatrix(np.array([1, 0]), np.array([0, 1]),
+                         np.array([1.0, 1.0]), (2, 2))
+    assert not unsorted.is_canonical()
+    duplicated = COOMatrix(np.array([0, 0]), np.array([1, 1]),
+                           np.array([1.0, 1.0]), (2, 2))
+    assert not duplicated.is_canonical()
+
+
+def test_transpose_swaps_shape_and_coordinates():
+    coo = COOMatrix(np.array([0, 2]), np.array([1, 0]),
+                    np.array([1.5, 2.5]), (3, 2))
+    transposed = coo.transpose()
+    assert transposed.shape == (2, 3)
+    np.testing.assert_allclose(transposed.to_dense(), coo.to_dense().T)
+
+
+def test_scaled_multiplies_values_only():
+    coo = COOMatrix(np.array([0]), np.array([1]), np.array([2.0]), (1, 2))
+    scaled = coo.scaled(-0.5)
+    np.testing.assert_allclose(scaled.vals, [-1.0])
+    np.testing.assert_array_equal(scaled.rows, coo.rows)
+
+
+def test_allclose_is_order_insensitive():
+    a = COOMatrix(np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0]), (2, 2))
+    b = COOMatrix(np.array([1, 0]), np.array([1, 0]), np.array([2.0, 1.0]), (2, 2))
+    assert a.allclose(b)
+    c = COOMatrix(np.array([1, 0]), np.array([1, 0]), np.array([2.0, 1.5]), (2, 2))
+    assert not a.allclose(c)
+    assert not a.allclose(COOMatrix.empty((3, 3)))
+
+
+def test_iter_triples_yields_python_scalars():
+    coo = COOMatrix(np.array([0]), np.array([1]), np.array([2.0]), (1, 2))
+    triples = list(coo.iter_triples())
+    assert triples == [(0, 1, 2.0)]
+    assert all(isinstance(v, (int, float)) for triple in triples for v in triple)
+
+
+def test_len_and_density():
+    coo = COOMatrix(np.array([0, 1]), np.array([0, 1]), np.array([1.0, 1.0]), (2, 2))
+    assert len(coo) == 2
+    assert coo.density == pytest.approx(0.5)

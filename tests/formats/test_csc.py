@@ -1,0 +1,65 @@
+"""Unit tests for the CSC matrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import csr_to_csc
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def _example_dense() -> np.ndarray:
+    return np.array([
+        [1.0, 0.0, 2.0],
+        [0.0, 3.0, 0.0],
+        [4.0, 0.0, 5.0],
+        [0.0, 6.0, 0.0],
+    ])
+
+
+def _example_csc() -> CSCMatrix:
+    return csr_to_csc(CSRMatrix.from_dense(_example_dense()))
+
+
+def test_structure_matches_dense():
+    csc = _example_csc()
+    assert csc.shape == (4, 3)
+    assert csc.nnz == 6
+    np.testing.assert_array_equal(csc.nnz_per_col(), [2, 2, 2])
+    np.testing.assert_allclose(csc.to_dense(), _example_dense())
+
+
+def test_column_access():
+    csc = _example_csc()
+    rows, vals = csc.col(0)
+    np.testing.assert_array_equal(rows, [0, 2])
+    np.testing.assert_allclose(vals, [1.0, 4.0])
+    assert csc.col_nnz(1) == 2
+    with pytest.raises(IndexError):
+        csc.col(3)
+    with pytest.raises(IndexError):
+        csc.col_nnz(-1)
+
+
+def test_empty():
+    empty = CSCMatrix.empty((3, 2))
+    assert empty.nnz == 0
+    assert empty.num_rows == 3
+    assert empty.num_cols == 2
+    np.testing.assert_allclose(empty.to_dense(), np.zeros((3, 2)))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="indptr"):
+        CSCMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(ValueError, match="row index"):
+        CSCMatrix(np.array([0, 1, 1]), np.array([9]), np.array([1.0]), (2, 2))
+    with pytest.raises(ValueError, match="equal length"):
+        CSCMatrix(np.array([0, 1, 1]), np.array([0]), np.array([1.0, 2.0]), (2, 2))
+
+
+def test_storage_bytes():
+    csc = _example_csc()
+    assert csc.storage_bytes() == 6 * 16 + 4 * 8

@@ -1,0 +1,97 @@
+"""Unit tests for the CSR matrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+
+
+def _example() -> CSRMatrix:
+    dense = np.array([
+        [1.0, 0.0, 2.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+        [3.0, 4.0, 5.0, 6.0],
+    ])
+    return CSRMatrix.from_dense(dense)
+
+
+def test_from_dense_structure():
+    csr = _example()
+    assert csr.shape == (3, 4)
+    assert csr.nnz == 6
+    np.testing.assert_array_equal(csr.indptr, [0, 2, 2, 6])
+    np.testing.assert_array_equal(csr.nnz_per_row(), [2, 0, 4])
+
+
+def test_row_access_returns_views():
+    csr = _example()
+    cols, vals = csr.row(2)
+    np.testing.assert_array_equal(cols, [0, 1, 2, 3])
+    np.testing.assert_allclose(vals, [3.0, 4.0, 5.0, 6.0])
+    assert csr.row_nnz(0) == 2
+    assert csr.row_nnz(1) == 0
+
+
+def test_row_out_of_range():
+    csr = _example()
+    with pytest.raises(IndexError):
+        csr.row(3)
+    with pytest.raises(IndexError):
+        csr.row_nnz(-1)
+
+
+def test_max_row_length_matches_condensed_column_count():
+    csr = _example()
+    assert csr.max_row_length() == 4
+    assert CSRMatrix.empty((0, 0)).max_row_length() == 0
+
+
+def test_empty_matrix():
+    empty = CSRMatrix.empty((4, 5))
+    assert empty.nnz == 0
+    assert empty.num_rows == 4
+    assert empty.num_cols == 5
+    np.testing.assert_allclose(empty.to_dense(), np.zeros((4, 5)))
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError, match="indptr"):
+        CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(ValueError, match="non-decreasing"):
+        CSRMatrix(np.array([0, 2, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+
+def test_column_index_bounds_checked():
+    with pytest.raises(ValueError, match="column index"):
+        CSRMatrix(np.array([0, 1]), np.array([7]), np.array([1.0]), (1, 3))
+
+
+def test_transpose_roundtrip():
+    csr = _example()
+    np.testing.assert_allclose(csr.transpose().to_dense(), csr.to_dense().T)
+    np.testing.assert_allclose(csr.transpose().transpose().to_dense(),
+                               csr.to_dense())
+
+
+def test_has_sorted_rows():
+    csr = _example()
+    assert csr.has_sorted_rows()
+    shuffled = CSRMatrix(np.array([0, 2]), np.array([1, 0]),
+                         np.array([1.0, 2.0]), (1, 3))
+    assert not shuffled.has_sorted_rows()
+
+
+def test_storage_and_row_bytes():
+    csr = _example()
+    assert csr.row_bytes(2) == 4 * 16
+    assert csr.storage_bytes() == 6 * 16 + 4 * 8
+    assert csr.storage_bytes(index_bytes=4, value_bytes=8, pointer_bytes=4) == (
+        6 * 12 + 4 * 4)
+
+
+def test_density():
+    csr = _example()
+    assert csr.density == pytest.approx(6 / 12)
+    assert CSRMatrix.empty((0, 0)).density == 0.0

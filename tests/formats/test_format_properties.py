@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for the sparse format layer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.condensed import CondensedMatrix
+from repro.formats.convert import coo_to_csr, csr_to_coo, csr_to_csc, csc_to_csr
+from repro.formats.coo import COOMatrix
+
+
+@st.composite
+def coo_matrices(draw, max_dim: int = 12, max_nnz: int = 40) -> COOMatrix:
+    """Random COO matrices, possibly with duplicate coordinates."""
+    num_rows = draw(st.integers(min_value=1, max_value=max_dim))
+    num_cols = draw(st.integers(min_value=1, max_value=max_dim))
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    rows = draw(st.lists(st.integers(0, num_rows - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, num_cols - 1), min_size=nnz, max_size=nnz))
+    vals = draw(st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False,
+                  allow_infinity=False).filter(lambda v: v != 0.0),
+        min_size=nnz, max_size=nnz))
+    return COOMatrix(np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                     np.array(vals), (num_rows, num_cols))
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_canonicalized_preserves_dense_equivalent(coo: COOMatrix):
+    np.testing.assert_allclose(coo.canonicalized(drop_zeros=False).to_dense(),
+                               coo.to_dense(), atol=1e-9)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_csr_roundtrip_preserves_values(coo: COOMatrix):
+    csr = coo_to_csr(coo)
+    np.testing.assert_allclose(csr.to_dense(), coo.to_dense(), atol=1e-9)
+    back = csr_to_coo(csr)
+    np.testing.assert_allclose(back.to_dense(), coo.to_dense(), atol=1e-9)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_csc_roundtrip_preserves_values(coo: COOMatrix):
+    csr = coo_to_csr(coo)
+    np.testing.assert_allclose(csc_to_csr(csr_to_csc(csr)).to_dense(),
+                               csr.to_dense(), atol=1e-9)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_rows_always_sorted(coo: COOMatrix):
+    assert coo_to_csr(coo).has_sorted_rows()
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_condensed_view_is_a_permutation_of_the_nonzeros(coo: COOMatrix):
+    """Condensing never gains, loses, or alters a nonzero (§II-B)."""
+    csr = coo_to_csr(coo)
+    condensed = CondensedMatrix(csr)
+    assert condensed.num_condensed_columns == csr.max_row_length()
+    entries = {}
+    for column in condensed.columns():
+        for row, col, value in zip(column.rows, column.original_cols,
+                                   column.values):
+            entries[(int(row), int(col))] = float(value)
+    dense = csr.to_dense()
+    assert len(entries) == csr.nnz
+    for (row, col), value in entries.items():
+        assert dense[row, col] == value
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_condensed_histogram_sums_to_nnz(coo: COOMatrix):
+    csr = coo_to_csr(coo)
+    histogram = CondensedMatrix(csr).column_nnz_histogram()
+    assert int(histogram.sum()) == csr.nnz
+    assert all(histogram[i] >= histogram[i + 1] for i in range(len(histogram) - 1))

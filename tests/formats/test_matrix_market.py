@@ -1,0 +1,118 @@
+"""Unit tests for Matrix Market (.mtx) reading and writing."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats.matrix_market import read_matrix_market, write_matrix_market
+from repro.matrices.synthetic import random_matrix
+
+GENERAL_FILE = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 5
+1 1 1.5
+1 3 -2.0
+2 2 3.25
+3 1 4.0
+3 4 0.5
+"""
+
+SYMMETRIC_FILE = """%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 1.0
+2 1 2.0
+3 1 3.0
+3 3 4.0
+"""
+
+PATTERN_FILE = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+
+SKEW_FILE = """%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 2
+2 1 5.0
+3 2 -1.0
+"""
+
+
+def test_read_general_coordinate_file():
+    matrix = read_matrix_market(io.StringIO(GENERAL_FILE))
+    assert matrix.shape == (3, 4)
+    assert matrix.nnz == 5
+    dense = matrix.to_dense()
+    assert dense[0, 0] == 1.5
+    assert dense[0, 2] == -2.0
+    assert dense[2, 3] == 0.5
+
+
+def test_read_symmetric_file_mirrors_off_diagonal():
+    matrix = read_matrix_market(io.StringIO(SYMMETRIC_FILE))
+    dense = matrix.to_dense()
+    np.testing.assert_allclose(dense, dense.T)
+    assert dense[0, 1] == 2.0 and dense[1, 0] == 2.0
+    assert dense[0, 0] == 1.0  # diagonal entries are not duplicated
+    assert matrix.nnz == 4 + 2
+
+
+def test_read_skew_symmetric_file_negates_mirror():
+    matrix = read_matrix_market(io.StringIO(SKEW_FILE))
+    dense = matrix.to_dense()
+    assert dense[1, 0] == 5.0 and dense[0, 1] == -5.0
+    np.testing.assert_allclose(dense, -dense.T)
+
+
+def test_read_pattern_file_uses_unit_values():
+    matrix = read_matrix_market(io.StringIO(PATTERN_FILE))
+    np.testing.assert_allclose(matrix.to_dense(), [[0.0, 1.0], [1.0, 0.0]])
+
+
+def test_roundtrip_through_file(tmp_path):
+    original = random_matrix(30, 20, 150, seed=6)
+    path = tmp_path / "matrix.mtx"
+    write_matrix_market(original, path, comment="roundtrip test")
+    loaded = read_matrix_market(path)
+    assert loaded.shape == original.shape
+    np.testing.assert_allclose(loaded.to_dense(), original.to_dense())
+    assert "% roundtrip test" in path.read_text().splitlines()[1]
+
+
+def test_roundtrip_through_stream():
+    original = random_matrix(10, 10, 40, seed=7)
+    buffer = io.StringIO()
+    write_matrix_market(original, buffer)
+    buffer.seek(0)
+    np.testing.assert_allclose(read_matrix_market(buffer).to_dense(),
+                               original.to_dense())
+
+
+@pytest.mark.parametrize("content,match", [
+    ("not a header\n1 1 1\n", "missing"),
+    ("%%MatrixMarket matrix array real general\n1 1\n1.0\n", "coordinate"),
+    ("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 2\n",
+     "unsupported MatrixMarket field"),
+    ("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+     "unsupported MatrixMarket symmetry"),
+    ("%%MatrixMarket matrix coordinate real general\n", "no size line"),
+    ("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+     "expected 2 entries"),
+    ("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n",
+     "malformed entry"),
+])
+def test_malformed_inputs_rejected(content, match):
+    with pytest.raises(ValueError, match=match):
+        read_matrix_market(io.StringIO(content))
+
+
+def test_loaded_matrix_runs_through_the_accelerator():
+    from repro.baselines.reference import matrices_allclose, scipy_spgemm
+    from repro.core.accelerator import multiply
+
+    matrix = read_matrix_market(io.StringIO(SYMMETRIC_FILE))
+    result = multiply(matrix, matrix)
+    assert matrices_allclose(result.matrix, scipy_spgemm(matrix, matrix))

@@ -1,0 +1,115 @@
+"""Unit tests for the comparator-array merger (§II-A.1, Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.comparator_array import (
+    ComparatorArray,
+    boundary_tiles,
+    comparison_matrix,
+    merge_windows,
+)
+
+#: The exact example of Figure 3: two sorted windows of four elements each.
+FIG3_A = [(1, 0.1), (3, 0.5), (4, 0.2), (13, 1.2)]
+FIG3_B = [(3, 0.6), (5, 1.3), (10, 2.2), (12, 1.1)]
+#: The merged coordinate sequence of Figure 3 (before the adder folds the
+#: two coordinate-3 entries into 1.1); ties may appear in either order.
+FIG3_MERGED_KEYS = [1, 3, 3, 4, 5, 10, 12, 13]
+
+
+def test_comparison_matrix_is_padded():
+    ge = comparison_matrix([key for key, _ in FIG3_A], [key for key, _ in FIG3_B])
+    assert len(ge) == 5 and len(ge[0]) == 5
+    # Dummy column of '<' on the right, dummy row of '≥' at the bottom.
+    assert all(row[-1] is False for row in ge[:-1])
+    assert all(ge[-1])
+
+
+def test_boundary_tiles_one_per_diagonal_group():
+    ge = comparison_matrix([key for key, _ in FIG3_A], [key for key, _ in FIG3_B])
+    tiles = boundary_tiles(ge)
+    groups = sorted(i + j for i, j in tiles)
+    # Every diagonal group 0..len(a)+len(b)-1 produces exactly one output.
+    assert groups[: len(FIG3_A) + len(FIG3_B)] == list(range(8))
+
+
+def test_merge_windows_reproduces_figure3():
+    merged = merge_windows(FIG3_A, FIG3_B)
+    assert [key for key, _ in merged] == FIG3_MERGED_KEYS
+    assert sorted(merged) == sorted(FIG3_A + FIG3_B)
+    # The two coordinate-3 entries are adjacent, ready for the adder slice to
+    # fold them into (3, 1.1) as the figure shows.
+    assert {merged[1][1], merged[2][1]} == {0.5, 0.6}
+
+
+def test_merge_windows_handles_empty_inputs():
+    assert merge_windows([], FIG3_B) == FIG3_B
+    assert merge_windows(FIG3_A, []) == FIG3_A
+    assert merge_windows([], []) == []
+
+
+def test_merge_windows_keeps_duplicates_separate():
+    # The merger interleaves only; the adder slice folds duplicates later.
+    merged = merge_windows([(2, 1.0)], [(2, 3.0)])
+    assert len(merged) == 2
+    assert {value for _, value in merged} == {1.0, 3.0}
+
+
+@pytest.mark.parametrize("size", [1, 4, 16])
+def test_streaming_merge_matches_sorted_concatenation(size, rng):
+    a_keys = np.sort(rng.integers(0, 1000, size=37))
+    b_keys = np.sort(rng.integers(0, 1000, size=23))
+    a_vals = rng.random(37)
+    b_vals = rng.random(23)
+    merger = ComparatorArray(size)
+    keys, vals = merger.merge(a_keys, a_vals, b_keys, b_vals)
+    assert len(keys) == 60
+    assert np.all(np.diff(keys) >= 0)
+    # Every (key, value) pair of the inputs appears exactly once.
+    merged_pairs = sorted(zip(keys.tolist(), vals.tolist()))
+    expected_pairs = sorted(zip(np.concatenate([a_keys, b_keys]).tolist(),
+                                np.concatenate([a_vals, b_vals]).tolist()))
+    assert merged_pairs == expected_pairs
+
+
+def test_merge_empty_streams():
+    merger = ComparatorArray(4)
+    keys, vals = merger.merge(np.empty(0, np.int64), np.empty(0),
+                              np.empty(0, np.int64), np.empty(0))
+    assert len(keys) == 0 and len(vals) == 0
+    assert merger.stats.cycles == 0
+
+
+def test_cycle_and_comparator_accounting():
+    merger = ComparatorArray(4)
+    a = np.arange(8, dtype=np.int64)
+    b = np.arange(8, 16, dtype=np.int64)
+    merger.merge(a, np.ones(8), b, np.ones(8))
+    # 16 merged elements at 4 per cycle.
+    assert merger.stats.cycles == 4
+    assert merger.stats.comparator_ops == 4 * merger.num_comparators
+    assert merger.stats.elements_merged == 16
+    assert merger.merge_cycles(16) == 4
+    assert merger.merge_cycles(0) == 0
+    merger.reset_stats()
+    assert merger.stats.cycles == 0
+
+
+def test_invalid_arguments_rejected():
+    merger = ComparatorArray(4)
+    with pytest.raises(ValueError):
+        merger.merge(np.array([1]), np.array([1.0, 2.0]), np.array([2]),
+                     np.array([1.0]))
+    with pytest.raises(ValueError):
+        merger.merge_cycles(-1)
+    with pytest.raises(ValueError):
+        ComparatorArray(0)
+
+
+def test_throughput_and_comparator_count():
+    merger = ComparatorArray(16)
+    assert merger.throughput == 16
+    assert merger.num_comparators == 256

@@ -1,0 +1,126 @@
+"""Unit tests for the FIFO primitive and the two-phase clock kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.clock import ClockedModule, CycleSimulator
+from repro.hardware.fifo import Fifo
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        fifo = Fifo(4, name="test")
+        for item in (1, 2, 3):
+            fifo.push(item)
+        assert fifo.pop() == 1
+        assert fifo.peek() == 2
+        assert fifo.pop() == 2
+        assert len(fifo) == 1
+
+    def test_capacity_enforced(self):
+        fifo = Fifo(2)
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.is_full()
+        with pytest.raises(OverflowError):
+            fifo.push("c")
+
+    def test_pop_from_empty_raises(self):
+        fifo = Fifo(2)
+        assert fifo.is_empty()
+        with pytest.raises(IndexError):
+            fifo.pop()
+        with pytest.raises(IndexError):
+            fifo.peek()
+
+    def test_push_many_and_pop_many(self):
+        fifo = Fifo(3)
+        accepted = fifo.push_many([1, 2, 3, 4, 5])
+        assert accepted == 3
+        assert fifo.pop_many(10) == [1, 2, 3]
+        assert fifo.pop_many(2) == []
+
+    def test_statistics(self):
+        fifo = Fifo(4)
+        fifo.push_many([1, 2, 3])
+        fifo.pop()
+        fifo.push(4)
+        assert fifo.total_pushed == 4
+        assert fifo.total_popped == 1
+        assert fifo.high_water_mark == 3
+        assert fifo.free_space == 1
+        fifo.clear()
+        assert fifo.is_empty()
+        assert fifo.total_pushed == 4  # statistics survive clear()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+
+class _Counter(ClockedModule):
+    """Counts cycles with proper two-phase semantics."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._next = 0
+
+    def clock_update(self) -> None:
+        self._next = self.value + 1
+
+    def clock_apply(self) -> None:
+        self.value = self._next
+
+
+class _Follower(ClockedModule):
+    """Samples the counter's *current* value, one cycle behind."""
+
+    def __init__(self, counter: _Counter) -> None:
+        self._counter = counter
+        self.value = 0
+        self._next = 0
+
+    def clock_update(self) -> None:
+        self._next = self._counter.value
+
+    def clock_apply(self) -> None:
+        self.value = self._next
+
+
+class TestCycleSimulator:
+    def test_two_phase_semantics(self):
+        counter = _Counter()
+        follower = _Follower(counter)
+        sim = CycleSimulator([counter, follower])
+        sim.step(5)
+        assert counter.value == 5
+        # The follower saw the counter value *before* this cycle's update.
+        assert follower.value == 4
+        assert sim.cycle == 5
+
+    def test_module_order_does_not_matter(self):
+        counter = _Counter()
+        follower = _Follower(counter)
+        sim = CycleSimulator([follower, counter])
+        sim.step(5)
+        assert follower.value == 4
+
+    def test_run_until(self):
+        counter = _Counter()
+        sim = CycleSimulator([counter])
+        cycles = sim.run_until(lambda: counter.value >= 10)
+        assert cycles == 10
+
+    def test_run_until_timeout(self):
+        counter = _Counter()
+        sim = CycleSimulator([counter])
+        with pytest.raises(RuntimeError, match="converge"):
+            sim.run_until(lambda: False, max_cycles=20)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            CycleSimulator([])
+        sim = CycleSimulator([_Counter()])
+        with pytest.raises(ValueError):
+            sim.step(-1)

@@ -1,0 +1,91 @@
+"""Unit tests for the two-level hierarchical merger (§II-A.2, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.comparator_array import ComparatorArray
+from repro.hardware.hierarchical_merger import (
+    HierarchicalMerger,
+    chunk_pairs,
+    comparator_count,
+)
+
+
+def test_comparator_count_formula():
+    # The paper's example: 16-wide merger from 4-wide chunks.
+    assert comparator_count(16, 4) == (2 * 4 - 1) * 16 + 16
+    # Degenerate case: one chunk is just a flat array plus a 1x1 top level.
+    assert comparator_count(4, 4) == 16 + 1
+    with pytest.raises(ValueError):
+        comparator_count(10, 4)
+
+
+def test_hierarchical_saves_comparators():
+    merger = HierarchicalMerger(total_width=16, chunk_size=4)
+    flat = ComparatorArray(16)
+    assert merger.num_comparators < flat.num_comparators
+    assert merger.comparator_savings > 1.0
+    assert merger.throughput == flat.throughput == 16
+    assert merger.num_chunks == 4
+
+
+def test_chunk_pairs_figure4_example():
+    """Figure 4: chunk maxima (13, 37, 58) vs (12, 40, 61) give 5 pairs."""
+    pairs = chunk_pairs([13, 37, 58], [12, 40, 61])
+    assert len(pairs) == 2 * 3 - 1
+    assert pairs[0] == (0, 0)
+    assert pairs[-1] == (2, 2)
+    # The staircase is monotone in both coordinates.
+    for (a0, b0), (a1, b1) in zip(pairs, pairs[1:]):
+        assert a1 >= a0 and b1 >= b0
+        assert (a1 - a0) + (b1 - b0) >= 1
+
+
+def test_chunk_pairs_empty_inputs():
+    assert chunk_pairs([], [1, 2]) == []
+    assert chunk_pairs([1], []) == []
+
+
+def test_merge_matches_flat_array(rng):
+    merger = HierarchicalMerger(total_width=16, chunk_size=4)
+    flat = ComparatorArray(16)
+    a_keys = np.sort(rng.integers(0, 500, size=64))
+    b_keys = np.sort(rng.integers(0, 500, size=50))
+    a_vals = rng.random(64)
+    b_vals = rng.random(50)
+    h_keys, h_vals = merger.merge(a_keys, a_vals, b_keys, b_vals)
+    f_keys, f_vals = flat.merge(a_keys, a_vals, b_keys, b_vals)
+    np.testing.assert_array_equal(h_keys, f_keys)
+    np.testing.assert_allclose(h_vals, f_vals)
+
+
+def test_energy_accounting_uses_fewer_comparator_ops(rng):
+    hierarchical = HierarchicalMerger(total_width=16, chunk_size=4)
+    flat = ComparatorArray(16)
+    keys = np.sort(rng.integers(0, 100, size=32))
+    vals = rng.random(32)
+    hierarchical.merge(keys, vals, keys, vals)
+    flat.merge(keys, vals, keys, vals)
+    assert hierarchical.stats.cycles == flat.stats.cycles
+    assert hierarchical.stats.comparator_ops < flat.stats.comparator_ops
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        HierarchicalMerger(total_width=10, chunk_size=4)
+    with pytest.raises(ValueError):
+        HierarchicalMerger(total_width=0, chunk_size=1)
+
+
+def test_merge_cycles_and_reset():
+    merger = HierarchicalMerger(total_width=16, chunk_size=4)
+    assert merger.merge_cycles(32) == 2
+    assert merger.merge_cycles(0) == 0
+    with pytest.raises(ValueError):
+        merger.merge_cycles(-5)
+    merger.merge(np.array([1]), np.array([1.0]), np.array([2]), np.array([2.0]))
+    assert merger.stats.elements_merged == 2
+    merger.reset_stats()
+    assert merger.stats.elements_merged == 0

@@ -1,0 +1,112 @@
+"""Unit tests for the streaming merge tree (§II-A.3, Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.merge_tree import MergeTree
+
+
+def _sorted_stream(rng, length: int, key_range: int = 1000):
+    keys = np.sort(rng.integers(0, key_range, size=length))
+    vals = rng.random(length) + 0.1
+    return keys, vals
+
+
+def test_figure5_example_merges_four_streams():
+    """The four coordinate arrays of Figure 5 merge into one sorted array."""
+    streams = [
+        (np.array([24, 26, 31, 52, 54, 56, 57, 58, 73, 75]), None),
+        (np.array([22, 28, 42, 44, 46, 47, 48]), None),
+        (np.array([11, 13, 15, 21, 23, 25, 41, 43, 45]), None),
+        (np.array([12, 14, 16, 17, 18, 32, 34, 36, 37, 38, 72]), None),
+    ]
+    streams = [(keys, np.ones(len(keys))) for keys, _ in streams]
+    tree = MergeTree(num_layers=2, merger_width=4, chunk_size=4)
+    keys, vals = tree.merge(streams)
+    expected = np.sort(np.concatenate([s[0] for s in streams]))
+    np.testing.assert_array_equal(keys, expected)
+    assert len(vals) == len(expected)
+
+
+def test_merge_folds_duplicates_and_drops_zeros(rng):
+    tree = MergeTree(num_layers=2, merger_width=4)
+    streams = [
+        (np.array([1, 5, 9]), np.array([1.0, 2.0, 3.0])),
+        (np.array([1, 5, 9]), np.array([1.0, -2.0, 4.0])),
+    ]
+    keys, vals = tree.merge(streams)
+    np.testing.assert_array_equal(keys, [1, 9])
+    np.testing.assert_allclose(vals, [2.0, 7.0])
+    assert tree.stats.additions == 3
+
+
+def test_merge_many_streams_matches_numpy(rng):
+    tree = MergeTree(num_layers=6, merger_width=16, chunk_size=4)
+    streams = [_sorted_stream(rng, int(rng.integers(0, 40))) for _ in range(64)]
+    keys, vals = tree.merge(streams)
+    all_keys = np.concatenate([s[0] for s in streams])
+    all_vals = np.concatenate([s[1] for s in streams])
+    expected = {}
+    for key, val in zip(all_keys.tolist(), all_vals.tolist()):
+        expected[key] = expected.get(key, 0.0) + val
+    expected_keys = sorted(expected)
+    np.testing.assert_array_equal(keys, expected_keys)
+    np.testing.assert_allclose(vals, [expected[k] for k in expected_keys])
+    assert np.all(np.diff(keys) > 0)
+
+
+def test_way_limit_enforced(rng):
+    tree = MergeTree(num_layers=2, merger_width=4)
+    streams = [_sorted_stream(rng, 4) for _ in range(5)]
+    with pytest.raises(ValueError, match="4-way"):
+        tree.merge(streams)
+
+
+def test_unsorted_input_rejected():
+    tree = MergeTree(num_layers=1, merger_width=4)
+    with pytest.raises(ValueError, match="sorted"):
+        tree.merge([(np.array([3, 1]), np.array([1.0, 1.0]))])
+    with pytest.raises(ValueError, match="equal length"):
+        tree.merge([(np.array([1]), np.array([1.0, 2.0]))])
+
+
+def test_empty_and_single_stream_cases():
+    tree = MergeTree(num_layers=2, merger_width=4)
+    keys, vals = tree.merge([])
+    assert len(keys) == 0
+    keys, vals = tree.merge([(np.array([2, 4]), np.array([1.0, 0.0]))])
+    np.testing.assert_array_equal(keys, [2])  # explicit zero eliminated
+    np.testing.assert_allclose(vals, [1.0])
+
+
+def test_structural_properties():
+    tree = MergeTree(num_layers=6, merger_width=16, chunk_size=4)
+    assert tree.num_ways == 64
+    assert tree.num_layers == 6
+    assert tree.num_mergers == 6
+    assert tree.total_comparators == 6 * ((2 * 4 - 1) * 16 + 16)
+    assert tree.total_fifo_entries == (2 ** 7 - 1) * 1024
+
+
+def test_cycle_accounting_is_root_bound(rng):
+    tree = MergeTree(num_layers=3, merger_width=8)
+    streams = [_sorted_stream(rng, 32) for _ in range(8)]
+    tree.merge(streams)
+    total = 8 * 32
+    assert tree.stats.elements_into_root == total
+    assert tree.stats.cycles >= total // 8
+    assert tree.merge_cycles(total) == -(-total // 8) + 3
+    assert tree.merge_cycles(0) == 0
+    with pytest.raises(ValueError):
+        tree.merge_cycles(-1)
+
+
+def test_reset_stats(rng):
+    tree = MergeTree(num_layers=2, merger_width=4)
+    tree.merge([_sorted_stream(rng, 8), _sorted_stream(rng, 8)])
+    assert tree.stats.elements_into_root > 0
+    tree.reset_stats()
+    assert tree.stats.elements_into_root == 0
+    assert tree.stats.cycles == 0

@@ -1,0 +1,117 @@
+"""Unit tests for the adder slice and zero eliminator (§II-A.4, Figure 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.adder import AdderSlice, add_duplicates
+from repro.hardware.zero_eliminator import (
+    ZeroEliminator,
+    ZeroEliminatorTrace,
+    eliminate_zeros,
+    zero_counts,
+)
+
+
+class TestAdderSlice:
+    def test_folds_adjacent_duplicates(self):
+        adder = AdderSlice()
+        keys, vals = adder.fold(np.array([1, 1, 2, 3, 3, 3]),
+                                np.array([1.0, 2.0, 5.0, 1.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(keys, [1, 2, 3])
+        np.testing.assert_allclose(vals, [3.0, 5.0, 3.0])
+        assert adder.stats.additions == 3
+        assert adder.stats.elements_processed == 6
+
+    def test_keeps_cancelled_zeros(self):
+        keys, vals, additions = add_duplicates(np.array([4, 4]),
+                                               np.array([1.5, -1.5]))
+        np.testing.assert_array_equal(keys, [4])
+        np.testing.assert_allclose(vals, [0.0])
+        assert additions == 1
+
+    def test_requires_sorted_input(self):
+        adder = AdderSlice()
+        with pytest.raises(ValueError, match="sorted"):
+            adder.fold(np.array([3, 1]), np.array([1.0, 1.0]))
+
+    def test_empty_input(self):
+        adder = AdderSlice()
+        keys, vals = adder.fold(np.empty(0, np.int64), np.empty(0))
+        assert len(keys) == 0 and len(vals) == 0
+        assert adder.stats.additions == 0
+
+    def test_reset_stats(self):
+        adder = AdderSlice()
+        adder.fold(np.array([1, 1]), np.array([1.0, 1.0]))
+        adder.reset_stats()
+        assert adder.stats.additions == 0
+
+
+class TestZeroEliminator:
+    def test_figure6_example(self):
+        """The worked example of Figure 6: [1,0,0,2,3,0,4,0] → [1,2,3,4]."""
+        values = [1.0, 0.0, 0.0, 2.0, 3.0, 0.0, 4.0, 0.0]
+        keys = list(range(8))
+        assert zero_counts(values) == [0, 0, 1, 2, 2, 2, 3, 3]
+        eliminator = ZeroEliminator(width=8)
+        out_keys, out_vals = eliminator.compress(keys, values)
+        assert out_vals == [1.0, 2.0, 3.0, 4.0]
+        assert out_keys == [0, 3, 4, 6]
+
+    def test_figure6_layer_count(self):
+        eliminator = ZeroEliminator(width=8)
+        assert eliminator.num_layers == 3
+        assert eliminator.latency_cycles == 3
+        assert ZeroEliminator(width=1).num_layers == 1
+
+    def test_trace_records_every_layer(self):
+        eliminator = ZeroEliminator(width=8)
+        trace = ZeroEliminatorTrace()
+        eliminator.compress(list(range(8)),
+                            [1.0, 0.0, 0.0, 2.0, 3.0, 0.0, 4.0, 0.0],
+                            trace=trace)
+        assert len(trace.layers) == eliminator.num_layers
+        # Non-zero values are never lost at any layer.
+        for layer in trace.layers:
+            assert sorted(v for v in layer if v != 0.0) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_all_zero_and_no_zero_windows(self):
+        eliminator = ZeroEliminator(width=4)
+        assert eliminator.compress([0, 1, 2], [0.0, 0.0, 0.0]) == ([], [])
+        keys, vals = eliminator.compress([5, 6], [1.0, 2.0])
+        assert keys == [5, 6] and vals == [1.0, 2.0]
+
+    def test_oversized_window_rejected(self):
+        eliminator = ZeroEliminator(width=4)
+        with pytest.raises(ValueError, match="exceeds"):
+            eliminator.compress(list(range(5)), [1.0] * 5)
+        with pytest.raises(ValueError, match="equal length"):
+            eliminator.compress([1], [1.0, 2.0])
+
+    def test_statistics_accumulate(self):
+        eliminator = ZeroEliminator(width=4)
+        eliminator.compress([0, 1], [1.0, 0.0])
+        eliminator.compress([2, 3], [0.0, 2.0])
+        assert eliminator.total_invocations == 2
+        assert eliminator.total_elements == 4
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_matches_functional_contract(self, width, rng):
+        eliminator = ZeroEliminator(width=width)
+        values = rng.random(width)
+        values[rng.random(width) < 0.5] = 0.0
+        keys = list(range(width))
+        got_keys, got_vals = eliminator.compress(keys, list(values))
+        exp_keys, exp_vals = eliminate_zeros(np.array(keys), values)
+        assert got_keys == list(exp_keys)
+        np.testing.assert_allclose(got_vals, exp_vals)
+
+
+def test_eliminate_zeros_functional():
+    keys, vals = eliminate_zeros(np.array([1, 2, 3]), np.array([0.0, 5.0, 0.0]))
+    np.testing.assert_array_equal(keys, [2])
+    np.testing.assert_allclose(vals, [5.0])
+    with pytest.raises(ValueError):
+        eliminate_zeros(np.array([1]), np.array([1.0, 2.0]))

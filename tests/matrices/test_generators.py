@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic matrix generators and rMAT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices.rmat import RMATConfig, generate_rmat, rmat_benchmark_name
+from repro.matrices.synthetic import (
+    banded_matrix,
+    bipartite_matrix,
+    diagonal_matrix,
+    powerlaw_matrix,
+    random_matrix,
+    road_network_matrix,
+)
+
+
+class TestRMAT:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            RMATConfig(num_rows=64, edge_factor=4, a=0.9, b=0.3, c=0.1, d=0.1)
+        with pytest.raises(ValueError):
+            RMATConfig(num_rows=0, edge_factor=4)
+        config = RMATConfig(num_rows=128, edge_factor=8)
+        assert config.num_edges == 1024
+        assert config.density == pytest.approx(8 / 128)
+
+    def test_generation_is_deterministic(self):
+        config = RMATConfig(num_rows=256, edge_factor=4, seed=42)
+        first = generate_rmat(config)
+        second = generate_rmat(config)
+        np.testing.assert_array_equal(first.indices, second.indices)
+        np.testing.assert_allclose(first.data, second.data)
+
+    def test_dimension_and_nnz(self):
+        matrix = generate_rmat(RMATConfig(num_rows=500, edge_factor=8, seed=1))
+        assert matrix.shape == (500, 500)
+        # Duplicate edges are merged, so nnz is close to but at most E.
+        assert 0.5 * 4000 < matrix.nnz <= 4000
+
+    def test_skew_produces_heavier_tail_than_uniform(self):
+        skewed = generate_rmat(RMATConfig(num_rows=512, edge_factor=8,
+                                          a=0.7, b=0.1, c=0.1, d=0.1, seed=3))
+        uniform = generate_rmat(RMATConfig(num_rows=512, edge_factor=8,
+                                           a=0.25, b=0.25, c=0.25, d=0.25, seed=3))
+        assert skewed.max_row_length() > uniform.max_row_length()
+
+    def test_benchmark_name(self):
+        assert rmat_benchmark_name(5000, 32) == "rmat-5k-x32"
+        assert rmat_benchmark_name(1234, 4) == "rmat-1234-x4"
+
+
+class TestSyntheticFamilies:
+    def test_random_matrix_shape_and_nnz(self):
+        matrix = random_matrix(100, 80, 500, seed=1)
+        assert matrix.shape == (100, 80)
+        assert 0.8 * 500 <= matrix.nnz <= 500
+        assert matrix.has_sorted_rows()
+
+    def test_diagonal_matrix(self):
+        matrix = diagonal_matrix(10, value=3.0)
+        np.testing.assert_allclose(matrix.to_dense(), 3.0 * np.eye(10))
+
+    def test_banded_matrix_stays_near_diagonal(self):
+        matrix = banded_matrix(200, 5.0, bandwidth=10, seed=2)
+        rows = np.repeat(np.arange(200), matrix.nnz_per_row())
+        assert np.all(np.abs(rows - matrix.indices) <= 10)
+        # The diagonal is always present (FEM-style).
+        dense = matrix.to_dense()
+        assert np.all(np.diagonal(dense) != 0.0)
+
+    def test_powerlaw_matrix_degree_skew(self):
+        matrix = powerlaw_matrix(512, 4.0, seed=4)
+        row_nnz = matrix.nnz_per_row()
+        assert row_nnz.max() > 4 * max(1.0, np.median(row_nnz))
+
+    def test_road_network_low_constant_degree(self):
+        matrix = road_network_matrix(400, seed=5)
+        assert matrix.shape == (400, 400)
+        assert matrix.nnz_per_row().mean() < 8
+
+    def test_bipartite_matrix_rectangular(self):
+        matrix = bipartite_matrix(60, 200, 3.0, seed=6)
+        assert matrix.shape == (60, 200)
+        assert matrix.nnz >= 60  # every row has at least one element
+
+    def test_generators_reject_bad_arguments(self):
+        with pytest.raises(ValueError):
+            random_matrix(0, 10, 5)
+        with pytest.raises(ValueError):
+            banded_matrix(10, 0.0)
+        with pytest.raises(ValueError):
+            powerlaw_matrix(10, -1.0)
+        with pytest.raises(ValueError):
+            road_network_matrix(10, extra_edge_fraction=2.0)
+        with pytest.raises(ValueError):
+            bipartite_matrix(10, 10, 0.0)
+
+    def test_seeds_give_reproducible_matrices(self):
+        first = powerlaw_matrix(128, 4.0, seed=11)
+        second = powerlaw_matrix(128, 4.0, seed=11)
+        different = powerlaw_matrix(128, 4.0, seed=12)
+        np.testing.assert_array_equal(first.indices, second.indices)
+        assert not np.array_equal(first.indices, different.indices) or (
+            not np.allclose(first.data, different.data))

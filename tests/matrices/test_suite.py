@@ -1,0 +1,78 @@
+"""Unit tests for the 20-matrix benchmark-suite proxies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matrices.suite import (
+    SUITE,
+    benchmark_names,
+    get_benchmark_spec,
+    load_benchmark,
+    load_suite,
+    proxy_dimensions,
+)
+
+
+def test_suite_has_the_papers_20_matrices():
+    names = benchmark_names()
+    assert len(names) == 20
+    for expected in ("2cubes_sphere", "wiki-Vote", "web-Google", "roadNet-CA",
+                     "cit-Patents", "facebook"):
+        assert expected in names
+
+
+def test_specs_have_published_statistics():
+    spec = get_benchmark_spec("wiki-Vote")
+    assert spec.num_rows == 8_297
+    assert spec.nnz == 103_689
+    assert spec.avg_row_nnz == pytest.approx(103_689 / 8_297)
+    assert 0 < spec.density < 1
+    with pytest.raises(KeyError):
+        get_benchmark_spec("not-a-matrix")
+
+
+def test_proxy_dimensions_preserve_average_row_length():
+    spec = get_benchmark_spec("web-Google")
+    rows, cols, avg_row_nnz = proxy_dimensions(spec, max_rows=1000)
+    assert rows <= 1000
+    assert avg_row_nnz == pytest.approx(spec.avg_row_nnz)
+    # Small matrices are not scaled up.
+    small = get_benchmark_spec("facebook")
+    rows, _, _ = proxy_dimensions(small, max_rows=100_000)
+    assert rows == small.num_rows
+
+
+def test_load_benchmark_is_deterministic():
+    first = load_benchmark("wiki-Vote", max_rows=500)
+    second = load_benchmark("wiki-Vote", max_rows=500)
+    assert first.nnz == second.nnz
+    assert first.shape == second.shape
+    assert (first.indices == second.indices).all()
+
+
+def test_load_benchmark_matches_family_statistics():
+    matrix = load_benchmark("poisson3Da", max_rows=800)
+    spec = get_benchmark_spec("poisson3Da")
+    assert matrix.shape[0] <= 800
+    # The proxy's average row length is within 2x of the original's.
+    proxy_avg = matrix.nnz / matrix.shape[0]
+    assert 0.5 * spec.avg_row_nnz < proxy_avg < 2.0 * spec.avg_row_nnz
+
+
+def test_load_suite_subset():
+    subset = load_suite(max_rows=300, names=["facebook", "wiki-Vote"])
+    assert set(subset) == {"facebook", "wiki-Vote"}
+    for matrix in subset.values():
+        assert matrix.shape[0] <= 300
+        assert matrix.nnz > 0
+
+
+def test_every_spec_family_is_loadable():
+    seen_families = set()
+    for spec in SUITE:
+        if spec.family in seen_families:
+            continue
+        seen_families.add(spec.family)
+        matrix = load_benchmark(spec.name, max_rows=200)
+        assert matrix.nnz > 0

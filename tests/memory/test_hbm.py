@@ -1,0 +1,54 @@
+"""Unit tests for the HBM bandwidth model (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.hbm import HBMConfig, HBMModel
+
+
+def test_default_configuration_matches_table1():
+    config = HBMConfig()
+    assert config.num_channels == 16
+    assert config.total_bandwidth_bytes_per_second == pytest.approx(128e9)
+    assert config.bytes_per_cycle == pytest.approx(128.0)
+
+
+def test_transfer_cycles_scale_with_bytes_and_efficiency():
+    model = HBMModel(HBMConfig(read_efficiency=0.5, write_efficiency=1.0))
+    # 128 bytes/cycle peak, 50 % read efficiency → 64 bytes/cycle effective.
+    assert model.transfer_cycles(6400, is_read=True) == 100
+    assert model.transfer_cycles(6400, is_read=False) == 50
+    assert model.transfer_cycles(0) == 0
+    assert model.transfer_cycles(1) == 1  # never less than one cycle
+    with pytest.raises(ValueError):
+        model.transfer_cycles(-1)
+
+
+def test_memory_cycles_sums_read_and_write():
+    model = HBMModel()
+    read_only = model.transfer_cycles(10_000, is_read=True)
+    write_only = model.transfer_cycles(5_000, is_read=False)
+    assert model.memory_cycles(10_000, 5_000) == read_only + write_only
+
+
+def test_byte_recording_and_utilization():
+    model = HBMModel()
+    model.record_read(1000)
+    model.record_write(500)
+    assert model.read_bytes == 1000
+    assert model.write_bytes == 500
+    assert model.total_bytes == 1500
+    with pytest.raises(ValueError):
+        model.record_read(-1)
+    assert model.bandwidth_utilization(1280, 10) == pytest.approx(1.0)
+    assert model.bandwidth_utilization(640, 10) == pytest.approx(0.5)
+    assert model.bandwidth_utilization(999999, 10) == 1.0  # clamped
+    assert model.bandwidth_utilization(100, 0) == 0.0
+
+
+def test_runtime_conversion():
+    model = HBMModel()
+    assert model.runtime_seconds(1_000_000) == pytest.approx(1e-3)
+    with pytest.raises(ValueError):
+        model.runtime_seconds(-1)

@@ -1,0 +1,49 @@
+"""Unit tests for DRAM traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.traffic import TrafficCategory, TrafficCounter
+
+
+def test_categories_classified_as_read_or_write():
+    reads = {TrafficCategory.MATRIX_A_READ, TrafficCategory.MATRIX_B_READ,
+             TrafficCategory.PARTIAL_READ}
+    for category in TrafficCategory:
+        assert category.is_read() == (category in reads)
+
+
+def test_add_and_aggregate():
+    counter = TrafficCounter()
+    counter.add(TrafficCategory.MATRIX_A_READ, 100)
+    counter.add(TrafficCategory.MATRIX_B_READ, 200)
+    counter.add(TrafficCategory.PARTIAL_WRITE, 50)
+    counter.add(TrafficCategory.PARTIAL_READ, 50)
+    counter.add(TrafficCategory.RESULT_WRITE, 25)
+    assert counter.read_bytes == 350
+    assert counter.write_bytes == 75
+    assert counter.total_bytes == 425
+    assert counter.partial_matrix_bytes == 100
+    assert counter.input_bytes == 300
+    assert counter.by_category()["matrix_a_read"] == 100
+
+
+def test_negative_bytes_rejected():
+    counter = TrafficCounter()
+    with pytest.raises(ValueError):
+        counter.add(TrafficCategory.MATRIX_A_READ, -1)
+
+
+def test_merge_combines_counters():
+    first = TrafficCounter()
+    second = TrafficCounter()
+    first.add(TrafficCategory.MATRIX_A_READ, 10)
+    second.add(TrafficCategory.MATRIX_A_READ, 5)
+    second.add(TrafficCategory.RESULT_WRITE, 7)
+    merged = first.merge(second)
+    assert merged.bytes_by_category[TrafficCategory.MATRIX_A_READ] == 15
+    assert merged.bytes_by_category[TrafficCategory.RESULT_WRITE] == 7
+    # The originals are untouched.
+    assert first.total_bytes == 10
+    assert second.total_bytes == 12
