@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.baselines.outerspace import OuterSpaceAccelerator
 from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 
@@ -63,8 +64,8 @@ BREAKDOWN_STEPS: tuple[tuple[str, dict[str, bool]], ...] = (
 
 
 def cumulative_breakdown(matrices: dict[str, CSRMatrix], *,
-                         base_config: SpArchConfig | None = None
-                         ) -> list[BreakdownStep]:
+                         base_config: SpArchConfig | None = None,
+                         simulate=None) -> list[BreakdownStep]:
     """Replay the Figure 16 feature walk over ``matrices`` (each squared).
 
     Args:
@@ -72,6 +73,9 @@ def cumulative_breakdown(matrices: dict[str, CSRMatrix], *,
             the paper's evaluation.
         base_config: configuration whose non-ablation parameters (merger
             width, buffer sizes, ...) are used for every step.
+        simulate: optional ``(matrix, config) -> SimulationStats`` callable;
+            defaults to a fresh (uncached) SpArch run per point.  The
+            experiment harness passes a memoising runner here.
 
     Returns:
         One :class:`BreakdownStep` for the OuterSPACE baseline followed by
@@ -80,6 +84,9 @@ def cumulative_breakdown(matrices: dict[str, CSRMatrix], *,
     if not matrices:
         raise ValueError("cumulative_breakdown() requires at least one matrix")
     base_config = base_config or SpArchConfig()
+    if simulate is None:
+        def simulate(matrix: CSRMatrix, config: SpArchConfig) -> SimulationStats:
+            return SpArch(config).multiply(matrix, matrix).stats
 
     steps: list[BreakdownStep] = []
 
@@ -102,13 +109,12 @@ def cumulative_breakdown(matrices: dict[str, CSRMatrix], *,
     previous_gflops = baseline_gflops
     for name, features in BREAKDOWN_STEPS:
         config = base_config.with_features(**features)
-        accelerator = SpArch(config)
         per_matrix = []
         total_bytes = 0
         for matrix in matrices.values():
-            result = accelerator.multiply(matrix, matrix)
-            per_matrix.append(max(result.stats.gflops, 1e-12))
-            total_bytes += result.stats.dram_bytes
+            stats = simulate(matrix, config)
+            per_matrix.append(max(stats.gflops, 1e-12))
+            total_bytes += stats.dram_bytes
         gflops = geometric_mean(per_matrix)
         steps.append(BreakdownStep(
             name=name,

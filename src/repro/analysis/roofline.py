@@ -54,10 +54,22 @@ class RooflinePoint:
         return self.achieved_gflops / roof if roof > 0 else 0.0
 
 
+def compulsory_traffic_bytes_from_counts(nnz_a: int, nnz_b: int, nnz_out: int,
+                                         *, element_bytes: int = 16) -> int:
+    """Minimum DRAM traffic of any SpGEMM dataflow, from nonzero counts.
+
+    This count-based form lets callers work from cached simulation
+    statistics (which record ``output_nnz``) without the result matrix.
+    """
+    return (nnz_a + nnz_b + nnz_out) * element_bytes
+
+
 def compulsory_traffic_bytes(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
                              result: CSRMatrix, *, element_bytes: int = 16) -> int:
     """Minimum DRAM traffic of any SpGEMM dataflow: read inputs, write output."""
-    return (matrix_a.nnz + matrix_b.nnz + result.nnz) * element_bytes
+    return compulsory_traffic_bytes_from_counts(matrix_a.nnz, matrix_b.nnz,
+                                                result.nnz,
+                                                element_bytes=element_bytes)
 
 
 def theoretical_operational_intensity(matrix_a: CSRMatrix, matrix_b: CSRMatrix,

@@ -14,6 +14,15 @@ compute cycles come from the multiplier/merger throughput models, and the
 final cycle count is the maximum of the memory-bound and compute-bound
 estimates plus the per-round startup overhead — the bandwidth-bound analysis
 the paper's roofline (Figure 15) is built on.
+
+Two interchangeable backends implement the multiply/merge hot path, chosen
+by ``SpArchConfig.engine``: the scalar reference in this module
+(:class:`_LeafStreamer` + :class:`~repro.hardware.merge_tree.MergeTree`) and
+the batched implementation in :mod:`repro.core.vectorized`.  Both produce
+identical results and statistics — see
+``tests/integration/test_engine_equivalence.py``.  Everything else (plan
+construction, the prefetcher policy, traffic accounting, result
+materialisation) is shared code.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.core.huffman import MergePlan, huffman_schedule, sequential_schedule
 from repro.core.partial_matrix import PartialMatrixStore, PartialMatrixWriter
 from repro.core.prefetcher import PrefetchStats, RowPrefetcher
 from repro.core.stats import SimulationStats, SpGEMMResult
+from repro.core.vectorized import VectorizedLeafStreamer, VectorizedMergeTree
 from repro.formats.condensed import CondensedMatrix
 from repro.formats.convert import csr_to_csc
 from repro.formats.csr import CSRMatrix
@@ -162,10 +172,12 @@ class SpArch:
         traffic = TrafficCounter()
         hbm = HBMModel(config.hbm)
         multipliers = MultiplierArray(config.num_multipliers)
-        merge_tree = MergeTree(num_layers=config.merge_tree_layers,
-                               merger_width=config.merger_width,
-                               chunk_size=config.merger_chunk_size,
-                               fifo_capacity=config.partial_matrix_writer_fifo)
+        tree_class = (VectorizedMergeTree if config.engine == "vectorized"
+                      else MergeTree)
+        merge_tree = tree_class(num_layers=config.merge_tree_layers,
+                                merger_width=config.merger_width,
+                                chunk_size=config.merger_chunk_size,
+                                fifo_capacity=config.partial_matrix_writer_fifo)
         store = PartialMatrixStore(traffic, element_bytes=config.element_bytes)
         writer = PartialMatrixWriter(traffic, element_bytes=config.element_bytes,
                                      fifo_depth=config.partial_matrix_writer_fifo)
@@ -179,8 +191,10 @@ class SpArch:
             stats.scheduler = self._scheduler_name()
             return SpGEMMResult(CSRMatrix.empty(result_shape), stats)
 
-        streamer = _LeafStreamer(matrix_a, matrix_b, multipliers,
-                                 condensing=config.enable_matrix_condensing)
+        streamer_class = (VectorizedLeafStreamer if config.engine == "vectorized"
+                          else _LeafStreamer)
+        streamer = streamer_class(matrix_a, matrix_b, multipliers,
+                                  condensing=config.enable_matrix_condensing)
         weights = streamer.leaf_weights()
         plan = self._build_plan(weights)
         plan_is_pipelined = config.enable_pipelined_merge
@@ -283,20 +297,21 @@ class SpArch:
             return prefetch_stats
 
         # No prefetcher: one row fetch per run of equal consecutive accesses.
+        # A boolean run-start mask separates first touches (misses) from the
+        # repeats inside a run (hits) without walking the sequence in Python.
         row_nnz = matrix_b.nnz_per_row()
         stats = PrefetchStats()
-        previous_row = -1
-        for row in access_order:
-            row = int(row)
-            row_bytes = int(row_nnz[row]) * element_bytes
-            stats.accesses += 1
-            stats.bytes_without_buffer += row_bytes
-            if row == previous_row:
-                stats.element_hits += int(row_nnz[row])
-                continue
-            stats.element_misses += int(row_nnz[row])
-            stats.dram_bytes_read += row_bytes
-            previous_row = row
+        access_nnz = row_nnz[access_order]
+        run_starts = np.empty(len(access_order), dtype=bool)
+        run_starts[0] = True
+        np.not_equal(access_order[1:], access_order[:-1], out=run_starts[1:])
+        total_elements = int(access_nnz.sum())
+        miss_elements = int(access_nnz[run_starts].sum())
+        stats.accesses = len(access_order)
+        stats.bytes_without_buffer = total_elements * element_bytes
+        stats.element_hits = total_elements - miss_elements
+        stats.element_misses = miss_elements
+        stats.dram_bytes_read = miss_elements * element_bytes
         traffic.add(TrafficCategory.MATRIX_B_READ, stats.dram_bytes_read)
         return stats
 

@@ -52,10 +52,20 @@ def partial_matrix_sizes(condensed: CondensedMatrix, matrix_b: CSRMatrix
             f"right matrix has {matrix_b.shape[0]} rows"
         )
     b_row_nnz = matrix_b.nnz_per_row()
-    sizes = np.zeros(condensed.num_condensed_columns, dtype=np.int64)
-    for j in range(condensed.num_condensed_columns):
-        column = condensed.column(j)
-        sizes[j] = int(b_row_nnz[column.original_cols].sum())
+    num_cols = condensed.num_condensed_columns
+    if num_cols == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Element p of the CSR storage lives in condensed column
+    # ``p - indptr[row(p)]``, so one bincount over those offsets (weighted by
+    # the right-matrix row lengths) sums every column at once — O(nnz)
+    # instead of one O(nnz) pass per condensed column.
+    csr = condensed.csr
+    row_lengths = csr.nnz_per_row()
+    offsets_in_row = (np.arange(csr.nnz, dtype=np.int64)
+                      - np.repeat(csr.indptr[:-1], row_lengths))
+    weights = b_row_nnz[csr.indices]
+    sizes = np.zeros(num_cols, dtype=np.int64)
+    np.add.at(sizes, offsets_in_row, weights)
     return sizes
 
 

@@ -11,6 +11,18 @@ The defaults reproduce the configuration evaluated in the paper:
 
 The ``enable_*`` flags turn the paper's four techniques on and off for the
 breakdown experiment of Figure 16.
+
+The ``engine`` field selects between two functionally identical simulation
+backends (see :mod:`repro.core.vectorized` and
+``tests/integration/test_engine_equivalence.py``):
+
+* ``"scalar"`` — the reference implementation that walks partial products
+  element by element and merges streams pairwise, mirroring the hardware
+  structure one step at a time;
+* ``"vectorized"`` — batched numpy kernels (fancy-indexed partial-product
+  generation, one stable argsort per merge round, ``np.add.reduceat``
+  duplicate folding) with all cycle/traffic/comparator counters computed in
+  closed form so the statistics stay bit-identical to the scalar model.
 """
 
 from __future__ import annotations
@@ -44,6 +56,8 @@ class SpArchConfig:
             the look-ahead FIFO and the merge-tree pipelines); this is the
             startup overhead §III-C credits matrix condensing with amortising.
         hbm: HBM memory configuration.
+        engine: simulation backend, ``"vectorized"`` (default) or
+            ``"scalar"``; both produce identical results and statistics.
         enable_pipelined_merge: pipeline multiply and merge on chip (the
             first of the paper's four techniques).  When disabled the model
             degenerates to the two-phase OuterSPACE-style dataflow.
@@ -67,6 +81,7 @@ class SpArchConfig:
     clock_hz: float = 1e9
     round_startup_cycles: int = 256
     hbm: HBMConfig = dataclasses.field(default_factory=HBMConfig)
+    engine: str = "vectorized"
     enable_pipelined_merge: bool = True
     enable_matrix_condensing: bool = True
     enable_huffman_scheduler: bool = True
@@ -90,6 +105,10 @@ class SpArchConfig:
             raise ValueError("merger_width must be a multiple of merger_chunk_size")
         if self.clock_hz <= 0:
             raise ValueError("clock_hz must be positive")
+        if self.engine not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
 
     # ------------------------------------------------------------------
     @property

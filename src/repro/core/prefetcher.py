@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.lookahead import UNKNOWN_NEXT_USE, DistanceListBuilder, LookaheadFifo
+from repro.core.lookahead import UNKNOWN_NEXT_USE
 from repro.formats.csr import CSRMatrix
 from repro.memory.buffer import RowBuffer
 
@@ -115,46 +116,149 @@ class RowPrefetcher:
         if len(access_sequence) == 0:
             return stats
 
-        lookahead = LookaheadFifo(access_sequence, self._lookahead_window)
-        distances = DistanceListBuilder(lookahead)
+        # Per-row geometry, precomputed once: segment count, size of the
+        # (possibly short) last segment, and total bytes.  The per-access
+        # loop then runs in O(resident + missing) instead of re-deriving
+        # them per segment.
+        full = self._buffer.line_elements
+        element_bytes = self._buffer.element_bytes
+        row_nnz = self._row_nnz
+        num_segments_arr = (-(-row_nnz // full)).astype(np.int64)
+        last_elements_arr = row_nnz - (np.maximum(num_segments_arr, 1) - 1) * full
+
+        # Fast path: when the buffer starts empty and every accessed row fits
+        # simultaneously, the near-Bélády policy never evicts, so the whole
+        # simulation collapses to "first touch misses, repeats hit" — exactly
+        # computable with one first-occurrence mask and no replacement heap.
+        if self._buffer.lines_used == 0:
+            distinct_rows = np.unique(access_sequence)
+            if int(num_segments_arr[distinct_rows].sum()) <= self._buffer.num_lines:
+                return self._simulate_unbounded(access_sequence, distinct_rows,
+                                                num_segments_arr, stats)
+
         initially_resident = sorted(self._buffer.resident_rows)
+
+        # Next occurrence of the same row after each position, vectorized: a
+        # stable argsort groups positions by row in ascending order, so a
+        # position's successor within its group is its next use.  This
+        # covers the per-access priority refresh; the irregular queries
+        # (victim refresh, warm start) binary-search the same grouping via
+        # ``next_use`` below, replacing the eager per-row distance lists of
+        # :class:`~repro.core.lookahead.DistanceListBuilder` whose O(n)
+        # construction dominated short simulations.
+        n = len(access_sequence)
+        grouped = np.argsort(access_sequence, kind="stable")
+        next_occurrence = np.full(n, -1, dtype=np.int64)
+        same_row = access_sequence[grouped[1:]] == access_sequence[grouped[:-1]]
+        next_occurrence[grouped[:-1][same_row]] = grouped[1:][same_row]
+        window = self._lookahead_window
+
+        row_ranges: dict[int, tuple[int, int]] = {}
+
+        def build_row_ranges() -> None:
+            rows_in_order = access_sequence[grouped]
+            starts = np.flatnonzero(np.concatenate(
+                [np.ones(1, dtype=bool),
+                 rows_in_order[1:] != rows_in_order[:-1]]))
+            ends = np.append(starts[1:], n)
+            row_ranges.update(zip(rows_in_order[starts].tolist(),
+                                  zip(starts.tolist(), ends.tolist())))
+            row_ranges[-1] = (0, 0)  # sentinel: mapping is built
+
+        def next_use(row: int, now: int) -> float:
+            """Next access of ``row`` strictly after ``now``, window-limited.
+
+            Same contract as ``DistanceListBuilder.next_use``; the per-row
+            position lists are slices of ``grouped`` found by binary search.
+            """
+            if not row_ranges:
+                build_row_ranges()
+            lo_hi = row_ranges.get(row)
+            if lo_hi is None:
+                return UNKNOWN_NEXT_USE
+            lo, hi = lo_hi
+            index = lo + int(np.searchsorted(grouped[lo:hi], now, side="right"))
+            if index == hi:
+                return UNKNOWN_NEXT_USE
+            position = int(grouped[index])
+            if position - now > window:
+                return UNKNOWN_NEXT_USE
+            return float(position)
 
         # Lazy max-heap of eviction candidates.  Priority is the next-use
         # position (smaller = needed sooner = keep); rows with unknown next
         # use get a large priority offset plus their insertion age so the
-        # oldest unknown row is evicted first.  heapq is a min-heap, so we
-        # negate priorities.
-        unknown_base = float(len(access_sequence) + 1)
+        # oldest unknown row is evicted first.  heapq is a min-heap, so
+        # priorities are inverted.  All priorities are integers (positions or
+        # ``unknown_base``-offset ages), so each entry packs
+        # ``(max_priority - priority, stamp)`` into one machine int — integer
+        # comparisons during sifting are several times cheaper than the
+        # tuple comparisons they replace, at identical ordering: lower key ⇔
+        # higher priority, ties broken by older stamp, exactly as before.
+        unknown_base = len(access_sequence) + 1
+        max_priority = 3 * unknown_base  # > unknown_base + (unknown_base + 1)
+        stamp_shift = 40                 # stamps stay far below 2**40
+        stamp_mask = (1 << stamp_shift) - 1
         counter = itertools.count()
-        heap: list[tuple[float, int, int]] = []
+        advance = counter.__next__
+        heap: list[int] = []
+        # Unknown-next-use candidates never outrank each other out of push
+        # order: their priority ``unknown_base + (unknown_base - now)``
+        # strictly decreases as time advances, and every unknown priority
+        # exceeds every known one (positions are < unknown_base).  The
+        # unknown class is therefore an exact FIFO and lives in a deque —
+        # O(1) instead of a heap sift per push, which matters because most
+        # refreshes fall outside the look-ahead window under pressure.
+        unknown_fifo: deque[tuple[int, int]] = deque()
+        stamp_rows: list[int] = []
         latest_stamp: dict[int, int] = {}
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         def push_candidate(row: int, now: int) -> None:
-            next_use = distances.next_use(row, now)
-            if next_use == UNKNOWN_NEXT_USE:
-                priority = unknown_base + (unknown_base - now)
-            else:
-                priority = float(next_use)
-            stamp = next(counter)
+            use = next_use(row, now)
+            stamp = advance()
             latest_stamp[row] = stamp
-            heapq.heappush(heap, (-priority, stamp, row))
+            stamp_rows.append(row)
+            if use == UNKNOWN_NEXT_USE:
+                unknown_fifo.append((stamp, row))
+            else:
+                heappush(heap,
+                         ((max_priority - int(use)) << stamp_shift) | stamp)
+
+        resident_get_view = self._buffer.resident_segments_view
 
         def pop_victim(exclude_row: int) -> int:
+            # Unknown-class candidates (oldest first) always outrank the
+            # known-next-use heap, exactly as in the single-heap ordering.
+            while unknown_fifo:
+                stamp, row = unknown_fifo[0]
+                if (latest_stamp.get(row) != stamp
+                        or not resident_get_view(row)):
+                    unknown_fifo.popleft()
+                    continue
+                if row == exclude_row:
+                    unknown_fifo.popleft()
+                    push_later.append(row)
+                    continue
+                return row
             while heap:
-                _, stamp, row = heap[0]
-                if latest_stamp.get(row) != stamp or not self._buffer.resident_segments(row):
-                    heapq.heappop(heap)
+                stamp = heap[0] & stamp_mask
+                row = stamp_rows[stamp]
+                if (latest_stamp.get(row) != stamp
+                        or not resident_get_view(row)):
+                    heappop(heap)
                     continue
                 if row == exclude_row:
                     # Never spill the row we are currently fetching; fall back
                     # to the next candidate.
-                    heapq.heappop(heap)
+                    heappop(heap)
                     push_later.append(row)
                     continue
                 return row
             # Degenerate case: the row being fetched is longer than the whole
             # buffer, so its own earlier segments are the only candidates.
-            if self._buffer.resident_segments(exclude_row):
+            if resident_get_view(exclude_row):
                 return exclude_row
             raise RuntimeError("no eviction candidate available")
 
@@ -163,52 +267,144 @@ class RowPrefetcher:
         for row in initially_resident:
             push_candidate(row, -1)
 
-        for now, row in enumerate(access_sequence):
-            row = int(row)
-            stats.accesses += 1
-            num_segments = self._row_segments(row)
-            row_elements = int(self._row_nnz[row])
-            row_bytes = row_elements * self._buffer.element_bytes
-            stats.bytes_without_buffer += row_bytes
+        # Local bindings and plain-int lists: the loop below runs once per
+        # access, so attribute lookups and numpy scalar boxing dominate it
+        # unless hoisted out.
+        buffer = self._buffer
+        resident_map = buffer.resident_map
+        resident_get = resident_map.get
+        nseg_list = num_segments_arr.tolist()
+        nnz_list = row_nnz.tolist()
+        last_elements_list = last_elements_arr.tolist()
+        next_occ_list = next_occurrence.tolist()
+        lines_free = buffer.lines_free
+        stamp_rows_append = stamp_rows.append
+        unknown_append = unknown_fifo.append
+        per_access_miss_bytes = stats.per_access_miss_bytes
+        element_hits = element_misses = segment_hits = segment_misses = 0
+        dram_bytes_read = bytes_without_buffer = inserted_lines = 0
+
+        for now, row in enumerate(access_sequence.tolist()):
+            num_segments = nseg_list[row]
+            row_elements = nnz_list[row]
+            bytes_without_buffer += row_elements * element_bytes
 
             if num_segments == 0:
-                stats.per_access_miss_bytes.append(0)
+                per_access_miss_bytes.append(0)
                 continue
 
-            resident = self._buffer.resident_segments(row)
-            missing = [s for s in range(num_segments) if s not in resident]
-            hit_elements = sum(self._segment_elements(row, s) for s in resident)
-            miss_elements = row_elements - hit_elements
+            resident = resident_get(row)
+            num_resident = len(resident) if resident is not None else 0
+            if num_resident == num_segments:
+                num_missing = 0
+                hit_elements = row_elements
+                miss_bytes = 0
+            else:
+                if num_resident:
+                    missing = [s for s in range(num_segments) if s not in resident]
+                    # All resident segments are full lines except possibly
+                    # the row's last one, so the hit count is a closed form.
+                    hit_elements = full * num_resident
+                    if num_segments - 1 in resident:
+                        hit_elements -= full - last_elements_list[row]
+                else:
+                    missing = list(range(num_segments))
+                    hit_elements = 0
+                num_missing = len(missing)
+                miss_bytes = (row_elements - hit_elements) * element_bytes
 
-            stats.element_hits += hit_elements
-            stats.element_misses += miss_elements
-            stats.segment_hits += len(resident)
-            stats.segment_misses += len(missing)
+                # Insert/evict straight on the residency mapping; the
+                # buffer's counters are reconciled once after the loop via
+                # apply_policy_effects().
+                push_later: list[int] = []
+                for segment in missing:
+                    # Make room line by line, spilling the furthest-next-use
+                    # row (its highest-numbered resident segment first).
+                    while lines_free == 0:
+                        victim = pop_victim(exclude_row=row)
+                        victim_segments = resident_map[victim]
+                        victim_segments.remove(max(victim_segments))
+                        if victim_segments:
+                            push_candidate(victim, now)
+                        else:
+                            del resident_map[victim]
+                        lines_free += 1
+                        stats.evicted_lines += 1
+                    segments = resident_get(row)
+                    if segments is None:
+                        resident_map[row] = {segment}
+                    else:
+                        segments.add(segment)
+                    lines_free -= 1
+                    inserted_lines += 1
+                for deferred_row in push_later:
+                    push_candidate(deferred_row, now)
 
-            miss_bytes = 0
-            push_later: list[int] = []
-            for segment in missing:
-                # Make room line by line, spilling the furthest-next-use row.
-                while self._buffer.lines_free == 0:
-                    victim = pop_victim(exclude_row=row)
-                    victim_segments = sorted(self._buffer.resident_segments(victim),
-                                             reverse=True)
-                    self._buffer.evict(victim, victim_segments[0])
-                    stats.evicted_lines += 1
-                    if len(victim_segments) > 1:
-                        push_candidate(victim, now)
+            element_hits += hit_elements
+            element_misses += row_elements - hit_elements
+            segment_hits += num_segments - num_missing
+            segment_misses += num_missing
+            dram_bytes_read += miss_bytes
+            per_access_miss_bytes.append(miss_bytes)
+            # The row was just touched: refresh its eviction priority using
+            # the precomputed next-occurrence table (inlined push_candidate).
+            stamp = advance()
+            latest_stamp[row] = stamp
+            stamp_rows_append(row)
+            next_position = next_occ_list[now]
+            if next_position < 0 or next_position - now > window:
+                unknown_append((stamp, row))
+            else:
+                heappush(heap,
+                         ((max_priority - next_position) << stamp_shift) | stamp)
+
+        stats.accesses = len(access_sequence)
+        stats.element_hits = element_hits
+        stats.element_misses = element_misses
+        stats.segment_hits = segment_hits
+        stats.segment_misses = segment_misses
+        stats.dram_bytes_read = dram_bytes_read
+        stats.bytes_without_buffer = bytes_without_buffer
+        buffer.record_hit(segment_hits)
+        buffer.record_miss(segment_misses)
+        buffer.apply_policy_effects(inserted_lines=inserted_lines,
+                                    evicted_lines=stats.evicted_lines)
+        return stats
+
+    def _simulate_unbounded(self, access_sequence: np.ndarray,
+                            distinct_rows: np.ndarray,
+                            num_segments_arr: np.ndarray,
+                            stats: PrefetchStats) -> PrefetchStats:
+        """Eviction-free simulation (everything fits), fully vectorized.
+
+        Produces byte-for-byte the same :class:`PrefetchStats` and final
+        buffer state as the general replacement loop would when no eviction
+        ever fires.
+        """
+        element_bytes = self._buffer.element_bytes
+        access_nnz = self._row_nnz[access_sequence]
+        access_segments = num_segments_arr[access_sequence]
+        first_touch = np.zeros(len(access_sequence), dtype=bool)
+        _, first_positions = np.unique(access_sequence, return_index=True)
+        first_touch[first_positions] = True
+
+        total_elements = int(access_nnz.sum())
+        miss_elements = int(access_nnz[first_touch].sum())
+        stats.accesses = len(access_sequence)
+        stats.bytes_without_buffer = total_elements * element_bytes
+        stats.element_misses = miss_elements
+        stats.element_hits = total_elements - miss_elements
+        stats.segment_misses = int(access_segments[first_touch].sum())
+        stats.segment_hits = int(access_segments.sum()) - stats.segment_misses
+        stats.dram_bytes_read = miss_elements * element_bytes
+        stats.per_access_miss_bytes = np.where(
+            first_touch, access_nnz * element_bytes, 0).tolist()
+
+        self._buffer.record_hit(stats.segment_hits)
+        self._buffer.record_miss(stats.segment_misses)
+        for row in distinct_rows.tolist():
+            for segment in range(int(num_segments_arr[row])):
                 self._buffer.insert(row, segment)
-                miss_bytes += self._segment_bytes(row, segment)
-            for deferred_row in push_later:
-                push_candidate(deferred_row, now)
-
-            self._buffer.record_hit(len(resident))
-            self._buffer.record_miss(len(missing))
-            stats.dram_bytes_read += miss_bytes
-            stats.per_access_miss_bytes.append(miss_bytes)
-            # The row was just touched: refresh its eviction priority.
-            push_candidate(row, now)
-
         return stats
 
     def simulate_without_buffer(self, access_sequence: np.ndarray) -> PrefetchStats:

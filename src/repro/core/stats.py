@@ -9,10 +9,11 @@ utilisation) and datapath activity (comparator operations, buffer hit rate).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.formats.csr import CSRMatrix
-from repro.memory.traffic import TrafficCounter
+from repro.memory.traffic import TrafficCategory, TrafficCounter
 
 
 @dataclass
@@ -91,6 +92,28 @@ class SimulationStats:
             return 0.0
         peak = self.peak_bandwidth_bytes_per_cycle * self.cycles
         return min(1.0, self.dram_bytes / peak) if peak else 0.0
+
+    def to_dict(self) -> dict:
+        """Serialise every field to a JSON-compatible dict.
+
+        The experiment runner memoises simulation results on disk through
+        this round trip; :meth:`from_dict` restores an equal instance.
+        """
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self) if f.name != "traffic"
+        }
+        payload["traffic"] = self.traffic.by_category()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationStats":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(payload)
+        traffic = TrafficCounter()
+        for name, num_bytes in data.pop("traffic", {}).items():
+            traffic.add(TrafficCategory(name), int(num_bytes))
+        return cls(traffic=traffic, **data)
 
     def summary(self) -> dict[str, float]:
         """Flat dict of the headline numbers, for reporting."""

@@ -1,11 +1,21 @@
-"""Command-line runner: ``python -m repro.experiments <id> [...]``."""
+"""Command-line runner: ``python -m repro.experiments <id> [...]``.
+
+The batched :class:`~repro.experiments.runner.ExperimentRunner` sits behind
+every experiment: simulation points shared between figures (the scaled suite
+under the Table I configuration, for example) are simulated once per sweep
+and, with ``--cache-dir``, once *ever* — reruns replay from the on-disk
+memo.  ``--jobs N`` fans distinct points out over N worker processes;
+``--engine scalar`` forces the scalar reference backend end to end.
+"""
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.runner import ExperimentRunner, set_default_runner
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -20,6 +30,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the registered experiments and exit")
     parser.add_argument("--max-rows", type=int, default=None,
                         help="override the benchmark proxy dimension cap")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation fan-out")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="memoise simulation results on disk under DIR "
+                             "(e.g. .repro-cache); default: in-memory only")
+    parser.add_argument("--engine", choices=("scalar", "vectorized"),
+                        default=None,
+                        help="force a simulation backend for every run")
     return parser
 
 
@@ -36,15 +54,28 @@ def main(argv: list[str] | None = None) -> int:
     if requested == ["all"]:
         requested = list_experiments()
 
+    runner = ExperimentRunner(cache_dir=args.cache_dir, jobs=args.jobs,
+                              engine=args.engine)
+    # Harnesses called without an explicit runner fall back to the default;
+    # installing ours makes the whole sweep share one memo pool.
+    set_default_runner(runner)
+
     for experiment_id in requested:
         entry = get_experiment(experiment_id)
         kwargs = {}
-        if args.max_rows is not None and experiment_id not in ("fig08", "fig14"):
+        parameters = inspect.signature(entry.run).parameters
+        if args.max_rows is not None and "max_rows" in parameters:
             kwargs["max_rows"] = args.max_rows
+        if "runner" in parameters:
+            kwargs["runner"] = runner
         print(f"== {entry.title} ==")
         result = entry.run(**kwargs)
         print(result.render())
         print()
+    hits, misses = runner.cache_hits, runner.cache_misses
+    if hits or misses:
+        print(f"[runner] {misses} simulation points computed, "
+              f"{hits} reused from cache")
     return 0
 
 

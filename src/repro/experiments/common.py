@@ -1,10 +1,20 @@
-"""Shared plumbing for the experiment harnesses."""
+"""Shared plumbing for the experiment harnesses.
+
+Besides workload loading and the :class:`ExperimentResult` container, this
+module exposes :func:`simulate` and :func:`simulate_workload` — thin wrappers
+over :class:`repro.experiments.runner.ExperimentRunner` that every harness
+routes its SpArch simulations through.  That shared funnel is what lets one
+``python -m repro.experiments all`` sweep reuse each (matrix, config)
+simulation across figures instead of recomputing it per experiment.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.matrices.suite import (
     DEFAULT_MAX_ROWS,
@@ -61,6 +71,19 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
+
+
+def simulate(matrix: CSRMatrix, config: SpArchConfig | None = None, *,
+             runner: ExperimentRunner | None = None) -> SimulationStats:
+    """Simulate ``matrix · matrix`` through the (given or default) runner."""
+    return (runner or default_runner()).simulate(matrix, config)
+
+
+def simulate_workload(workload: dict[str, tuple[CSRMatrix, SpArchConfig | None]],
+                      *, runner: ExperimentRunner | None = None
+                      ) -> dict[str, SimulationStats]:
+    """Simulate a named workload, memoised and (optionally) fanned out."""
+    return (runner or default_runner()).simulate_workload(workload)
 
 
 def default_suite(*, max_rows: int = DEFAULT_MAX_ROWS,

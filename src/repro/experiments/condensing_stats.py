@@ -16,10 +16,10 @@ simulated prefetch-buffer hit rate and right-operand traffic reduction.
 
 from __future__ import annotations
 
-from repro.core.accelerator import SpArch
 from repro.core.condensing import condensation_ratio
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import ExperimentResult, load_scaled_suite, simulate
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.condensed import CondensedMatrix
 from repro.formats.csr import CSRMatrix
 from repro.matrices.suite import get_benchmark_spec
@@ -35,7 +35,8 @@ PAPER_METRICS = {
 
 def run(*, max_rows: int = 2000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Measure condensation ratios and prefetcher effectiveness."""
     config = config or SpArchConfig()
     if matrices is not None:
@@ -53,9 +54,10 @@ def run(*, max_rows: int = 2000, names: list[str] | None = None,
     for name, (matrix, matrix_config) in workload.items():
         condensed = CondensedMatrix(matrix)
         ratio = condensation_ratio(matrix)
-        with_prefetcher = SpArch(matrix_config).multiply(matrix, matrix).stats
-        without_prefetcher = SpArch(matrix_config.with_features(
-            row_prefetcher=False)).multiply(matrix, matrix).stats
+        with_prefetcher = simulate(matrix, matrix_config, runner=runner)
+        without_prefetcher = simulate(
+            matrix, matrix_config.with_features(row_prefetcher=False),
+            runner=runner)
         b_with = _b_read_bytes(with_prefetcher)
         b_without = _b_read_bytes(without_prefetcher)
         reduction = b_without / max(1, b_with)

@@ -9,9 +9,13 @@ per-matrix and geometric-mean reduction, split by traffic category.
 from __future__ import annotations
 
 from repro.baselines.outerspace import OuterSpaceAccelerator
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_scaled_suite,
+    simulate_workload,
+)
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -23,7 +27,8 @@ PAPER_METRICS = {
 
 def run(*, max_rows: int = 1000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Measure the DRAM-access reduction of SpArch over OuterSPACE."""
     config = config or SpArchConfig()
     if matrices is not None:
@@ -39,15 +44,16 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
                  "SpArch partial bytes", "SpArch input bytes"],
     )
     reductions: list[float] = []
+    sparch_stats = simulate_workload(workload, runner=runner)
     for name, (matrix, matrix_config) in workload.items():
-        sparch_result = SpArch(matrix_config).multiply(matrix, matrix)
+        stats = sparch_stats[name]
         outer_result = outerspace.multiply(matrix, matrix)
-        sparch_bytes = sparch_result.stats.dram_bytes
+        sparch_bytes = stats.dram_bytes
         reduction = outer_result.traffic_bytes / max(1, sparch_bytes)
         reductions.append(reduction)
         table.add_row(name, sparch_bytes, outer_result.traffic_bytes, reduction,
-                      sparch_result.stats.traffic.partial_matrix_bytes,
-                      sparch_result.stats.traffic.input_bytes)
+                      stats.traffic.partial_matrix_bytes,
+                      stats.traffic.input_bytes)
     geomean = geometric_mean(reductions)
     table.add_row("Geo Mean", "-", "-", geomean, "-", "-")
 

@@ -20,9 +20,13 @@ from repro.baselines import (
     OuterSpaceAccelerator,
     SpGEMMBaseline,
 )
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_scaled_suite,
+    simulate_workload,
+)
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -46,7 +50,8 @@ def default_baselines() -> list[SpGEMMBaseline]:
 def run(*, max_rows: int = 1000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
         config: SpArchConfig | None = None,
-        baselines: list[SpGEMMBaseline] | None = None) -> ExperimentResult:
+        baselines: list[SpGEMMBaseline] | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce Figure 11 on the (scaled) benchmark suite.
 
     Args:
@@ -55,6 +60,7 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
         matrices: explicit matrices to use instead of the generated suite.
         config: SpArch configuration (Table I by default).
         baselines: comparison systems (the paper's five by default).
+        runner: experiment runner providing memoised/batched simulation.
     """
     if matrices is not None:
         workload = {name: (matrix, config) for name, matrix in matrices.items()}
@@ -66,10 +72,10 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
     columns = ["matrix"] + [f"over {b.name}" for b in baselines]
     table = Table(title="Figure 11 — speedup of SpArch over baselines", columns=columns)
 
+    sparch_stats = simulate_workload(workload, runner=runner)
     speedups: dict[str, list[float]] = {b.name: [] for b in baselines}
     for name, (matrix, matrix_config) in workload.items():
-        sparch_result = SpArch(matrix_config).multiply(matrix, matrix)
-        sparch_runtime = sparch_result.stats.runtime_seconds
+        sparch_runtime = sparch_stats[name].runtime_seconds
         row: list[object] = [name]
         for baseline in baselines:
             baseline_result = baseline.multiply(matrix, matrix)

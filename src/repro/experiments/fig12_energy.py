@@ -12,10 +12,14 @@ from __future__ import annotations
 
 from repro.analysis.energy import EnergyModel
 from repro.baselines import SpGEMMBaseline
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_scaled_suite,
+    simulate_workload,
+)
 from repro.experiments.fig11_speedup import default_baselines
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -33,7 +37,8 @@ PAPER_GEOMEAN_ENERGY_SAVING = {
 def run(*, max_rows: int = 1000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
         config: SpArchConfig | None = None,
-        baselines: list[SpGEMMBaseline] | None = None) -> ExperimentResult:
+        baselines: list[SpGEMMBaseline] | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce Figure 12 on the (scaled) benchmark suite."""
     config = config or SpArchConfig()
     if matrices is not None:
@@ -48,10 +53,11 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
     table = Table(title="Figure 12 — energy saving of SpArch over baselines",
                   columns=columns)
 
+    sparch_stats = simulate_workload(workload, runner=runner)
     savings: dict[str, list[float]] = {b.name: [] for b in baselines}
     for name, (matrix, matrix_config) in workload.items():
-        sparch_result = SpArch(matrix_config).multiply(matrix, matrix)
-        sparch_energy = energy_model.total_energy(sparch_result.stats, matrix_config)
+        sparch_energy = energy_model.total_energy(sparch_stats[name],
+                                                  matrix_config)
         row: list[object] = [name]
         for baseline in baselines:
             baseline_result = baseline.multiply(matrix, matrix)

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from repro.analysis.area import AreaModel, PAPER_AREA_MM2
 from repro.analysis.energy import EnergyBreakdown, EnergyModel
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_scaled_suite,
+    simulate_workload,
+)
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
 from repro.utils.reporting import Table
 
@@ -30,7 +34,8 @@ PAPER_POWER_FRACTIONS = {
 
 def run(*, max_rows: int = 800, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Figure 13 area and power breakdowns."""
     config = config or SpArchConfig()
     if matrices is not None:
@@ -46,16 +51,17 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
     energy_model = EnergyModel()
     accumulated = EnergyBreakdown()
     total_runtime = 0.0
-    for matrix, matrix_config in workload.values():
-        result = SpArch(matrix_config).multiply(matrix, matrix)
-        breakdown = energy_model.breakdown(result.stats, matrix_config)
+    sparch_stats = simulate_workload(workload, runner=runner)
+    for name, (matrix, matrix_config) in workload.items():
+        stats = sparch_stats[name]
+        breakdown = energy_model.breakdown(stats, matrix_config)
         accumulated.column_fetcher += breakdown.column_fetcher
         accumulated.row_prefetcher += breakdown.row_prefetcher
         accumulated.multiplier_array += breakdown.multiplier_array
         accumulated.merge_tree += breakdown.merge_tree
         accumulated.partial_matrix_writer += breakdown.partial_matrix_writer
         accumulated.hbm += breakdown.hbm
-        total_runtime += result.stats.runtime_seconds
+        total_runtime += stats.runtime_seconds
 
     energy_fractions = accumulated.fractions()
     table = Table(

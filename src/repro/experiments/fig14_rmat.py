@@ -10,9 +10,9 @@ for MKL.
 from __future__ import annotations
 
 from repro.baselines.gustavson import GustavsonSpGEMM
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.matrices.rmat import RMATConfig, generate_rmat, rmat_benchmark_name
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -48,7 +48,8 @@ def scaled_sweep(scale: float) -> list[tuple[int, int]]:
 
 
 def run(*, scale: float = 0.1, seed: int = 7,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Figure 14 rMAT sweep at a configurable scale.
 
     The on-chip capacities that shape the density trend — MKL's last-level
@@ -61,24 +62,27 @@ def run(*, scale: float = 0.1, seed: int = 7,
     scaled_lines = max(32, int(round(base_config.prefetch_buffer_lines * scale)))
     scaled_lookahead = max(256, int(round(base_config.lookahead_fifo_elements
                                           * scale)))
-    accelerator = SpArch(base_config.replace(
+    sparch_config = base_config.replace(
         prefetch_buffer_lines=scaled_lines,
-        lookahead_fifo_elements=scaled_lookahead))
+        lookahead_fifo_elements=scaled_lookahead)
     mkl = GustavsonSpGEMM(cache_bytes=max(64 * 2**10, 15 * 2**20 * scale))
 
     table = Table(
         title="Figure 14 — FLOPS on rMAT benchmarks (SpArch vs MKL)",
         columns=["benchmark", "density", "MKL FLOPS", "SpArch FLOPS", "ratio"],
     )
+    runner = runner or default_runner()
+    generated = [generate_rmat(RMATConfig(num_rows=rows, edge_factor=degree,
+                                          seed=seed))
+                 for rows, degree in sweep]
+    sparch_stats = runner.simulate_many(
+        [(matrix, sparch_config) for matrix in generated])
     sparch_flops: list[float] = []
     mkl_flops: list[float] = []
-    for (rows, degree), (orig_rows, _) in zip(sweep, PAPER_SWEEP):
-        matrix = generate_rmat(RMATConfig(num_rows=rows, edge_factor=degree,
-                                          seed=seed))
-        sparch_result = accelerator.multiply(matrix, matrix)
+    for matrix, stats, (orig_rows, degree) in zip(generated, sparch_stats,
+                                                  PAPER_SWEEP):
         mkl_result = mkl.multiply(matrix, matrix)
-        sparch_rate = sparch_result.stats.flops / max(
-            sparch_result.stats.runtime_seconds, 1e-15)
+        sparch_rate = stats.flops / max(stats.runtime_seconds, 1e-15)
         mkl_rate = mkl_result.flops / max(mkl_result.runtime_seconds, 1e-15)
         sparch_flops.append(sparch_rate)
         mkl_flops.append(mkl_rate)

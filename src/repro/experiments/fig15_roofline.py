@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from repro.analysis.roofline import (
     PAPER_OPERATIONAL_INTENSITY,
+    compulsory_traffic_bytes_from_counts,
     roofline_analysis,
-    theoretical_operational_intensity,
 )
 from repro.baselines.outerspace import OuterSpaceAccelerator
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.experiments.common import ExperimentResult, default_suite
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -32,24 +32,26 @@ PAPER_METRICS = {
 
 def run(*, max_rows: int = 1000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Figure 15 roofline numbers on the benchmark suite."""
     config = config or SpArchConfig()
     matrices = matrices or default_suite(max_rows=max_rows, names=names)
-    accelerator = SpArch(config)
+    runner = runner or default_runner()
     outerspace = OuterSpaceAccelerator()
 
+    sparch_stats = runner.simulate_many(
+        [(matrix, config) for matrix in matrices.values()])
     intensities: list[float] = []
     sparch_gflops: list[float] = []
     outerspace_gflops: list[float] = []
-    for matrix in matrices.values():
-        sparch_result = accelerator.multiply(matrix, matrix)
+    for matrix, stats in zip(matrices.values(), sparch_stats):
         outer_result = outerspace.multiply(matrix, matrix)
-        intensity = theoretical_operational_intensity(
-            matrix, matrix, sparch_result.matrix, sparch_result.stats.flops,
+        compulsory = compulsory_traffic_bytes_from_counts(
+            matrix.nnz, matrix.nnz, stats.output_nnz,
             element_bytes=config.element_bytes)
-        intensities.append(intensity)
-        sparch_gflops.append(max(sparch_result.stats.gflops, 1e-12))
+        intensities.append(stats.flops / compulsory if compulsory else 0.0)
+        sparch_gflops.append(max(stats.gflops, 1e-12))
         outerspace_gflops.append(max(outer_result.gflops, 1e-12))
 
     intensity = geometric_mean(intensities)

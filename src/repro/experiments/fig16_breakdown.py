@@ -29,6 +29,7 @@ from repro.analysis.dram_traffic import (
 )
 from repro.core.config import SpArchConfig
 from repro.experiments.common import ExperimentResult, default_suite
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.reporting import Table
 
@@ -48,7 +49,8 @@ PAPER_AVG_CONDENSED_COLUMNS = 100
 
 def run(*, max_rows: int = 4000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Figure 16 breakdown (measured + paper-scale projection)."""
     config = config or SpArchConfig()
     if matrices is None:
@@ -59,7 +61,9 @@ def run(*, max_rows: int = 4000, names: list[str] | None = None,
                      "email-Enron", "p2p-Gnutella31"]
         matrices = default_suite(max_rows=max_rows, names=names)
 
-    steps = cumulative_breakdown(matrices, base_config=config)
+    runner = runner or default_runner()
+    steps = cumulative_breakdown(matrices, base_config=config,
+                                 simulate=runner.simulate)
 
     table = Table(
         title="Figure 16 — performance breakdown (measured on scaled proxies)",

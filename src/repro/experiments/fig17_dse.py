@@ -15,9 +15,9 @@ The paper sweeps four parameters around the Table I design point:
 
 from __future__ import annotations
 
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.experiments.common import ExperimentResult, default_suite
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -36,18 +36,18 @@ PAPER_METRICS = {
 }
 
 
-def _sweep(matrices: dict[str, CSRMatrix], configs: dict[str, SpArchConfig]
-           ) -> dict[str, tuple[float, float]]:
+def _sweep(matrices: dict[str, CSRMatrix], configs: dict[str, SpArchConfig],
+           runner: ExperimentRunner) -> dict[str, tuple[float, float]]:
     """Run every config over the matrices; return geomean GFLOPS and bytes."""
+    tasks = [(matrix, config) for config in configs.values()
+             for matrix in matrices.values()]
+    all_stats = runner.simulate_many(tasks)
     results: dict[str, tuple[float, float]] = {}
-    for label, config in configs.items():
-        accelerator = SpArch(config)
-        gflops = []
-        total_bytes = 0
-        for matrix in matrices.values():
-            result = accelerator.multiply(matrix, matrix)
-            gflops.append(max(result.stats.gflops, 1e-12))
-            total_bytes += result.stats.dram_bytes
+    per_config = len(matrices)
+    for index, label in enumerate(configs):
+        stats_slice = all_stats[index * per_config:(index + 1) * per_config]
+        gflops = [max(stats.gflops, 1e-12) for stats in stats_slice]
+        total_bytes = sum(stats.dram_bytes for stats in stats_slice)
         results[label] = (geometric_mean(gflops), float(total_bytes))
     return results
 
@@ -55,7 +55,8 @@ def _sweep(matrices: dict[str, CSRMatrix], configs: dict[str, SpArchConfig]
 def run(*, max_rows: int = 800, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
         base_config: SpArchConfig | None = None,
-        buffer_scale: int = 16) -> ExperimentResult:
+        buffer_scale: int = 16,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the four Figure 17 sweeps.
 
     Args:
@@ -69,6 +70,7 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
             (a 1024-line buffer would trivially hold every scaled proxy).
     """
     base_config = base_config or SpArchConfig()
+    runner = runner or default_runner()
     if matrices is None:
         if names is None:
             names = ["wiki-Vote", "facebook", "email-Enron", "ca-CondMat",
@@ -88,7 +90,7 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
                                                prefetch_line_elements=line)
         for line in LINE_SIZE_SWEEP
     }
-    for label, (gflops, dram) in _sweep(matrices, configs).items():
+    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
         table.add_row("(a) line size", label, gflops, dram)
         metrics[f"gflops[line:{label.split('x')[1]}]"] = gflops
         metrics[f"dram[line:{label.split('x')[1]}]"] = dram
@@ -100,7 +102,7 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
         configs[f"{shape_lines}x{shape_elements}"] = base_config.replace(
             prefetch_buffer_lines=scaled_lines,
             prefetch_line_elements=shape_elements)
-    for label, (gflops, dram) in _sweep(matrices, configs).items():
+    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
         table.add_row("(b) buffer shape", label, gflops, dram)
         metrics[f"gflops[shape:{label}]"] = gflops
         metrics[f"dram[shape:{label}]"] = dram
@@ -111,7 +113,7 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
                                               merger_chunk_size=min(4, size))
         for size in COMPARATOR_SWEEP
     }
-    for label, (gflops, dram) in _sweep(matrices, configs).items():
+    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
         table.add_row("(c) comparator array", label, gflops, dram)
         metrics[f"gflops[comparator:{label.split('x')[0]}]"] = gflops
 
@@ -123,7 +125,7 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
                                       // buffer_scale))
         for size in LOOKAHEAD_SWEEP
     }
-    for label, (gflops, dram) in _sweep(matrices, configs).items():
+    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
         table.add_row("(d) look-ahead FIFO", label, gflops, dram)
         metrics[f"gflops[lookahead:{label}]"] = gflops
         metrics[f"dram[lookahead:{label}]"] = dram

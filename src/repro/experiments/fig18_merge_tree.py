@@ -9,9 +9,9 @@ already comparable to the tree's width.
 
 from __future__ import annotations
 
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.experiments.common import ExperimentResult, default_suite
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -28,9 +28,11 @@ PAPER_METRICS = {
 
 def run(*, max_rows: int = 1500, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        base_config: SpArchConfig | None = None) -> ExperimentResult:
+        base_config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Figure 18 merge-tree-depth sweep."""
     base_config = base_config or SpArchConfig()
+    runner = runner or default_runner()
     if matrices is None:
         if names is None:
             names = ["wiki-Vote", "facebook", "email-Enron", "ca-CondMat",
@@ -44,13 +46,10 @@ def run(*, max_rows: int = 1500, names: list[str] | None = None,
     metrics: dict[str, float] = {}
     for layers in LAYER_SWEEP:
         config = base_config.replace(merge_tree_layers=layers)
-        accelerator = SpArch(config)
-        gflops = []
-        total_bytes = 0
-        for matrix in matrices.values():
-            result = accelerator.multiply(matrix, matrix)
-            gflops.append(max(result.stats.gflops, 1e-12))
-            total_bytes += result.stats.dram_bytes
+        layer_stats = runner.simulate_many(
+            [(matrix, config) for matrix in matrices.values()])
+        gflops = [max(stats.gflops, 1e-12) for stats in layer_stats]
+        total_bytes = sum(stats.dram_bytes for stats in layer_stats)
         mean_gflops = geometric_mean(gflops)
         table.add_row(layers, 2 ** layers, mean_gflops, total_bytes)
         metrics[f"gflops[layers:{layers}]"] = mean_gflops

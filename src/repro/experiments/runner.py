@@ -1,0 +1,267 @@
+"""Batched experiment runner: shared simulation points, memoised and fanned out.
+
+Every figure/table harness ultimately calls ``SpArch(config).multiply(m, m)``
+on some set of matrices, and the sets overlap heavily — fig11, fig12, table2
+and fig15 all square the same benchmark proxies under the same scaled
+configurations.  The seed re-simulated each point once per experiment.
+
+:class:`ExperimentRunner` deduplicates that work:
+
+* **Memoisation** — each ``(matrix, config)`` pair is fingerprinted (SHA-256
+  over the CSR arrays and the configuration fields) and its
+  :class:`~repro.core.stats.SimulationStats` cached, in memory always and on
+  disk when a cache directory is configured (``--cache-dir`` on the CLI or
+  ``REPRO_CACHE_DIR`` in the environment).  Disk entries are JSON files named
+  ``<fingerprint>.json`` under ``<cache_dir>/sim/``.  The ``engine`` field is
+  *excluded* from the fingerprint: the differential harness
+  (``tests/integration/test_engine_equivalence.py``) guarantees both engines
+  produce identical statistics, so results are shared across engines —
+  except when an engine is explicitly forced (see below), in which case
+  entries are keyed per backend so the forced run really simulates.
+* **Fan-out** — :meth:`simulate_many` runs distinct uncached points through
+  ``concurrent.futures`` worker processes (``--jobs`` / ``REPRO_JOBS``),
+  falling back to in-process execution for a single job.
+* **Engine override** — a runner built with ``engine="scalar"`` (CLI
+  ``--engine``) re-runs every simulation on the scalar reference engine,
+  which is how the batched suite can be cross-checked end to end.  Forced
+  runs use engine-specific cache keys, so a warm shared cache cannot
+  satisfy the cross-check without actually simulating.
+
+Experiment harnesses accept a ``runner`` keyword and route every SpArch
+simulation through :meth:`simulate` / :meth:`simulate_workload`, so one
+``python -m repro.experiments all`` sweep simulates each shared point once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats
+from repro.formats.csr import CSRMatrix
+
+#: Environment variables honoured by :func:`default_runner`.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+JOBS_ENV = "REPRO_JOBS"
+
+
+def matrix_fingerprint(matrix: CSRMatrix) -> str:
+    """Content hash of a CSR matrix (shape + structure + values)."""
+    digest = hashlib.sha256()
+    digest.update(repr(matrix.shape).encode())
+    digest.update(matrix.indptr.tobytes())
+    digest.update(matrix.indices.tobytes())
+    digest.update(matrix.data.tobytes())
+    return digest.hexdigest()
+
+
+def config_fingerprint(config: SpArchConfig, *,
+                       include_engine: bool = False) -> str:
+    """Content hash of a configuration.
+
+    By default the ``engine`` backend is excluded: both engines are proven
+    to produce identical results and statistics, so cached simulation points
+    are shared between them.  ``include_engine=True`` keys the entry to the
+    backend — used when an engine is *forced*, so a cross-check run really
+    simulates instead of replaying the other backend's cache.
+    """
+    payload = dataclasses.asdict(config)
+    if not include_engine:
+        payload.pop("engine", None)
+    digest = hashlib.sha256()
+    digest.update(json.dumps(payload, sort_keys=True, default=str).encode())
+    return digest.hexdigest()
+
+
+def simulation_key(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                   config: SpArchConfig, *,
+                   include_engine: bool = False) -> str:
+    """Cache key of one ``A · B`` simulation under ``config``."""
+    digest = hashlib.sha256()
+    digest.update(matrix_fingerprint(matrix_a).encode())
+    if matrix_b is not matrix_a:
+        digest.update(matrix_fingerprint(matrix_b).encode())
+    else:
+        digest.update(b"self")
+    digest.update(config_fingerprint(config,
+                                     include_engine=include_engine).encode())
+    return digest.hexdigest()
+
+
+def _simulate_task(task: tuple[CSRMatrix, CSRMatrix | None, SpArchConfig]
+                   ) -> dict:
+    """Worker entry point: run one simulation, return serialised stats."""
+    matrix_a, matrix_b, config = task
+    right = matrix_a if matrix_b is None else matrix_b
+    result = SpArch(config).multiply(matrix_a, right)
+    return result.stats.to_dict()
+
+
+class ExperimentRunner:
+    """Runs SpArch simulations with memoisation and optional fan-out.
+
+    Args:
+        cache_dir: directory for the on-disk result cache; ``None`` keeps
+            the cache in memory only (one process lifetime).
+        jobs: worker processes for :meth:`simulate_many`; ``1`` runs
+            in-process.
+        engine: when set, overrides ``config.engine`` for every simulation
+            (``"scalar"`` or ``"vectorized"``).
+    """
+
+    def __init__(self, *, cache_dir: str | os.PathLike | None = None,
+                 jobs: int = 1, engine: str | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if engine is not None and engine not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._jobs = jobs
+        self._engine = engine
+        self._memory_cache: dict[str, dict] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        if self._cache_dir is not None:
+            (self._cache_dir / "sim").mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Path | None:
+        return self._cache_dir
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def engine(self) -> str | None:
+        return self._engine
+
+    def _effective_config(self, config: SpArchConfig | None) -> SpArchConfig:
+        config = config or SpArchConfig()
+        if self._engine is not None and config.engine != self._engine:
+            config = config.replace(engine=self._engine)
+        return config
+
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: str) -> Path | None:
+        if self._cache_dir is None:
+            return None
+        return self._cache_dir / "sim" / f"{key}.json"
+
+    def _cache_load(self, key: str) -> dict | None:
+        payload = self._memory_cache.get(key)
+        if payload is not None:
+            return payload
+        path = self._cache_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # corrupt/concurrent write; recompute
+        self._memory_cache[key] = payload
+        return payload
+
+    def _cache_store(self, key: str, payload: dict) -> None:
+        self._memory_cache[key] = payload
+        path = self._cache_path(key)
+        if path is None:
+            return
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)  # atomic on POSIX: concurrent writers race safely
+        except OSError:
+            pass  # cache is best-effort
+
+    # ------------------------------------------------------------------
+    def simulate(self, matrix_a: CSRMatrix, config: SpArchConfig | None = None,
+                 *, matrix_b: CSRMatrix | None = None) -> SimulationStats:
+        """Simulate ``A · B`` (``B = A`` by default), memoised.
+
+        Returns the simulation statistics only — the functional result
+        matrix is not cached (no experiment consumes it; the differential
+        and property tests exercise it directly through :class:`SpArch`).
+        """
+        config = self._effective_config(config)
+        right = matrix_b if matrix_b is not None else matrix_a
+        key = simulation_key(matrix_a, right, config,
+                             include_engine=self._engine is not None)
+        payload = self._cache_load(key)
+        if payload is None:
+            self.cache_misses += 1
+            payload = _simulate_task((matrix_a, matrix_b, config))
+            self._cache_store(key, payload)
+        else:
+            self.cache_hits += 1
+        return SimulationStats.from_dict(payload)
+
+    def simulate_many(self, tasks: list[tuple[CSRMatrix, SpArchConfig | None]]
+                      ) -> list[SimulationStats]:
+        """Simulate many ``A · A`` points, fanning uncached ones out.
+
+        Args:
+            tasks: ``(matrix, config)`` pairs; order is preserved in the
+                returned list.
+        """
+        configs = [self._effective_config(config) for _, config in tasks]
+        forced = self._engine is not None
+        keys = [simulation_key(matrix, matrix, config, include_engine=forced)
+                for (matrix, _), config in zip(tasks, configs)]
+
+        missing: dict[str, tuple[CSRMatrix, None, SpArchConfig]] = {}
+        for (matrix, _), config, key in zip(tasks, configs, keys):
+            if self._cache_load(key) is None and key not in missing:
+                missing[key] = (matrix, None, config)
+
+        self.cache_hits += len(keys) - len(missing)
+        self.cache_misses += len(missing)
+        if missing:
+            items = list(missing.items())
+            if self._jobs > 1 and len(items) > 1:
+                with ProcessPoolExecutor(max_workers=self._jobs) as pool:
+                    payloads = list(pool.map(_simulate_task,
+                                             [task for _, task in items]))
+            else:
+                payloads = [_simulate_task(task) for _, task in items]
+            for (key, _), payload in zip(items, payloads):
+                self._cache_store(key, payload)
+
+        return [SimulationStats.from_dict(self._cache_load(key)) for key in keys]
+
+    def simulate_workload(self, workload: dict[str, tuple[CSRMatrix, SpArchConfig | None]]
+                          ) -> dict[str, SimulationStats]:
+        """Simulate a named ``{name: (matrix, config)}`` workload."""
+        names = list(workload)
+        stats = self.simulate_many([workload[name] for name in names])
+        return dict(zip(names, stats))
+
+
+_default_runner: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """Process-wide runner used when a harness is called without one.
+
+    Honours ``REPRO_CACHE_DIR`` (disk cache location; unset keeps the cache
+    in memory) and ``REPRO_JOBS`` (fan-out width, default 1).
+    """
+    global _default_runner
+    if _default_runner is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+        jobs = int(os.environ.get(JOBS_ENV, "1") or "1")
+        _default_runner = ExperimentRunner(cache_dir=cache_dir, jobs=jobs)
+    return _default_runner
+
+
+def set_default_runner(runner: ExperimentRunner | None) -> None:
+    """Install (or with ``None``, reset) the process-wide default runner."""
+    global _default_runner
+    _default_runner = runner

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.accelerator import SpArch
 from repro.core.condensing import partial_matrix_sizes
 from repro.core.config import SpArchConfig
 from repro.core.huffman import huffman_schedule, sequential_schedule
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import ExperimentResult, load_scaled_suite, simulate
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.condensed import CondensedMatrix
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
@@ -38,7 +38,8 @@ PAPER_METRICS = {
 def run(*, max_rows: int = 2000, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
         merge_tree_layers: int = 3,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Compare Huffman and sequential scheduling on the benchmark suite.
 
     Args:
@@ -75,9 +76,10 @@ def run(*, max_rows: int = 2000, names: list[str] | None = None,
         weight_ratio = (sequential_plan.total_weight
                         / max(huffman_plan.total_weight, 1e-9))
 
-        huffman_stats = SpArch(matrix_config).multiply(matrix, matrix).stats
-        sequential_stats = SpArch(matrix_config.with_features(
-            huffman_scheduler=False)).multiply(matrix, matrix).stats
+        huffman_stats = simulate(matrix, matrix_config, runner=runner)
+        sequential_stats = simulate(
+            matrix, matrix_config.with_features(huffman_scheduler=False),
+            runner=runner)
         traffic_reduction = (
             max(1, sequential_stats.traffic.partial_matrix_bytes)
             / max(1, huffman_stats.traffic.partial_matrix_bytes))

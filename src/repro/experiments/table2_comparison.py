@@ -19,9 +19,13 @@ from repro.baselines.outerspace import (
     OUTERSPACE_BANDWIDTH_UTILIZATION,
     OUTERSPACE_POWER_W,
 )
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_scaled_suite,
+    simulate_workload,
+)
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
 from repro.utils.reporting import Table
 
@@ -37,7 +41,8 @@ PAPER_METRICS = {
 
 def run(*, max_rows: int = 800, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Table II comparison."""
     config = config or SpArchConfig()
     if matrices is not None:
@@ -52,11 +57,12 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
     total_energy = 0.0
     total_runtime = 0.0
     utilizations: list[float] = []
-    for matrix, matrix_config in workload.values():
-        result = SpArch(matrix_config).multiply(matrix, matrix)
-        total_energy += energy_model.total_energy(result.stats, matrix_config)
-        total_runtime += result.stats.runtime_seconds
-        utilizations.append(result.stats.bandwidth_utilization)
+    sparch_stats = simulate_workload(workload, runner=runner)
+    for name, (matrix, matrix_config) in workload.items():
+        stats = sparch_stats[name]
+        total_energy += energy_model.total_energy(stats, matrix_config)
+        total_runtime += stats.runtime_seconds
+        utilizations.append(stats.bandwidth_utilization)
 
     sparch_area = area_model.total_area(config)
     sparch_power = total_energy / total_runtime if total_runtime > 0 else 0.0

@@ -13,9 +13,13 @@ from __future__ import annotations
 from repro.analysis.area import AreaModel, OUTERSPACE_TOTAL_AREA_MM2
 from repro.analysis.energy import EnergyModel
 from repro.baselines.outerspace import OuterSpaceAccelerator
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
-from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_scaled_suite,
+    simulate_workload,
+)
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
 from repro.utils.reporting import Table
 
@@ -30,7 +34,8 @@ PAPER_TABLE3 = {
 
 def run(*, max_rows: int = 800, names: list[str] | None = None,
         matrices: dict[str, CSRMatrix] | None = None,
-        config: SpArchConfig | None = None) -> ExperimentResult:
+        config: SpArchConfig | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
     """Reproduce the Table III energy/area breakdown."""
     config = config or SpArchConfig()
     if matrices is not None:
@@ -46,16 +51,17 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
     sparch_flops = 0
     outerspace_energy = 0.0
     outerspace_flops = 0
-    for matrix, matrix_config in workload.values():
-        result = SpArch(matrix_config).multiply(matrix, matrix)
-        breakdown = energy_model.breakdown(result.stats, matrix_config)
+    sparch_stats = simulate_workload(workload, runner=runner)
+    for name, (matrix, matrix_config) in workload.items():
+        stats = sparch_stats[name]
+        breakdown = energy_model.breakdown(stats, matrix_config)
         sparch_categories["Computation"] += (breakdown.multiplier_array
                                              + breakdown.merge_tree)
         sparch_categories["SRAM"] += (breakdown.column_fetcher
                                       + breakdown.row_prefetcher
                                       + breakdown.partial_matrix_writer)
         sparch_categories["DRAM"] += breakdown.hbm
-        sparch_flops += result.stats.flops
+        sparch_flops += stats.flops
 
         outer_result = outerspace.multiply(matrix, matrix)
         outerspace_energy += outer_result.energy_joules

@@ -57,7 +57,11 @@ class CondensedMatrix:
 
     def __init__(self, csr: CSRMatrix) -> None:
         self._csr = csr
-        self._num_condensed_cols = csr.max_row_length()
+        # Row lengths are consulted by every column access; computing them
+        # per call made column materialisation O(nnz) per column.
+        self._row_lengths = csr.nnz_per_row()
+        self._num_condensed_cols = (int(self._row_lengths.max(initial=0))
+                                    if csr.num_rows else 0)
 
     # ------------------------------------------------------------------
     @property
@@ -88,7 +92,7 @@ class CondensedMatrix:
         the leaf weight used by the Huffman tree scheduler.
         """
         self._check_column(j)
-        return int(np.count_nonzero(self._csr.nnz_per_row() > j))
+        return int(np.count_nonzero(self._row_lengths > j))
 
     def column_nnz_histogram(self) -> np.ndarray:
         """Return ``nnz`` of every condensed column as an int64 array.
@@ -96,7 +100,7 @@ class CondensedMatrix:
         ``histogram[j]`` is the number of rows whose length exceeds ``j``;
         it is non-increasing in ``j`` by construction.
         """
-        row_lengths = self._csr.nnz_per_row()
+        row_lengths = self._row_lengths
         if self._num_condensed_cols == 0:
             return np.zeros(0, dtype=np.int64)
         counts = np.bincount(row_lengths, minlength=self._num_condensed_cols + 1)
@@ -111,8 +115,7 @@ class CondensedMatrix:
         column fetcher streams them from DRAM).
         """
         self._check_column(j)
-        row_lengths = self._csr.nnz_per_row()
-        rows = np.nonzero(row_lengths > j)[0]
+        rows = np.nonzero(self._row_lengths > j)[0]
         positions = self._csr.indptr[rows] + j
         return CondensedColumn(
             index=j,

@@ -54,15 +54,19 @@ class AdderSlice:
         self.stats.elements_processed += len(keys)
         if len(keys) == 0:
             return keys.copy(), values.copy()
-        if np.any(np.diff(keys) < 0):
+        if np.any(keys[1:] < keys[:-1]):
             raise ValueError("adder slice requires a key-sorted input stream")
 
-        unique_keys, inverse, counts = np.unique(keys, return_inverse=True,
-                                                 return_counts=True)
-        summed = np.zeros(len(unique_keys))
-        np.add.at(summed, inverse, values)
+        # Runs of equal keys are contiguous in the sorted stream, so one
+        # boundary mask + np.add.reduceat folds every run at once.
+        run_starts = np.empty(len(keys), dtype=bool)
+        run_starts[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=run_starts[1:])
+        starts = np.flatnonzero(run_starts)
+        unique_keys = keys[starts]
+        summed = np.add.reduceat(values, starts)
         # Each run of k equal keys needs k-1 additions.
-        self.stats.additions += int(np.sum(counts - 1))
+        self.stats.additions += len(keys) - len(starts)
         return unique_keys, summed
 
     def reset_stats(self) -> None:

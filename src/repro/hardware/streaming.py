@@ -23,6 +23,7 @@ model (DESIGN.md §3).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,12 +49,17 @@ class StreamingStats:
 
 
 class _NodeFifo:
-    """A bounded FIFO of (key, value) element tuples with drain tracking."""
+    """A bounded FIFO of (key, value) element tuples with drain tracking.
+
+    Backed by :class:`collections.deque` so popping from the front is O(1);
+    the original list-slicing implementation copied the whole backlog on
+    every pop, turning long merges quadratic.
+    """
 
     def __init__(self, name: str, capacity: int) -> None:
         self.name = name
         self.capacity = capacity
-        self.items: list[tuple[int, float]] = []
+        self.items: deque[tuple[int, float]] = deque()
         self.source_exhausted = False
         self.high_water = 0
 
@@ -62,8 +68,8 @@ class _NodeFifo:
         self.high_water = max(self.high_water, len(self.items))
 
     def pop_many(self, count: int) -> list[tuple[int, float]]:
-        taken, self.items = self.items[:count], self.items[count:]
-        return taken
+        pop = self.items.popleft
+        return [pop() for _ in range(min(count, len(self.items)))]
 
     @property
     def free_space(self) -> int:

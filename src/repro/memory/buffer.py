@@ -92,6 +92,15 @@ class RowBuffer:
         return set(self._resident)
 
     @property
+    def resident_map(self) -> dict[int, set[int]]:
+        """Internal ``row -> resident segments`` mapping (treat as read-only).
+
+        Exposed for the replacement-policy hot loop, which queries residency
+        once per access and cannot afford a set copy per query.
+        """
+        return self._resident
+
+    @property
     def hit_rate(self) -> float:
         """Segment-granularity hit rate observed so far."""
         total = self.segment_hits + self.segment_misses
@@ -113,6 +122,17 @@ class RowBuffer:
     def resident_segments(self, row: int) -> set[int]:
         """Segments of ``row`` currently buffered (possibly empty)."""
         return set(self._resident.get(row, set()))
+
+    def resident_segments_view(self, row: int) -> frozenset[int] | set[int]:
+        """Resident segments of ``row`` without copying.
+
+        The returned set is the buffer's internal state — callers must treat
+        it as read-only.  The replacement-policy simulation queries residency
+        once per access, where the defensive copy of
+        :meth:`resident_segments` dominated the runtime.
+        """
+        segments = self._resident.get(row)
+        return segments if segments is not None else frozenset()
 
     # ------------------------------------------------------------------
     def insert(self, row: int, segment: int) -> None:
@@ -145,6 +165,22 @@ class RowBuffer:
         for segment in segments:
             self.evict(row, segment)
         return len(segments)
+
+    def apply_policy_effects(self, *, inserted_lines: int,
+                             evicted_lines: int) -> None:
+        """Reconcile counters after a policy loop mutated ``resident_map``.
+
+        The replacement-policy simulation inlines insert/evict on the
+        residency mapping for speed; this applies the net line-count and
+        eviction effects in one call.  Counts must describe exactly what was
+        done to :attr:`resident_map`.
+        """
+        if inserted_lines < 0 or evicted_lines < 0:
+            raise ValueError("line counts must be non-negative")
+        self._lines_used += inserted_lines - evicted_lines
+        if not 0 <= self._lines_used <= self._num_lines:
+            raise ValueError("policy effects left the buffer inconsistent")
+        self.evictions += evicted_lines
 
     def record_hit(self, count: int = 1) -> None:
         """Account ``count`` segment hits."""

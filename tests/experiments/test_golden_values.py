@@ -1,0 +1,97 @@
+"""Golden regression tests: pin headline experiment numbers to committed JSON.
+
+The simulation is deterministic (seeded generators, fixed reduction orders),
+so the headline metrics of the paper experiments are exactly reproducible.
+These tests compare a small fast workload per experiment against
+``golden_values.json`` with a tight relative tolerance, so refactors of the
+engines, the runner or the models cannot silently drift the reproduced
+results (the engine-equivalence harness proves the two backends agree with
+each other; this file proves they both still agree with *history*).
+
+Regenerating the goldens (only after an intentional modelling change):
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.experiments import fig11_speedup, fig16_breakdown, table2_comparison
+    golden = json.load(open("tests/experiments/golden_values.json"))
+    for key, module in [("fig11", fig11_speedup), ("fig16", fig16_breakdown),
+                        ("table2", table2_comparison)]:
+        entry = golden[key]
+        result = module.run(max_rows=entry["max_rows"], names=entry["names"])
+        entry["metrics"] = result.metrics
+    json.dump(golden, open("tests/experiments/golden_values.json", "w"),
+              indent=2, sort_keys=True)
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig11_speedup, fig16_breakdown, table2_comparison
+
+GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
+
+#: Relative tolerance: tight enough to catch any modelling drift, loose
+#: enough to survive benign floating-point library differences.
+RELATIVE_TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _assert_metrics_match(measured: dict[str, float],
+                          expected: dict[str, float]) -> None:
+    missing = set(expected) - set(measured)
+    assert not missing, f"metrics disappeared: {sorted(missing)}"
+    for key, value in expected.items():
+        assert measured[key] == pytest.approx(value, rel=RELATIVE_TOLERANCE), \
+            f"golden drift in {key!r}: {measured[key]!r} != {value!r}"
+
+
+def test_fig11_geomean_speedups(golden):
+    entry = golden["fig11"]
+    result = fig11_speedup.run(max_rows=entry["max_rows"], names=entry["names"])
+    _assert_metrics_match(result.metrics, entry["metrics"])
+
+
+def test_fig16_breakdown_values_and_ordering(golden):
+    entry = golden["fig16"]
+    result = fig16_breakdown.run(max_rows=entry["max_rows"],
+                                 names=entry["names"])
+    _assert_metrics_match(result.metrics, entry["metrics"])
+    # The qualitative shape of the Figure 16 walk must also hold: every
+    # cumulative technique after pipelining improves on the previous step,
+    # and the full design beats the OuterSPACE baseline.
+    metrics = result.metrics
+    assert metrics["speedup_vs_prev[+ Matrix Condensing]"] > 1.0
+    assert metrics["speedup_vs_prev[+ Huffman Tree Scheduler]"] >= 1.0
+    assert metrics["speedup_vs_prev[+ Row Prefetcher]"] > 1.0
+    assert metrics["overall_speedup_vs_outerspace"] > 1.0
+    # Paper-scale projection: pipelined-only is a large slowdown, condensing
+    # recovers it (the Figure 2 crossover).
+    assert metrics["projected_slowdown[pipelined_only]"] > 1.0
+    assert metrics["projected_speedup[condensing]"] > 1.0
+
+
+def test_table2_comparison_values(golden):
+    entry = golden["table2"]
+    result = table2_comparison.run(max_rows=entry["max_rows"],
+                                   names=entry["names"])
+    _assert_metrics_match(result.metrics, entry["metrics"])
+
+
+def test_goldens_are_engine_independent(golden):
+    """The pinned numbers hold on the scalar reference engine too."""
+    from repro.experiments.runner import ExperimentRunner
+
+    entry = golden["fig11"]
+    runner = ExperimentRunner(engine="scalar")
+    result = fig11_speedup.run(max_rows=entry["max_rows"],
+                               names=entry["names"], runner=runner)
+    _assert_metrics_match(result.metrics, entry["metrics"])
