@@ -5,17 +5,36 @@ corresponding experiment harness on a reduced workload (pytest-benchmark
 measures the harness runtime; the *reproduced numbers* are attached to the
 benchmark's ``extra_info`` so ``--benchmark-json`` output contains the same
 rows the paper reports).  EXPERIMENTS.md records the full-size runs.
+
+Besides the pytest-benchmark integration, this conftest emits a
+machine-readable ``BENCH_results.json`` at session end: per-benchmark
+wall-clock numbers and speedup ratios, harvested both from pytest-benchmark
+stats and from the explicit :func:`record_result` calls the speed tests
+make.  CI uploads the file as an artifact so the performance trajectory is
+tracked across PRs.  Set ``REPRO_BENCH_JSON`` to override the output path.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
+
+from bench_results import RECORDED, record_result
+
+__all__ = ["attach_metrics", "record_result"]
 
 #: Benchmark workload: a representative subset of the 20-matrix suite that
 #: keeps a full ``pytest benchmarks/`` run in the minutes range.
 BENCH_NAMES = ["wiki-Vote", "facebook", "poisson3Da", "email-Enron",
                "ca-CondMat"]
 BENCH_MAX_ROWS = 600
+
+#: Environment variable overriding where BENCH_results.json is written.
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
 
 
 @pytest.fixture(scope="session")
@@ -36,3 +55,53 @@ def attach_metrics(benchmark, result) -> None:
     """Record an experiment's headline metrics in the benchmark report."""
     for key, value in result.metrics.items():
         benchmark.extra_info[key] = value
+
+
+def _bench_json_path(config) -> Path:
+    override = os.environ.get(BENCH_JSON_ENV)
+    if override:
+        return Path(override)
+    return Path(str(config.rootpath)) / "BENCH_results.json"
+
+
+def _harvest_pytest_benchmarks(config) -> dict[str, dict]:
+    """Collect wall-clock stats from pytest-benchmark, when it ran."""
+    session = getattr(config, "_benchmarksession", None)
+    if session is None:
+        return {}
+    harvested: dict[str, dict] = {}
+    for bench in getattr(session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        # pytest-benchmark wraps the numbers one level deeper on some
+        # versions (Metadata.stats.stats); unwrap when needed.
+        stats = getattr(stats, "stats", stats)
+        if stats is None:
+            continue
+        entry = {
+            "min_seconds": float(stats.min),
+            "mean_seconds": float(stats.mean),
+            "rounds": int(stats.rounds),
+        }
+        entry.update({key: value for key, value in bench.extra_info.items()
+                      if isinstance(value, (int, float))})
+        harvested[bench.name] = entry
+    return harvested
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write BENCH_results.json with everything measured this session."""
+    benchmarks = _harvest_pytest_benchmarks(session.config)
+    if not benchmarks and not RECORDED:
+        return
+    payload = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "exit_status": int(exitstatus),
+        "benchmarks": benchmarks,
+        "records": dict(RECORDED),
+    }
+    path = _bench_json_path(session.config)
+    try:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    except OSError:  # read-only checkout etc. — reporting must not fail the run
+        pass

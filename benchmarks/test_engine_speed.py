@@ -16,7 +16,9 @@ Two comparisons on mid-size rMAT matrices:
 
 Timings use best-of-three to shrug off scheduler noise; the differential
 harness (``tests/integration/test_engine_equivalence.py``) separately proves
-the outputs are identical, so this file only checks time.
+the outputs are identical, so this file only checks time.  On shared CI
+runners set ``REPRO_BENCH_SOFT=1`` to report a missed threshold as a warning
+instead of a failure (the numbers still land in ``BENCH_results.json``).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ import time
 
 import numpy as np
 
+from bench_results import enforce_threshold, record_result
 from repro.core.accelerator import SpArch, _LeafStreamer
 from repro.core.config import SpArchConfig
 from repro.core.huffman import huffman_schedule
@@ -92,10 +95,16 @@ def test_vectorized_engine_kernels_at_least_3x_faster():
         vectorized_total += _best_of(
             REPEATS, lambda: _run_engine_kernels(matrix, "vectorized"))
     speedup = scalar_total / vectorized_total
-    assert speedup >= KERNEL_MIN_SPEEDUP, (
-        f"vectorized merge/multiply kernels only {speedup:.2f}x faster "
-        f"(scalar {scalar_total:.3f}s, vectorized {vectorized_total:.3f}s)"
-    )
+    record_result("engine_speed[kernels]",
+                  scalar_seconds=scalar_total,
+                  vectorized_seconds=vectorized_total,
+                  speedup=speedup,
+                  threshold=KERNEL_MIN_SPEEDUP)
+    if speedup < KERNEL_MIN_SPEEDUP:
+        enforce_threshold(
+            f"vectorized merge/multiply kernels only {speedup:.2f}x faster "
+            f"(scalar {scalar_total:.3f}s, vectorized {vectorized_total:.3f}s)"
+        )
 
 
 def test_end_to_end_multiply_speedup(benchmark):
@@ -115,7 +124,13 @@ def test_end_to_end_multiply_speedup(benchmark):
     benchmark.extra_info["scalar_seconds"] = scalar_time
     benchmark.extra_info["vectorized_seconds"] = vectorized_best
     benchmark.extra_info["end_to_end_speedup"] = speedup
-    assert speedup >= END_TO_END_MIN_SPEEDUP, (
-        f"end-to-end vectorized run only {speedup:.2f}x faster "
-        f"(scalar {scalar_time:.3f}s, vectorized {vectorized_best:.3f}s)"
-    )
+    record_result("engine_speed[end_to_end]",
+                  scalar_seconds=scalar_time,
+                  vectorized_seconds=vectorized_best,
+                  speedup=speedup,
+                  threshold=END_TO_END_MIN_SPEEDUP)
+    if speedup < END_TO_END_MIN_SPEEDUP:
+        enforce_threshold(
+            f"end-to-end vectorized run only {speedup:.2f}x faster "
+            f"(scalar {scalar_time:.3f}s, vectorized {vectorized_best:.3f}s)"
+        )

@@ -20,10 +20,23 @@ dataflow (:mod:`repro.baselines.inner_product`).
 Every baseline implements the *actual algorithm* functionally (verified
 against scipy) and attaches a platform performance/energy model; see
 DESIGN.md §3 for the measured-hardware → model substitution rationale.
+Each baseline additionally runs on one of two backends
+(:class:`~repro.baselines.base.BaselineEngine`): the ``"scalar"`` reference
+loop and a ``"vectorized"`` fast path with batched CSR kernels and
+closed-form counters, proven identical by
+``tests/baselines/test_backend_equivalence.py``.
 """
 
 from repro.baselines.armadillo import ArmadilloSpGEMM
-from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.base import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    BaselineCounters,
+    BaselineEngine,
+    BaselineResult,
+    BaselineSummary,
+    SpGEMMBaseline,
+)
 from repro.baselines.gustavson import GustavsonSpGEMM
 from repro.baselines.hash_spgemm import HashSpGEMM
 from repro.baselines.heap_spgemm import HeapSpGEMM
@@ -36,12 +49,17 @@ from repro.baselines.platforms import (
     NVIDIA_GPU_CUSPARSE,
     PlatformModel,
 )
-from repro.baselines.reference import scipy_spgemm
+from repro.baselines.reference import fast_structural_spgemm, scipy_spgemm
 from repro.baselines.sort_spgemm import ESCSpGEMM
 
 __all__ = [
+    "BaselineCounters",
+    "BaselineEngine",
     "BaselineResult",
+    "BaselineSummary",
     "SpGEMMBaseline",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "OuterSpaceAccelerator",
     "GustavsonSpGEMM",
     "HashSpGEMM",
@@ -55,4 +73,5 @@ __all__ = [
     "NVIDIA_GPU_CUSP",
     "ARM_A53",
     "scipy_spgemm",
+    "fast_structural_spgemm",
 ]

@@ -5,8 +5,12 @@ the linear combination of the rows of B selected by the nonzeros of row *i*
 of A, accumulated in a sparse accumulator (SPA).  Intel MKL's
 ``mkl_sparse_spmm`` parallelises this across rows with OpenMP.
 
-The functional implementation below uses a dictionary as the SPA (one probe
-and possibly one insertion per partial product).  The performance model
+The scalar backend uses a dictionary as the SPA (one probe and possibly one
+insertion per partial product).  The vectorized backend computes the same
+product with one batched CSR kernel and derives the counters in closed form:
+every partial product is one multiplication and one SPA update, and the
+updates that hit an existing entry — the additions — are exactly the
+products minus the distinct output coordinates.  The performance model
 charges:
 
 * one read of A and one write of C;
@@ -20,14 +24,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.base import (
+    BaselineCounters,
+    BaselineEngine,
+    ELEMENT_BYTES,
+    accumulator_counters,
+)
 from repro.baselines.platforms import INTEL_CPU, PlatformModel
+from repro.baselines.reference import fast_structural_spgemm
 from repro.formats.coo import COOMatrix
 from repro.formats.convert import coo_to_csr
 from repro.formats.csr import CSRMatrix
 
 #: Bytes of one stored element on a CPU (8-byte column index + 8-byte value).
-_ELEMENT_BYTES = 16
+_ELEMENT_BYTES = ELEMENT_BYTES
 
 
 def estimate_b_read_bytes(matrix_a: CSRMatrix, matrix_b: CSRMatrix, *,
@@ -53,7 +63,7 @@ def estimate_b_read_bytes(matrix_a: CSRMatrix, matrix_b: CSRMatrix, *,
     return int(unique_bytes + spill_fraction * (total_touch_bytes - unique_bytes))
 
 
-class GustavsonSpGEMM(SpGEMMBaseline):
+class GustavsonSpGEMM(BaselineEngine):
     """MKL-style row-wise Gustavson SpGEMM with a sparse accumulator.
 
     Args:
@@ -61,22 +71,27 @@ class GustavsonSpGEMM(SpGEMMBaseline):
             (defaults to the paper's 6-core Intel CPU).
         cache_bytes: last-level cache capacity of the platform, used by the
             B-reuse model (15 MiB on the i7-5930K).
+        engine: execution backend (``"vectorized"`` default, ``"scalar"``
+            reference); both produce identical results and counters.
     """
 
     name = "MKL"
 
     def __init__(self, platform: PlatformModel = INTEL_CPU,
-                 cache_bytes: float = 15 * 2**20) -> None:
-        self._platform = platform
+                 cache_bytes: float = 15 * 2**20, *,
+                 engine: str | None = None) -> None:
+        super().__init__(platform, engine=engine)
         self._cache_bytes = cache_bytes
 
-    @property
-    def platform(self) -> PlatformModel:
-        return self._platform
+    def cache_fields(self) -> dict:
+        fields = super().cache_fields()
+        fields["cache_bytes"] = self._cache_bytes
+        return fields
 
-    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
-        """Compute ``A · B`` row by row with a sparse accumulator."""
-        self._check_shapes(matrix_a, matrix_b)
+    # ------------------------------------------------------------------
+    def _multiply_scalar(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                         ) -> tuple[CSRMatrix, BaselineCounters]:
+        """Compute ``A · B`` row by row with a dictionary SPA."""
         num_rows = matrix_a.num_rows
         num_cols = matrix_b.num_cols
 
@@ -115,23 +130,25 @@ class GustavsonSpGEMM(SpGEMMBaseline):
 
         result = self._assemble(out_rows, out_cols, out_vals,
                                 (num_rows, num_cols))
-        traffic = self._traffic_bytes(matrix_a, matrix_b, result)
-        runtime = self._platform.runtime_seconds(
-            flops=multiplications + additions,
-            traffic_bytes=traffic,
-            bookkeeping_ops=spa_updates,
-        )
-        return BaselineResult(
-            matrix=result,
-            runtime_seconds=runtime,
-            traffic_bytes=traffic,
+        counters = BaselineCounters(
             multiplications=multiplications,
             additions=additions,
             bookkeeping_ops=spa_updates,
-            energy_joules=self._platform.energy_joules(runtime),
-            platform=self._platform.name,
             extras={"spa_updates": float(spa_updates)},
         )
+        return result, counters
+
+    def _multiply_vectorized(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                             ) -> tuple[CSRMatrix, BaselineCounters]:
+        """Batched product; SPA counters in closed form.
+
+        Every partial product is one multiplication and one SPA update; the
+        updates that hit an existing accumulator entry are additions, so
+        ``additions = products - distinct output coordinates``.
+        """
+        result, structural_nnz = fast_structural_spgemm(matrix_a, matrix_b)
+        return result, accumulator_counters(matrix_a, matrix_b, structural_nnz,
+                                            extras_key="spa_updates")
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -144,7 +161,7 @@ class GustavsonSpGEMM(SpGEMMBaseline):
         return coo_to_csr(coo.canonicalized())
 
     def _traffic_bytes(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix,
-                       result: CSRMatrix) -> int:
+                       result: CSRMatrix, counters: BaselineCounters) -> int:
         a_bytes = matrix_a.nnz * _ELEMENT_BYTES
         b_bytes = estimate_b_read_bytes(matrix_a, matrix_b,
                                         cache_bytes=self._cache_bytes)

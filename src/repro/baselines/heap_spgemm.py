@@ -6,6 +6,15 @@ only parallelism comes from processing rows independently — which, as the
 paper notes, "would suffer from the load-balance problem" on power-law
 matrices.  The model charges one heap operation (log-depth sift) per partial
 product.
+
+The scalar backend runs the merge with :mod:`heapq`; the vectorized backend
+computes the same product with one batched CSR kernel and replays the heap
+cost in closed form.  The key observation is that the heap always holds
+exactly one entry per non-exhausted cursor, and the merged pop order is the
+partial products sorted by (column, cursor): the heap size trajectory is
+therefore the per-row active-cursor count minus a running count of cursor
+exhaustions, and every pop/push cost is ``⌊log2(size)⌋ + 1`` of that
+trajectory — all computable with one stable argsort and a cumulative sum.
 """
 
 from __future__ import annotations
@@ -15,40 +24,45 @@ import math
 
 import numpy as np
 
-from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.base import (
+    BaselineCounters,
+    BaselineEngine,
+    ELEMENT_BYTES,
+    expand_product_structure,
+)
 from repro.baselines.platforms import INTEL_CPU, PlatformModel
+from repro.baselines.reference import fast_structural_spgemm
 from repro.formats.coo import COOMatrix
 from repro.formats.convert import coo_to_csr
 from repro.formats.csr import CSRMatrix
 
-_ELEMENT_BYTES = 16
+_ELEMENT_BYTES = ELEMENT_BYTES
 
 
-class HeapSpGEMM(SpGEMMBaseline):
+class HeapSpGEMM(BaselineEngine):
     """Row-wise SpGEMM that merges the selected B rows with a binary heap.
 
     Args:
         platform: platform model used for runtime/energy estimates.
+        engine: execution backend (``"vectorized"`` default, ``"scalar"``
+            reference); both produce identical results and counters.
     """
 
     name = "HeapSpGEMM"
 
-    def __init__(self, platform: PlatformModel = INTEL_CPU) -> None:
-        self._platform = platform
+    def __init__(self, platform: PlatformModel = INTEL_CPU, *,
+                 engine: str | None = None) -> None:
+        super().__init__(platform, engine=engine)
 
-    @property
-    def platform(self) -> PlatformModel:
-        return self._platform
-
-    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
+    # ------------------------------------------------------------------
+    def _multiply_scalar(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                         ) -> tuple[CSRMatrix, BaselineCounters]:
         """Compute ``A · B`` with one k-way heap merge per result row."""
-        self._check_shapes(matrix_a, matrix_b)
         shape = (matrix_a.num_rows, matrix_b.num_cols)
 
         out_rows: list[np.ndarray] = []
         out_cols: list[int] = []
         out_vals: list[float] = []
-        row_boundaries: list[int] = []
         multiplications = 0
         additions = 0
         heap_ops = 0
@@ -92,7 +106,6 @@ class HeapSpGEMM(SpGEMMBaseline):
             produced = len(out_cols) - row_start
             if produced:
                 out_rows.append(np.full(produced, i, dtype=np.int64))
-            row_boundaries.append(produced)
 
         if out_cols:
             coo = COOMatrix(np.concatenate(out_rows),
@@ -101,24 +114,78 @@ class HeapSpGEMM(SpGEMMBaseline):
             result = coo_to_csr(coo.canonicalized())
         else:
             result = CSRMatrix.empty(shape)
-
-        b_row_nnz = matrix_b.nnz_per_row()
-        traffic = (matrix_a.nnz * _ELEMENT_BYTES
-                   + int(b_row_nnz[matrix_a.indices].sum()) * _ELEMENT_BYTES
-                   + result.nnz * _ELEMENT_BYTES)
-        runtime = self._platform.runtime_seconds(
-            flops=multiplications + additions,
-            traffic_bytes=traffic,
-            bookkeeping_ops=heap_ops,
-        )
-        return BaselineResult(
-            matrix=result,
-            runtime_seconds=runtime,
-            traffic_bytes=traffic,
+        counters = BaselineCounters(
             multiplications=multiplications,
             additions=additions,
             bookkeeping_ops=heap_ops,
-            energy_joules=self._platform.energy_joules(runtime),
-            platform=self._platform.name,
             extras={"heap_operations": float(heap_ops)},
         )
+        return result, counters
+
+    def _multiply_vectorized(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                             ) -> tuple[CSRMatrix, BaselineCounters]:
+        """Batched product; heap-operation count from the size trajectory."""
+        result, structural_nnz = fast_structural_spgemm(matrix_a, matrix_b)
+        multiplications, heap_ops = self._heap_cost(matrix_a, matrix_b)
+        counters = BaselineCounters(
+            multiplications=multiplications,
+            additions=multiplications - structural_nnz,
+            bookkeeping_ops=heap_ops,
+            extras={"heap_operations": float(heap_ops)},
+        )
+        return result, counters
+
+    @staticmethod
+    def _heap_cost(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> tuple[int, int]:
+        """Exact ``(multiplications, heap_ops)`` of the k-way merges.
+
+        Replays every row's merge in aggregate: the pops of row *i* arrive
+        sorted by (column, cursor), the heap size before a pop is the row's
+        non-exhausted cursor count, and a cursor exhausts exactly when its
+        last product is popped.
+        """
+        exp_rows, exp_cols, per_element = expand_product_structure(
+            matrix_a, matrix_b)
+        multiplications = len(exp_cols)
+        if multiplications == 0:
+            return 0, 0
+        a_rows = np.repeat(np.arange(matrix_a.num_rows, dtype=np.int64),
+                           matrix_a.nnz_per_row())
+        nonempty = per_element > 0
+        # Initial heapify cost: one push per non-empty cursor of each row.
+        active_at_start = np.bincount(a_rows[nonempty],
+                                      minlength=matrix_a.num_rows)
+        heap_ops = int(active_at_start.sum())
+
+        # Mark the last product of every cursor (its segment in the
+        # expansion is contiguous and column-sorted, so the segment end is
+        # the cursor's final — highest-column — product).
+        cursor_last = np.zeros(multiplications, dtype=bool)
+        cursor_last[np.cumsum(per_element[nonempty]) - 1] = True
+
+        # Pop order: stable sort by (row, column) keeps equal columns in
+        # cursor order, exactly the heap's (column, cursor-id) tie-break.
+        order = np.argsort(exp_rows * np.int64(matrix_b.num_cols) + exp_cols,
+                           kind="stable")
+        pop_rows = exp_rows[order]
+        pop_exhausts = cursor_last[order]
+
+        # Active cursors before each pop: the row's initial count minus the
+        # exhaustions already popped within the row.
+        exhausted_before = np.cumsum(pop_exhausts) - pop_exhausts
+        row_change = np.empty(multiplications, dtype=bool)
+        row_change[0] = True
+        np.not_equal(pop_rows[1:], pop_rows[:-1], out=row_change[1:])
+        row_segment = np.cumsum(row_change) - 1
+        segment_starts = np.flatnonzero(row_change)
+        active = (active_at_start[pop_rows[segment_starts]][row_segment]
+                  - (exhausted_before - exhausted_before[segment_starts][row_segment]))
+
+        # Every pop shrinks the heap to ``active - 1`` and costs
+        # ``⌊log2(active)⌋ + 1``; every non-final pop is followed by a push
+        # back to ``active`` costing ``⌊log2(active + 1)⌋ + 1``.
+        pop_cost = np.floor(np.log2(active)).astype(np.int64) + 1
+        push_cost = np.floor(np.log2(active[~pop_exhausts] + 1)
+                             ).astype(np.int64) + 1
+        heap_ops += int(pop_cost.sum()) + int(push_cost.sum())
+        return multiplications, heap_ops

@@ -10,20 +10,23 @@ fetches for mismatched nonzero operands" of the paper's abstract.
 The functional result is computed with an efficient equivalent (the result
 matrix does not depend on the dataflow); the *fetch counters* model the
 vanilla dataflow so the input-reuse comparison of Figure 1 can be
-quantified.
+quantified.  Because those counters were always closed-form functions of the
+operand row/column lengths, the scalar and vectorized backends of this
+baseline share one implementation — the engine switch exists for interface
+uniformity with the other baselines.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.base import BaselineCounters, BaselineEngine, ELEMENT_BYTES
 from repro.baselines.platforms import PlatformModel
 from repro.baselines.reference import scipy_spgemm
 from repro.formats.convert import csr_to_csc
 from repro.formats.csr import CSRMatrix
 
-_ELEMENT_BYTES = 16
+_ELEMENT_BYTES = ELEMENT_BYTES
 
 #: Generic bandwidth-bound device used when no platform is specified; the
 #: inner-product model exists to quantify the dataflow, not a product.
@@ -37,26 +40,26 @@ _GENERIC_DEVICE = PlatformModel(
 )
 
 
-class InnerProductSpGEMM(SpGEMMBaseline):
+class InnerProductSpGEMM(BaselineEngine):
     """Inner-product dataflow model: perfect output reuse, poor input reuse.
 
     Args:
         platform: device the dataflow is charged on (a generic 128 GB/s
             bandwidth-bound device by default).
+        engine: execution backend; both backends share the closed-form
+            dataflow model, so the switch only exists for uniformity.
     """
 
     name = "InnerProduct"
 
-    def __init__(self, platform: PlatformModel = _GENERIC_DEVICE) -> None:
-        self._platform = platform
+    def __init__(self, platform: PlatformModel = _GENERIC_DEVICE, *,
+                 engine: str | None = None) -> None:
+        super().__init__(platform, engine=engine)
 
-    @property
-    def platform(self) -> PlatformModel:
-        return self._platform
-
-    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
+    # ------------------------------------------------------------------
+    def _model(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+               ) -> tuple[CSRMatrix, BaselineCounters]:
         """Compute ``A · B`` and charge the vanilla inner-product fetches."""
-        self._check_shapes(matrix_a, matrix_b)
         result = scipy_spgemm(matrix_a, matrix_b)
 
         a_row_nnz = matrix_a.nnz_per_row()
@@ -68,9 +71,6 @@ class InnerProductSpGEMM(SpGEMMBaseline):
         # and the column are both streamed through the intersection unit.
         a_fetches = int(a_row_nnz.sum()) * occupied_cols
         b_fetches = int(b_col_nnz.sum()) * occupied_rows
-        input_fetch_bytes = (a_fetches + b_fetches) * _ELEMENT_BYTES
-        output_bytes = result.nnz * _ELEMENT_BYTES
-        traffic = input_fetch_bytes + output_bytes
 
         # Useful work is identical to any other dataflow.
         b_row_nnz = matrix_b.nnz_per_row()
@@ -78,23 +78,24 @@ class InnerProductSpGEMM(SpGEMMBaseline):
         additions = max(0, multiplications - result.nnz)
         comparisons = a_fetches + b_fetches
 
-        runtime = self._platform.runtime_seconds(
-            flops=multiplications + additions,
-            traffic_bytes=traffic,
-            bookkeeping_ops=comparisons,
-        )
-        return BaselineResult(
-            matrix=result,
-            runtime_seconds=runtime,
-            traffic_bytes=traffic,
+        counters = BaselineCounters(
             multiplications=multiplications,
             additions=additions,
             bookkeeping_ops=comparisons,
-            energy_joules=self._platform.energy_joules(runtime),
-            platform=self._platform.name,
             extras={"a_element_fetches": float(a_fetches),
                     "b_element_fetches": float(b_fetches),
                     "redundant_fetch_ratio": (
                         float(a_fetches + b_fetches)
                         / max(1.0, float(matrix_a.nnz + matrix_b.nnz)))},
         )
+        return result, counters
+
+    _multiply_scalar = _model
+    _multiply_vectorized = _model
+
+    def _traffic_bytes(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                       result: CSRMatrix, counters: BaselineCounters) -> int:
+        input_fetch_bytes = int(counters.extras["a_element_fetches"]
+                                + counters.extras["b_element_fetches"]
+                                ) * _ELEMENT_BYTES
+        return input_fetch_bytes + result.nnz * _ELEMENT_BYTES

@@ -9,8 +9,11 @@ That round trip is exactly the output-reuse problem SpArch's pipelined merge
 tree removes, and it limits OuterSPACE to 10.4 % of its theoretical peak
 (48.3 % bandwidth utilisation, Table II).
 
-The model below executes both phases functionally (so the result is exact)
-and charges the DRAM traffic of each phase:
+The scalar backend executes both phases functionally, column of A by column
+of A; the vectorized backend computes the same product with one batched CSR
+kernel and derives the phase traffic in closed form (the partial-product
+count is a pure function of the operands' row/column lengths).  Both charge
+the DRAM traffic of each phase:
 
 * multiply phase — read A (by column) and B (by row) once each, write all
   ``M`` partial products;
@@ -25,8 +28,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import BaselineResult, SpGEMMBaseline
+from repro.baselines.base import (
+    BaselineCounters,
+    BaselineEngine,
+    ELEMENT_BYTES,
+    total_products,
+)
 from repro.baselines.platforms import OUTERSPACE_ASIC, PlatformModel
+from repro.baselines.reference import fast_structural_spgemm
 from repro.formats.coo import COOMatrix
 from repro.formats.convert import coo_to_csr, csr_to_csc
 from repro.formats.csr import CSRMatrix
@@ -34,7 +43,7 @@ from repro.memory.traffic import TrafficCategory, TrafficCounter
 
 #: Bytes of one COO element in DRAM (32-bit row + 32-bit column + 64-bit value,
 #: the same element layout SpArch's Table I uses).
-_ELEMENT_BYTES = 16
+_ELEMENT_BYTES = ELEMENT_BYTES
 
 #: Published OuterSPACE implementation figures (Table II of the paper),
 #: reused by the area/energy comparison experiments.
@@ -43,40 +52,69 @@ OUTERSPACE_POWER_W = 12.39
 OUTERSPACE_BANDWIDTH_UTILIZATION = 0.483
 
 
-class OuterSpaceAccelerator(SpGEMMBaseline):
+class OuterSpaceAccelerator(BaselineEngine):
     """Two-phase outer-product accelerator (the OuterSPACE dataflow).
 
     Args:
         platform: platform model; defaults to the published OuterSPACE
             configuration (128 GB/s HBM at 48.3 % utilisation, 12.39 W).
+        engine: execution backend (``"vectorized"`` default, ``"scalar"``
+            reference); both produce identical results and counters.
     """
 
     name = "OuterSPACE"
 
-    def __init__(self, platform: PlatformModel = OUTERSPACE_ASIC) -> None:
-        self._platform = platform
+    def __init__(self, platform: PlatformModel = OUTERSPACE_ASIC, *,
+                 engine: str | None = None) -> None:
+        super().__init__(platform, engine=engine)
 
-    @property
-    def platform(self) -> PlatformModel:
-        return self._platform
-
-    def multiply(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> BaselineResult:
-        """Run the two-phase outer-product SpGEMM and model its DRAM cost."""
-        self._check_shapes(matrix_a, matrix_b)
-        shape = (matrix_a.num_rows, matrix_b.num_cols)
+    # ------------------------------------------------------------------
+    def _phase_traffic(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                       result: CSRMatrix, multiplications: int
+                       ) -> TrafficCounter:
+        """DRAM traffic of both phases — identical for the two backends."""
         traffic = TrafficCounter()
-
-        # --- Multiply phase -------------------------------------------------
-        # The left operand is streamed column by column (CSC view) and the
-        # right operand row by row; every partial product goes to DRAM.
-        csc_a = csr_to_csc(matrix_a)
+        traffic.add(TrafficCategory.MATRIX_A_READ,
+                    matrix_a.nnz * _ELEMENT_BYTES)
         b_row_nnz = matrix_b.nnz_per_row()
-        traffic.add(TrafficCategory.MATRIX_A_READ, matrix_a.nnz * _ELEMENT_BYTES)
         touched_rows = np.nonzero(np.bincount(matrix_a.indices,
                                               minlength=matrix_b.num_rows))[0]
         traffic.add(TrafficCategory.MATRIX_B_READ,
                     int(b_row_nnz[touched_rows].sum()) * _ELEMENT_BYTES)
+        traffic.add(TrafficCategory.PARTIAL_WRITE,
+                    multiplications * _ELEMENT_BYTES)
+        traffic.add(TrafficCategory.PARTIAL_READ,
+                    multiplications * _ELEMENT_BYTES)
+        traffic.add(TrafficCategory.RESULT_WRITE, result.nnz * _ELEMENT_BYTES)
+        return traffic
 
+    def _counters(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                  result: CSRMatrix, multiplications: int) -> BaselineCounters:
+        """Shared counter/traffic construction for both backends."""
+        traffic = self._phase_traffic(matrix_a, matrix_b, result,
+                                      multiplications)
+        return BaselineCounters(
+            multiplications=multiplications,
+            additions=max(0, multiplications - result.nnz),
+            bookkeeping_ops=multiplications,
+            extras={
+                "partial_matrix_bytes": float(traffic.partial_matrix_bytes),
+                "input_bytes": float(traffic.input_bytes),
+                "result_bytes": float(
+                    traffic.bytes_by_category[TrafficCategory.RESULT_WRITE]),
+            },
+            traffic_bytes=traffic.total_bytes,
+        )
+
+    def _multiply_scalar(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                         ) -> tuple[CSRMatrix, BaselineCounters]:
+        """Run the two-phase outer-product SpGEMM column by column."""
+        shape = (matrix_a.num_rows, matrix_b.num_cols)
+
+        # --- Multiply phase -----------------------------------------------
+        # The left operand is streamed column by column (CSC view) and the
+        # right operand row by row; every partial product goes to DRAM.
+        csc_a = csr_to_csc(matrix_a)
         product_rows: list[np.ndarray] = []
         product_cols: list[np.ndarray] = []
         product_vals: list[np.ndarray] = []
@@ -96,11 +134,9 @@ class OuterSpaceAccelerator(SpGEMMBaseline):
             product_rows.append(rows)
             product_cols.append(cols)
             product_vals.append(vals)
-        traffic.add(TrafficCategory.PARTIAL_WRITE, multiplications * _ELEMENT_BYTES)
 
-        # --- Merge phase ------------------------------------------------------
+        # --- Merge phase --------------------------------------------------
         # Every partial product is read back and merged into the final rows.
-        traffic.add(TrafficCategory.PARTIAL_READ, multiplications * _ELEMENT_BYTES)
         if product_rows:
             coo = COOMatrix(np.concatenate(product_rows),
                             np.concatenate(product_cols),
@@ -108,27 +144,13 @@ class OuterSpaceAccelerator(SpGEMMBaseline):
             result = coo_to_csr(coo.canonicalized())
         else:
             result = CSRMatrix.empty(shape)
-        additions = max(0, multiplications - result.nnz)
-        traffic.add(TrafficCategory.RESULT_WRITE, result.nnz * _ELEMENT_BYTES)
+        return result, self._counters(matrix_a, matrix_b, result,
+                                      multiplications)
 
-        runtime = self._platform.runtime_seconds(
-            flops=multiplications + additions,
-            traffic_bytes=traffic.total_bytes,
-            bookkeeping_ops=0,
-        )
-        return BaselineResult(
-            matrix=result,
-            runtime_seconds=runtime,
-            traffic_bytes=traffic.total_bytes,
-            multiplications=multiplications,
-            additions=additions,
-            bookkeeping_ops=multiplications,
-            energy_joules=self._platform.energy_joules(runtime),
-            platform=self._platform.name,
-            extras={
-                "partial_matrix_bytes": float(traffic.partial_matrix_bytes),
-                "input_bytes": float(traffic.input_bytes),
-                "result_bytes": float(
-                    traffic.bytes_by_category[TrafficCategory.RESULT_WRITE]),
-            },
-        )
+    def _multiply_vectorized(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                             ) -> tuple[CSRMatrix, BaselineCounters]:
+        """Batched product; both phases' traffic in closed form."""
+        result, _ = fast_structural_spgemm(matrix_a, matrix_b)
+        multiplications = total_products(matrix_a, matrix_b)
+        return result, self._counters(matrix_a, matrix_b, result,
+                                      multiplications)

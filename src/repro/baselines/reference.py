@@ -1,8 +1,18 @@
-"""Ground-truth SpGEMM via scipy, used to verify every simulated path."""
+"""Ground-truth SpGEMM via scipy — test oracle and vectorized product kernel.
+
+Besides the :func:`scipy_spgemm` oracle, this module provides
+:func:`fast_structural_spgemm`, the batched product every vectorized baseline
+backend shares.  scipy's CSR matmat accumulates each output entry in exactly
+the order the scalar baselines do (A's stored order, then the selected B
+row's order), so its values are bit-identical to the reference loops; the
+helper additionally reports the *structural* nonzero count — distinct output
+coordinates before exact-zero elimination — from which the closed-form
+addition/insertion counters are derived."""
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.formats.convert import from_scipy, to_scipy
 from repro.formats.csr import CSRMatrix
@@ -20,6 +30,46 @@ def scipy_spgemm(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> CSRMatrix:
     product.sort_indices()
     product.eliminate_zeros()
     return from_scipy(product)
+
+
+def fast_structural_spgemm(matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                           ) -> tuple[CSRMatrix, int]:
+    """Batched ``A · B`` plus the structural nonzero count.
+
+    Returns ``(result, structural_nnz)`` where ``result`` has exact zeros
+    eliminated (matching :meth:`COOMatrix.canonicalized`'s default, which
+    every scalar baseline assembles through) and ``structural_nnz`` counts
+    the distinct output coordinates *before* elimination — the number of
+    accumulator insertions, so ``additions = products - structural_nnz``
+    in closed form.
+
+    The accumulation order is scipy's CSR matmat order, which is the same
+    element order every scalar baseline sums in; the differential harness
+    asserts bitwise equality.
+    """
+    if matrix_a.shape[1] != matrix_b.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: cannot multiply {matrix_a.shape} by "
+            f"{matrix_b.shape}"
+        )
+    scipy_a = to_scipy(matrix_a)
+    scipy_b = to_scipy(matrix_b)
+    product = scipy_a @ scipy_b
+    product.sum_duplicates()
+    product.sort_indices()
+    product.eliminate_zeros()
+    # scipy's matmat drops exactly-cancelled entries from the numeric
+    # product, so the structural count comes from the pattern product: with
+    # all-ones data every output entry is a positive product count and
+    # nothing can cancel.
+    pattern_a = sp.csr_matrix(
+        (np.ones(matrix_a.nnz), scipy_a.indices, scipy_a.indptr),
+        shape=matrix_a.shape)
+    pattern_b = sp.csr_matrix(
+        (np.ones(matrix_b.nnz), scipy_b.indices, scipy_b.indptr),
+        shape=matrix_b.shape)
+    structural_nnz = int((pattern_a @ pattern_b).nnz)
+    return from_scipy(product), structural_nnz
 
 
 def matrices_allclose(left: CSRMatrix, right: CSRMatrix, *, rtol: float = 1e-9,

@@ -18,7 +18,7 @@ from collections import defaultdict, deque
 
 import numpy as np
 
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 #: Next-use value meaning "not referenced within the look-ahead window".
 UNKNOWN_NEXT_USE = float("inf")
@@ -35,8 +35,14 @@ class LookaheadFifo:
     """
 
     def __init__(self, access_sequence: np.ndarray, window: int) -> None:
-        check_positive_int(window, "window")
         self._sequence = np.asarray(access_sequence, dtype=np.int64)
+        if self._sequence.size == 0:
+            # Zero-nnz left operand: nothing will ever be consumed, so the
+            # FIFO degenerates to an empty window — any non-negative depth
+            # (including 0) is acceptable instead of raising.
+            check_nonnegative_int(window, "window")
+        else:
+            check_positive_int(window, "window")
         self._window = window
 
     @property

@@ -5,7 +5,9 @@ every experiment: simulation points shared between figures (the scaled suite
 under the Table I configuration, for example) are simulated once per sweep
 and, with ``--cache-dir``, once *ever* — reruns replay from the on-disk
 memo.  ``--jobs N`` fans distinct points out over N worker processes;
-``--engine scalar`` forces the scalar reference backend end to end.
+``--engine scalar`` forces the scalar reference backend end to end — for
+the SpArch simulator *and* for every baseline comparison point, which are
+then memoised under engine-specific cache keys.
 """
 
 from __future__ import annotations
@@ -37,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "(e.g. .repro-cache); default: in-memory only")
     parser.add_argument("--engine", choices=("scalar", "vectorized"),
                         default=None,
-                        help="force a simulation backend for every run")
+                        help="force a simulation backend for every run "
+                             "(SpArch and baselines alike)")
     return parser
 
 

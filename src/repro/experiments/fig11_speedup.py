@@ -26,7 +26,7 @@ from repro.experiments.common import (
     load_scaled_suite,
     simulate_workload,
 )
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
@@ -68,18 +68,23 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
         workload = load_scaled_suite(max_rows=max_rows, names=names,
                                      base_config=config)
     baselines = baselines if baselines is not None else default_baselines()
+    runner = runner or default_runner()
 
     columns = ["matrix"] + [f"over {b.name}" for b in baselines]
     table = Table(title="Figure 11 — speedup of SpArch over baselines", columns=columns)
 
     sparch_stats = simulate_workload(workload, runner=runner)
+    baseline_summaries = runner.run_baseline_many(
+        [(baseline, matrix) for _, (matrix, _) in workload.items()
+         for baseline in baselines])
     speedups: dict[str, list[float]] = {b.name: [] for b in baselines}
+    summaries = iter(baseline_summaries)
     for name, (matrix, matrix_config) in workload.items():
         sparch_runtime = sparch_stats[name].runtime_seconds
         row: list[object] = [name]
         for baseline in baselines:
-            baseline_result = baseline.multiply(matrix, matrix)
-            speedup = baseline_result.runtime_seconds / max(sparch_runtime, 1e-15)
+            summary = next(summaries)
+            speedup = summary.runtime_seconds / max(sparch_runtime, 1e-15)
             speedups[baseline.name].append(speedup)
             row.append(speedup)
         table.add_row(*row)

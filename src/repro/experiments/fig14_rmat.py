@@ -77,11 +77,12 @@ def run(*, scale: float = 0.1, seed: int = 7,
                  for rows, degree in sweep]
     sparch_stats = runner.simulate_many(
         [(matrix, sparch_config) for matrix in generated])
+    mkl_summaries = runner.run_baseline_many(
+        [(mkl, matrix) for matrix in generated])
     sparch_flops: list[float] = []
     mkl_flops: list[float] = []
-    for matrix, stats, (orig_rows, degree) in zip(generated, sparch_stats,
-                                                  PAPER_SWEEP):
-        mkl_result = mkl.multiply(matrix, matrix)
+    for matrix, stats, mkl_result, (orig_rows, degree) in zip(
+            generated, sparch_stats, mkl_summaries, PAPER_SWEEP):
         sparch_rate = stats.flops / max(stats.runtime_seconds, 1e-15)
         mkl_rate = mkl_result.flops / max(mkl_result.runtime_seconds, 1e-15)
         sparch_flops.append(sparch_rate)

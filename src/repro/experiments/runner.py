@@ -26,9 +26,21 @@ configurations.  The seed re-simulated each point once per experiment.
   which is how the batched suite can be cross-checked end to end.  Forced
   runs use engine-specific cache keys, so a warm shared cache cannot
   satisfy the cross-check without actually simulating.
+* **Baseline points** — :meth:`run_baseline` / :meth:`run_baseline_many`
+  give the six comparison simulators the same treatment: each
+  ``(baseline, matrix)`` point is fingerprinted (baseline class, platform
+  constants and model parameters plus the operand hashes) and its
+  :class:`~repro.baselines.base.BaselineSummary` memoised under
+  ``<cache_dir>/baseline/``.  As with SpArch points, the baseline
+  ``engine`` backend is excluded from the key — the differential harness
+  (``tests/baselines/test_backend_equivalence.py``) proves both backends
+  produce identical counters — except when the runner forces an engine,
+  which both re-keys the entries *and* re-runs every baseline on that
+  backend.
 
 Experiment harnesses accept a ``runner`` keyword and route every SpArch
-simulation through :meth:`simulate` / :meth:`simulate_workload`, so one
+simulation through :meth:`simulate` / :meth:`simulate_workload` and every
+baseline comparison point through :meth:`run_baseline_many`, so one
 ``python -m repro.experiments all`` sweep simulates each shared point once.
 """
 
@@ -41,6 +53,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro.baselines.base import BaselineSummary, SpGEMMBaseline
 from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
@@ -94,6 +107,39 @@ def simulation_key(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
     return digest.hexdigest()
 
 
+def baseline_fingerprint(baseline: SpGEMMBaseline, *,
+                         include_engine: bool = False) -> str:
+    """Content hash of a baseline's model identity.
+
+    Uses :meth:`~repro.baselines.base.BaselineEngine.cache_fields` (class
+    name, platform constants, algorithm parameters).  As with
+    :func:`config_fingerprint`, the execution ``engine`` is excluded unless
+    it is forced: both backends are proven to produce identical counters, so
+    cached baseline points are shared between them.
+    """
+    payload = dict(baseline.cache_fields())
+    if include_engine:
+        payload["engine"] = baseline.engine
+    digest = hashlib.sha256()
+    digest.update(json.dumps(payload, sort_keys=True, default=str).encode())
+    return digest.hexdigest()
+
+
+def baseline_simulation_key(baseline: SpGEMMBaseline, matrix_a: CSRMatrix,
+                            matrix_b: CSRMatrix, *,
+                            include_engine: bool = False) -> str:
+    """Cache key of one baseline ``A · B`` run."""
+    digest = hashlib.sha256()
+    digest.update(matrix_fingerprint(matrix_a).encode())
+    if matrix_b is not matrix_a:
+        digest.update(matrix_fingerprint(matrix_b).encode())
+    else:
+        digest.update(b"self")
+    digest.update(baseline_fingerprint(
+        baseline, include_engine=include_engine).encode())
+    return digest.hexdigest()
+
+
 def _simulate_task(task: tuple[CSRMatrix, CSRMatrix | None, SpArchConfig]
                    ) -> dict:
     """Worker entry point: run one simulation, return serialised stats."""
@@ -101,6 +147,15 @@ def _simulate_task(task: tuple[CSRMatrix, CSRMatrix | None, SpArchConfig]
     right = matrix_a if matrix_b is None else matrix_b
     result = SpArch(config).multiply(matrix_a, right)
     return result.stats.to_dict()
+
+
+def _baseline_task(task: tuple[SpGEMMBaseline, CSRMatrix, CSRMatrix | None]
+                   ) -> dict:
+    """Worker entry point: run one baseline point, return a summary dict."""
+    baseline, matrix_a, matrix_b = task
+    right = matrix_a if matrix_b is None else matrix_b
+    result = baseline.multiply(matrix_a, right)
+    return BaselineSummary.from_result(baseline, result).to_dict()
 
 
 class ExperimentRunner:
@@ -129,6 +184,7 @@ class ExperimentRunner:
         self.cache_misses = 0
         if self._cache_dir is not None:
             (self._cache_dir / "sim").mkdir(parents=True, exist_ok=True)
+            (self._cache_dir / "baseline").mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     @property
@@ -150,16 +206,16 @@ class ExperimentRunner:
         return config
 
     # ------------------------------------------------------------------
-    def _cache_path(self, key: str) -> Path | None:
+    def _cache_path(self, key: str, kind: str = "sim") -> Path | None:
         if self._cache_dir is None:
             return None
-        return self._cache_dir / "sim" / f"{key}.json"
+        return self._cache_dir / kind / f"{key}.json"
 
-    def _cache_load(self, key: str) -> dict | None:
+    def _cache_load(self, key: str, kind: str = "sim") -> dict | None:
         payload = self._memory_cache.get(key)
         if payload is not None:
             return payload
-        path = self._cache_path(key)
+        path = self._cache_path(key, kind)
         if path is None or not path.is_file():
             return None
         try:
@@ -169,9 +225,9 @@ class ExperimentRunner:
         self._memory_cache[key] = payload
         return payload
 
-    def _cache_store(self, key: str, payload: dict) -> None:
+    def _cache_store(self, key: str, payload: dict, kind: str = "sim") -> None:
         self._memory_cache[key] = payload
-        path = self._cache_path(key)
+        path = self._cache_path(key, kind)
         if path is None:
             return
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -242,6 +298,73 @@ class ExperimentRunner:
         names = list(workload)
         stats = self.simulate_many([workload[name] for name in names])
         return dict(zip(names, stats))
+
+    # ------------------------------------------------------------------
+    def _effective_baseline(self, baseline: SpGEMMBaseline) -> SpGEMMBaseline:
+        """Apply the runner's forced engine to a baseline, when set."""
+        if (self._engine is not None
+                and getattr(baseline, "engine", None) != self._engine):
+            return baseline.using_engine(self._engine)
+        return baseline
+
+    def run_baseline(self, baseline: SpGEMMBaseline, matrix_a: CSRMatrix, *,
+                     matrix_b: CSRMatrix | None = None) -> BaselineSummary:
+        """Run one baseline point (``B = A`` by default), memoised.
+
+        Returns the serialisable :class:`BaselineSummary` only — like
+        :meth:`simulate`, the functional result matrix is not cached (no
+        experiment consumes it; the differential tests exercise it directly
+        through ``baseline.multiply``).
+        """
+        baseline = self._effective_baseline(baseline)
+        right = matrix_b if matrix_b is not None else matrix_a
+        key = baseline_simulation_key(baseline, matrix_a, right,
+                                      include_engine=self._engine is not None)
+        payload = self._cache_load(key, "baseline")
+        if payload is None:
+            self.cache_misses += 1
+            payload = _baseline_task((baseline, matrix_a, matrix_b))
+            self._cache_store(key, payload, "baseline")
+        else:
+            self.cache_hits += 1
+        return BaselineSummary.from_dict(payload)
+
+    def run_baseline_many(self, tasks: list[tuple[SpGEMMBaseline, CSRMatrix]]
+                          ) -> list[BaselineSummary]:
+        """Run many baseline ``A · A`` points, fanning uncached ones out.
+
+        Args:
+            tasks: ``(baseline, matrix)`` pairs; order is preserved in the
+                returned list.
+        """
+        baselines = [self._effective_baseline(baseline)
+                     for baseline, _ in tasks]
+        forced = self._engine is not None
+        keys = [baseline_simulation_key(baseline, matrix, matrix,
+                                        include_engine=forced)
+                for baseline, (_, matrix) in zip(baselines, tasks)]
+
+        missing: dict[str, tuple[SpGEMMBaseline, CSRMatrix, None]] = {}
+        for baseline, (_, matrix), key in zip(baselines, tasks, keys):
+            if (self._cache_load(key, "baseline") is None
+                    and key not in missing):
+                missing[key] = (baseline, matrix, None)
+
+        self.cache_hits += len(keys) - len(missing)
+        self.cache_misses += len(missing)
+        if missing:
+            items = list(missing.items())
+            if self._jobs > 1 and len(items) > 1:
+                with ProcessPoolExecutor(max_workers=self._jobs) as pool:
+                    payloads = list(pool.map(_baseline_task,
+                                             [task for _, task in items]))
+            else:
+                payloads = [_baseline_task(task) for _, task in items]
+            for (key, _), payload in zip(items, payloads):
+                self._cache_store(key, payload, "baseline")
+
+        return [BaselineSummary.from_dict(self._cache_load(key, "baseline"))
+                for key in keys]
 
 
 _default_runner: ExperimentRunner | None = None

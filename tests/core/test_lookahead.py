@@ -21,6 +21,23 @@ def test_visible_slice_window():
         LookaheadFifo(np.arange(4), window=0)
 
 
+def test_empty_access_sequence_yields_empty_window():
+    """A zero-nnz left operand produces an empty sequence; the FIFO must
+    degenerate to an empty window (even at depth 0) instead of raising."""
+    for window in (0, 1, 8192):
+        fifo = LookaheadFifo(np.array([], dtype=np.int64), window=window)
+        assert len(fifo) == 0
+        assert fifo.window == window
+        np.testing.assert_array_equal(fifo.visible_slice(-1), [])
+        np.testing.assert_array_equal(fifo.visible_slice(5), [])
+        builder = DistanceListBuilder(fifo)
+        assert builder.next_use(0, now=-1) == UNKNOWN_NEXT_USE
+        assert builder.reuse_distance_histogram() == {}
+    # A non-empty sequence still rejects a zero-depth window.
+    with pytest.raises(ValueError):
+        LookaheadFifo(np.array([1, 2]), window=0)
+
+
 def test_next_use_basic():
     sequence = np.array([3, 1, 3, 2, 1, 3])
     builder = DistanceListBuilder(LookaheadFifo(sequence, window=10))
