@@ -1,0 +1,64 @@
+"""Speed smoke test: cached workload re-runs must beat cold runs by ≥ 5×.
+
+Workload pipelines memoise every SpGEMM stage through the
+:class:`~repro.experiments.runner.ExperimentRunner` fingerprint cache, so a
+warm re-run of an iterative workload (here: the registered MCL pipeline)
+pays only the cheap host work — functional products, inflation, pruning —
+while the cold run also simulates each expansion on SpArch.  The identity
+of cold and warm results is proven by
+``tests/workloads/test_stats_accounting.py``; this file only checks time.
+
+On shared CI runners the threshold is soft: set ``REPRO_BENCH_SOFT=1`` and
+a shortfall is reported as a warning instead of a failure (report, don't
+flake).  Local runs and the recorded numbers always use the hard threshold.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.runner import ExperimentRunner
+from repro.matrices.rmat import RMATConfig, generate_rmat
+from repro.workloads import run_workload
+
+from bench_results import enforce_threshold, record_result
+
+MIN_CACHED_SPEEDUP = 5.0
+
+#: Mid-size rMAT graph and iteration budget: enough expansions that the
+#: SpArch simulation clearly dominates the host-side pipeline work.
+NUM_ROWS = 1_200
+EDGE_FACTOR = 8
+MAX_ITERATIONS = 6
+
+
+def test_cached_mcl_workload_at_least_5x_faster():
+    matrix = generate_rmat(RMATConfig(num_rows=NUM_ROWS,
+                                      edge_factor=EDGE_FACTOR, seed=17))
+    runner = ExperimentRunner()
+
+    start = time.perf_counter()
+    cold = run_workload("mcl", matrix, runner=runner,
+                        max_iterations=MAX_ITERATIONS)
+    cold_seconds = time.perf_counter() - start
+    assert runner.cache_misses > 0
+
+    start = time.perf_counter()
+    warm = run_workload("mcl", matrix, runner=runner,
+                        max_iterations=MAX_ITERATIONS)
+    warm_seconds = time.perf_counter() - start
+    assert warm == cold  # byte-for-byte identical stage records
+
+    speedup = cold_seconds / warm_seconds
+    record_result("workload_speed[mcl]",
+                  cold_seconds=cold_seconds,
+                  warm_seconds=warm_seconds,
+                  spgemm_stages=len(cold.spgemm_stages),
+                  speedup=speedup,
+                  threshold=MIN_CACHED_SPEEDUP)
+    if speedup < MIN_CACHED_SPEEDUP:
+        enforce_threshold(
+            f"cached MCL workload only {speedup:.2f}x faster than cold "
+            f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s; "
+            f"threshold {MIN_CACHED_SPEEDUP}x)"
+        )

@@ -9,6 +9,12 @@ the accumulated accelerator statistics:
 * :mod:`repro.apps.triangles` — triangle counting via ``trace(A³)/6``.
 * :mod:`repro.apps.markov_clustering` — Markov clustering (MCL), whose
   expansion step is a repeated sparse matrix self-product.
+
+Both are thin wrappers over the declarative pipeline framework in
+:mod:`repro.workloads`: the computation is a registered workload DAG of
+SpGEMM and host stages, and the wrappers add the application-level
+interpretation (triangle counts, cluster extraction) on top of the
+pipeline's :class:`~repro.workloads.pipeline.WorkloadResult`.
 """
 
 from repro.apps.markov_clustering import MarkovClusteringResult, markov_clustering

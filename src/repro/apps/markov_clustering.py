@@ -11,10 +11,12 @@ stochastic transition matrix:
   tiny entries, keeps the matrix sparse.
 
 Iterating expansion/inflation converges to a doubly-idempotent matrix whose
-attractor structure defines the clusters.  This module runs the full
-algorithm, routing every expansion through a SpGEMM engine (the SpArch
-simulator by default) and accumulating its statistics, so the accelerator's
-benefit on an end-to-end workload can be quantified.
+attractor structure defines the clusters.  The iteration itself is the
+registered ``mcl`` workload pipeline (:mod:`repro.workloads.library`) —
+expansion SpGEMM stages alternating with inflate/prune/normalise host
+stages; this module is the thin application wrapper that keeps the original
+public API, routes the expansions through a SpGEMM engine (the SpArch
+simulator by default) and interprets the converged matrix into clusters.
 """
 
 from __future__ import annotations
@@ -27,8 +29,14 @@ import scipy.sparse as sp
 from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
-from repro.formats.convert import from_scipy, to_scipy
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.csr import CSRMatrix
+from repro.workloads.library import build_mcl
+from repro.workloads.pipeline import (
+    PipelineBuilder,
+    SpArchExecutor,
+    WorkloadResult,
+)
 
 
 @dataclass
@@ -44,6 +52,7 @@ class MarkovClusteringResult:
             before the iteration limit.
         total_spgemm_stats: per-iteration simulator statistics of the
             expansion products.
+        workload: per-stage record of the underlying pipeline execution.
     """
 
     clusters: list[list[int]]
@@ -51,6 +60,8 @@ class MarkovClusteringResult:
     iterations: int
     converged: bool
     total_spgemm_stats: list[SimulationStats] = field(default_factory=list)
+    workload: WorkloadResult | None = field(default=None, compare=False,
+                                            repr=False)
 
     @property
     def num_clusters(self) -> int:
@@ -68,59 +79,51 @@ class MarkovClusteringResult:
         return sum(stats.cycles for stats in self.total_spgemm_stats)
 
 
-def _column_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
-    """Scale every column to sum to one (columns with no mass are left empty)."""
-    sums = np.asarray(matrix.sum(axis=0)).ravel()
-    scale = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
-    return (matrix @ sp.diags(scale)).tocsr()
-
-
-def _inflate(matrix: sp.csr_matrix, power: float) -> sp.csr_matrix:
-    """Element-wise power followed by column re-normalisation."""
-    inflated = matrix.copy()
-    inflated.data = np.power(inflated.data, power)
-    return _column_normalize(inflated)
-
-
-def _prune(matrix: sp.csr_matrix, threshold: float) -> sp.csr_matrix:
-    """Drop entries below ``threshold`` (keeps the matrix sparse)."""
-    pruned = matrix.copy()
-    pruned.data[pruned.data < threshold] = 0.0
-    pruned.eliminate_zeros()
-    return pruned
-
-
-def _chaos(matrix: sp.csr_matrix) -> float:
-    """Convergence measure: max over columns of (max entry − sum of squares)."""
-    csc = matrix.tocsc()
-    chaos = 0.0
-    for j in range(csc.shape[1]):
-        column = csc.data[csc.indptr[j]:csc.indptr[j + 1]]
-        if len(column) == 0:
-            continue
-        chaos = max(chaos, float(column.max() - np.square(column).sum()))
-    return chaos
-
-
 def _extract_clusters(matrix: sp.csr_matrix) -> list[list[int]]:
-    """Interpret the converged matrix: attractor rows define the clusters."""
+    """Interpret the converged matrix: attractor rows define the clusters.
+
+    Attractors whose member sets overlap belong to one cluster, and the
+    overlap relation is transitive: with attractor rows a∩b and b∩c
+    non-empty, a, b and c all merge.  A union-find over the touched nodes
+    implements the transitive merge, so the returned clusters are disjoint
+    and cover every node (merging only into the *first* overlapping cluster
+    would leave overlap chains non-disjoint).
+    """
     num_nodes = matrix.shape[0]
-    attractors = [i for i in range(num_nodes) if matrix[i, i] > 1e-9]
-    clusters: list[set[int]] = []
+    attractors = np.nonzero(matrix.diagonal() > 1e-9)[0].tolist()
+
+    parent: dict[int, int] = {}
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[max(root_a, root_b)] = min(root_a, root_b)
+
     for attractor in attractors:
         row = matrix.getrow(attractor)
         members = set(row.indices.tolist()) | {attractor}
-        for existing in clusters:
-            if existing & members:
-                existing |= members
-                break
-        else:
-            clusters.append(members)
-    assigned = set().union(*clusters) if clusters else set()
+        parent.setdefault(attractor, attractor)
+        for member in members:
+            parent.setdefault(member, member)
+            union(attractor, member)
+
+    grouped: dict[int, list[int]] = {}
+    for node in sorted(parent):
+        grouped.setdefault(find(node), []).append(node)
+    clusters = [members for _, members in sorted(grouped.items())]
+    assigned = set(parent)
     for node in range(num_nodes):
         if node not in assigned:
-            clusters.append({node})
-    return [sorted(cluster) for cluster in clusters]
+            clusters.append([node])
+    return clusters
 
 
 def markov_clustering(graph: CSRMatrix, *, expansion: int = 2,
@@ -128,7 +131,8 @@ def markov_clustering(graph: CSRMatrix, *, expansion: int = 2,
                       max_iterations: int = 30, tolerance: float = 1e-6,
                       add_self_loops: bool = True,
                       engine: SpArch | None = None,
-                      config: SpArchConfig | None = None
+                      config: SpArchConfig | None = None,
+                      runner: ExperimentRunner | None = None
                       ) -> MarkovClusteringResult:
     """Cluster ``graph`` with MCL, running every expansion on the accelerator.
 
@@ -145,6 +149,9 @@ def markov_clustering(graph: CSRMatrix, *, expansion: int = 2,
             MCL trick that guarantees aperiodicity).
         engine: SpGEMM engine; a fresh :class:`SpArch` by default.
         config: configuration for the default engine.
+        runner: when given, expansion statistics are memoised through the
+            experiment runner's fingerprint cache instead of running a
+            private engine (exclusive with ``engine``).
 
     Returns:
         :class:`MarkovClusteringResult` with the clusters and the simulator
@@ -152,46 +159,29 @@ def markov_clustering(graph: CSRMatrix, *, expansion: int = 2,
     """
     if graph.shape[0] != graph.shape[1]:
         raise ValueError(f"adjacency matrix must be square, got {graph.shape}")
-    if expansion < 2:
-        raise ValueError(f"expansion must be at least 2, got {expansion}")
-    if inflation <= 1.0:
-        raise ValueError(f"inflation must exceed 1, got {inflation}")
 
-    engine = engine or SpArch(config)
+    executor = SpArchExecutor(engine=engine, runner=runner, config=config)
+    pipeline = PipelineBuilder(executor, inputs={"A": graph})
+    converged_stage = build_mcl(
+        pipeline,
+        expansion=expansion,
+        inflation=inflation,
+        prune_threshold=prune_threshold,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        add_self_loops=add_self_loops,
+    )
+    workload = pipeline.result("mcl", converged_stage)
 
-    current = to_scipy(graph).astype(np.float64)
-    current = abs(current) + abs(current).T
-    if add_self_loops:
-        current = current + sp.identity(graph.shape[0], format="csr")
-    current = _column_normalize(current.tocsr())
-
-    spgemm_stats: list[SimulationStats] = []
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        # --- expansion: (expansion - 1) SpGEMMs on the accelerator --------
-        expanded = current
-        for _ in range(expansion - 1):
-            result = engine.multiply(from_scipy(expanded), from_scipy(current))
-            spgemm_stats.append(result.stats)
-            expanded = to_scipy(result.matrix)
-        # --- inflation + pruning ------------------------------------------
-        inflated = _prune(_inflate(expanded.tocsr(), inflation), prune_threshold)
-        inflated = _column_normalize(inflated)
-        if _chaos(inflated) < tolerance:
-            current = inflated
-            converged = True
-            break
-        current = inflated
-
-    clusters = _extract_clusters(current.tocsr())
+    clusters = _extract_clusters(pipeline.scipy_value(converged_stage))
     labels = np.empty(graph.shape[0], dtype=np.int64)
     for cluster_id, members in enumerate(clusters):
         labels[members] = cluster_id
     return MarkovClusteringResult(
         clusters=clusters,
         labels=labels,
-        iterations=iterations,
-        converged=converged,
-        total_spgemm_stats=spgemm_stats,
+        iterations=int(workload.annotations["iterations"]),
+        converged=bool(workload.annotations["converged"]),
+        total_spgemm_stats=workload.spgemm_stats,
+        workload=workload,
     )

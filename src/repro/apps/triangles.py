@@ -5,19 +5,35 @@ matrix A, the number of triangles is ``trace(A³) / 6``; computing it as
 ``sum((A·A) ⊙ A) / 6`` needs one SpGEMM plus an element-wise masked sum,
 which is the formulation the paper's citation (Azad, Buluç, Gilbert 2015)
 uses and the reason triangle counting appears in the SpGEMM motivation.
+
+The computation itself is the registered ``triangles`` workload pipeline
+(:mod:`repro.workloads.library`); this module is the thin application
+wrapper that keeps the original public API — build the pipeline, run the
+``A·A`` stage on the given engine, and derive the per-node counts from the
+masked stage.  The global count uses an exact integer path: each per-node
+half is rounded to an integer and the sum is asserted divisible by 3,
+instead of ``round(sum / 3)`` silently absorbing drift.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
+from repro.experiments.runner import ExperimentRunner
 from repro.formats.convert import from_scipy, to_scipy
 from repro.formats.csr import CSRMatrix
+from repro.workloads.library import build_triangles
+from repro.workloads.ops import simple_graph, triangles_from_masked
+from repro.workloads.pipeline import (
+    PipelineBuilder,
+    SpArchExecutor,
+    WorkloadResult,
+)
 
 
 @dataclass
@@ -30,12 +46,15 @@ class TriangleCountResult:
             number of nodes).
         wedges: number of length-2 paths (open or closed) in the graph.
         spgemm_stats: simulator statistics of the A·A kernel.
+        workload: per-stage record of the underlying pipeline execution.
     """
 
     triangles: int
     per_node_triangles: np.ndarray
     wedges: int
     spgemm_stats: SimulationStats
+    workload: WorkloadResult | None = field(default=None, compare=False,
+                                            repr=False)
 
     @property
     def clustering_coefficient(self) -> float:
@@ -49,16 +68,12 @@ def normalize_adjacency(graph: CSRMatrix) -> CSRMatrix:
     Triangle counting is defined on simple undirected graphs; arbitrary
     sparse matrices (directed, weighted, with self loops) are coerced first.
     """
-    adjacency = to_scipy(graph)
-    adjacency = adjacency + adjacency.T
-    adjacency.setdiag(0)
-    adjacency.eliminate_zeros()
-    adjacency.data[:] = 1.0
-    return from_scipy(adjacency)
+    return from_scipy(simple_graph(to_scipy(graph)))
 
 
 def count_triangles(graph: CSRMatrix, *, engine: SpArch | None = None,
                     config: SpArchConfig | None = None,
+                    runner: ExperimentRunner | None = None,
                     assume_normalized: bool = False) -> TriangleCountResult:
     """Count the triangles of ``graph`` using the accelerator for the SpGEMM.
 
@@ -67,6 +82,9 @@ def count_triangles(graph: CSRMatrix, *, engine: SpArch | None = None,
             symmetrised and binarised unless ``assume_normalized``).
         engine: SpGEMM engine; a fresh :class:`SpArch` by default.
         config: configuration for the default engine.
+        runner: when given, the A·A stage's statistics are memoised through
+            the experiment runner's fingerprint cache instead of running a
+            private engine (exclusive with ``engine``).
         assume_normalized: skip :func:`normalize_adjacency` when the caller
             already provides a symmetric binary zero-diagonal matrix.
 
@@ -76,23 +94,17 @@ def count_triangles(graph: CSRMatrix, *, engine: SpArch | None = None,
     """
     if graph.shape[0] != graph.shape[1]:
         raise ValueError(f"adjacency matrix must be square, got {graph.shape}")
-    adjacency = graph if assume_normalized else normalize_adjacency(graph)
 
-    engine = engine or SpArch(config)
-    spgemm = engine.multiply(adjacency, adjacency)
+    executor = SpArchExecutor(engine=engine, runner=runner, config=config)
+    pipeline = PipelineBuilder(executor, inputs={"A": graph})
+    masked = build_triangles(pipeline, normalize=not assume_normalized)
+    workload = pipeline.result("triangles", masked)
 
-    # Per-node triangle count: diag(A² · A) / 2 == row-wise masked sum / 2.
-    a_squared = to_scipy(spgemm.matrix)
-    mask = to_scipy(adjacency)
-    masked = a_squared.multiply(mask)
-    per_node = np.asarray(masked.sum(axis=1)).ravel() / 2.0
-    triangles = int(round(per_node.sum() / 3.0))
-
-    degrees = np.asarray(mask.sum(axis=1)).ravel()
-    wedges = int((degrees * (degrees - 1) / 2).sum())
+    per_node, triangles = triangles_from_masked(pipeline.scipy_value(masked))
     return TriangleCountResult(
         triangles=triangles,
         per_node_triangles=per_node,
-        wedges=wedges,
-        spgemm_stats=spgemm.stats,
+        wedges=int(workload.annotations["wedges"]),
+        spgemm_stats=workload.spgemm_stats[0],
+        workload=workload,
     )

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
+from pathlib import Path
 
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.runner import ExperimentRunner, set_default_runner
@@ -41,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="force a simulation backend for every run "
                              "(SpArch and baselines alike)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the results (tables and metrics) of "
+                             "every experiment run as JSON to PATH")
     return parser
 
 
@@ -63,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
     # installing ours makes the whole sweep share one memo pool.
     set_default_runner(runner)
 
+    payloads: dict[str, dict] = {}
     for experiment_id in requested:
         entry = get_experiment(experiment_id)
         kwargs = {}
@@ -75,6 +81,18 @@ def main(argv: list[str] | None = None) -> int:
         result = entry.run(**kwargs)
         print(result.render())
         print()
+        payloads[experiment_id] = {
+            "title": result.title,
+            "metrics": result.metrics,
+            "paper_values": result.paper_values,
+            "notes": result.notes,
+            "table": {"title": result.table.title,
+                      "columns": result.table.columns,
+                      "rows": result.table.rows},
+        }
+    if args.json is not None:
+        Path(args.json).write_text(json.dumps(payloads, indent=2,
+                                              sort_keys=True) + "\n")
     hits, misses = runner.cache_hits, runner.cache_misses
     if hits or misses:
         print(f"[runner] {misses} simulation points computed, "

@@ -20,6 +20,7 @@ from repro.experiments import (
     scheduler_ablation,
     table2_comparison,
     table3_energy,
+    workloads_e2e,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -67,6 +68,9 @@ EXPERIMENTS: tuple[ExperimentEntry, ...] = (
                     condensing_stats.run),
     ExperimentEntry("scheduler", "Huffman vs sequential scheduler ablation (§II-C)",
                     scheduler_ablation.run),
+    ExperimentEntry("workloads", "End-to-end workload pipelines vs baselines "
+                    "(repro.workloads registry)",
+                    workloads_e2e.run),
 )
 
 _BY_ID = {entry.experiment_id: entry for entry in EXPERIMENTS}

@@ -1,0 +1,64 @@
+"""Declarative multi-stage SpGEMM workload pipelines.
+
+The paper motivates SpArch with end-to-end applications — triangle
+counting, Markov clustering — that chain many SpGEMMs.  This subpackage is
+the subsystem those applications (and every future scenario sweep) plug
+into:
+
+* :mod:`repro.workloads.pipeline` — the stage DAG: SpGEMM stages dispatched
+  to the SpArch simulator or any baseline, host stages for element-wise
+  work, per-stage cost records, and a define-by-run builder.
+* :mod:`repro.workloads.ops` — the host-op vocabulary (mask, normalise,
+  inflate, prune, transpose, aggregation, ...), extensible via
+  :func:`~repro.workloads.ops.register_host_op`.
+* :mod:`repro.workloads.library` — the five registered pipelines:
+  triangles, mcl, khop, galerkin, cosine.
+* :mod:`repro.workloads.registry` — frozen specs, id lookup and
+  :func:`~repro.workloads.registry.run_workload`.
+
+Run ``python -m repro.workloads --list`` to discover the registered
+workloads, and ``python -m repro.experiments workloads`` for the end-to-end
+SpArch-vs-baselines comparison sweep.
+"""
+
+from repro.workloads.ops import (
+    HOST_OPS,
+    get_host_op,
+    register_host_op,
+    triangles_from_masked,
+)
+from repro.workloads.pipeline import (
+    SPGEMM_KIND,
+    BaselineExecutor,
+    PipelineBuilder,
+    SpArchExecutor,
+    StageExecutor,
+    StageResult,
+    WorkloadResult,
+)
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    run_workload,
+)
+
+__all__ = [
+    "SPGEMM_KIND",
+    "HOST_OPS",
+    "BaselineExecutor",
+    "PipelineBuilder",
+    "SpArchExecutor",
+    "StageExecutor",
+    "StageResult",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_host_op",
+    "get_workload",
+    "list_workloads",
+    "register_host_op",
+    "run_workload",
+    "triangles_from_masked",
+]

@@ -1,0 +1,90 @@
+"""Command-line runner: ``python -m repro.workloads <id> [...]``.
+
+Runs registered workload pipelines one-off on a benchmark-suite proxy and
+prints the per-stage cost table — the quick way to inspect a pipeline.
+``--list`` prints the registered workload ids; unknown ids raise the same
+helpful error as the experiment registry.  The full SpArch-vs-baselines
+comparison sweep lives in ``python -m repro.experiments workloads``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import ExperimentRunner
+from repro.matrices.suite import load_benchmark
+from repro.utils.reporting import Table
+from repro.workloads.registry import get_workload, list_workloads, run_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Run declarative SpGEMM workload pipelines on SpArch.",
+    )
+    parser.add_argument("workloads", nargs="*",
+                        help="workload ids to run (e.g. mcl khop), or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered workloads and exit")
+    parser.add_argument("--matrix", default="ca-CondMat",
+                        help="benchmark-suite matrix to run on")
+    parser.add_argument("--max-rows", type=int, default=600,
+                        help="proxy dimension cap for the matrix")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="memoise per-stage simulations on disk under DIR")
+    return parser
+
+
+def _print_listing() -> None:
+    for workload_id in list_workloads():
+        spec = get_workload(workload_id)
+        print(f"{workload_id:>10}  {spec.title}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list or not args.workloads:
+        _print_listing()
+        return 0
+
+    requested = args.workloads
+    if requested == ["all"]:
+        requested = list_workloads()
+
+    matrix = load_benchmark(args.matrix, max_rows=args.max_rows)
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    for workload_id in requested:
+        spec = get_workload(workload_id)
+        result = run_workload(workload_id, matrix, runner=runner)
+        table = Table(
+            title=f"{spec.title} — {args.matrix} ({matrix.shape[0]} rows), "
+                  f"backend {result.backend}",
+            columns=["stage", "kind", "inputs", "nnz", "cycles",
+                     "runtime [s]", "DRAM [B]", "energy [J]"],
+        )
+        for stage in result.stages:
+            table.add_row(stage.name, stage.kind, "+".join(stage.inputs),
+                          stage.output_nnz, stage.cycles,
+                          stage.runtime_seconds, stage.dram_bytes,
+                          stage.energy_joules)
+        table.add_row("TOTAL", "", "", "", result.total_cycles,
+                      result.total_runtime_seconds, result.total_dram_bytes,
+                      result.total_energy_joules)
+        print(table.render())
+        if result.annotations:
+            notes = ", ".join(f"{key}={value:g}"
+                              for key, value in result.annotations.items())
+            print(f"annotations: {notes}")
+        print()
+    hits, misses = runner.cache_hits, runner.cache_misses
+    if hits or misses:
+        print(f"[runner] {misses} stage simulations computed, "
+              f"{hits} reused from cache")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

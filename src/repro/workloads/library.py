@@ -1,0 +1,150 @@
+"""The registered workload pipelines.
+
+Each function here is a *build program*: it receives a
+:class:`~repro.workloads.pipeline.PipelineBuilder` whose ``"A"`` input is
+the workload's matrix, declares its stages (executing them as it goes), and
+returns the name of the output stage.  Data-dependent control flow — MCL's
+convergence loop, the ``A^k`` chain length — is ordinary Python.
+
+The five registered workloads cover the end-to-end applications the SpArch
+paper motivates SpGEMM with, plus classic multi-SpGEMM kernels from the
+broader literature:
+
+* ``triangles`` — triangle counting via ``(A·A) ⊙ A`` (one SpGEMM).
+* ``mcl``       — Markov clustering: expansion (SpGEMM) alternating with
+                  inflation/pruning until convergence.
+* ``khop``      — k-hop path counting: the ``A^k`` chain (k−1 SpGEMMs).
+* ``galerkin``  — algebraic-multigrid coarsening: the Galerkin triple
+                  product ``R·A·P`` (two SpGEMMs).
+* ``cosine``    — cosine-similarity self-join: ``Â·Âᵀ`` on L2-normalised
+                  rows, thresholded (one SpGEMM, rectangular-friendly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.ops import chaos, triangles_from_masked
+from repro.workloads.pipeline import PipelineBuilder
+
+
+def _require_square(pipeline: PipelineBuilder, name: str) -> None:
+    shape = pipeline.shape(name)
+    if shape[0] != shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got {shape}")
+
+
+def build_triangles(pipeline: PipelineBuilder, *, normalize: bool = True
+                    ) -> str:
+    """Triangle counting: mask the square of the adjacency by the adjacency.
+
+    Annotations: ``triangles`` (exact global count), ``wedges``.
+    """
+    _require_square(pipeline, "A")
+    adjacency = "A"
+    if normalize:
+        adjacency = pipeline.host("adjacency", "simple_graph", "A")
+    squared = pipeline.spgemm("a_squared", adjacency, adjacency)
+    masked = pipeline.host("masked", "mask", squared, adjacency)
+
+    _, triangles = triangles_from_masked(pipeline.scipy_value(masked))
+    degrees = np.asarray(pipeline.scipy_value(adjacency).sum(axis=1)).ravel()
+    wedges = int((degrees * (degrees - 1) / 2).sum())
+    pipeline.annotate("triangles", triangles)
+    pipeline.annotate("wedges", wedges)
+    return masked
+
+
+def build_mcl(pipeline: PipelineBuilder, *, expansion: int = 2,
+              inflation: float = 2.0, prune_threshold: float = 1e-4,
+              max_iterations: int = 30, tolerance: float = 1e-6,
+              add_self_loops: bool = True) -> str:
+    """Markov clustering: expansion SpGEMMs alternating with inflation.
+
+    Annotations: ``iterations``, ``converged``.
+    """
+    _require_square(pipeline, "A")
+    if expansion < 2:
+        raise ValueError(f"expansion must be at least 2, got {expansion}")
+    if inflation <= 1.0:
+        raise ValueError(f"inflation must exceed 1, got {inflation}")
+
+    current = pipeline.host("setup", "mcl_setup", "A",
+                            add_self_loops=add_self_loops)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # --- expansion: (expansion - 1) SpGEMMs on the backend -----------
+        expanded = current
+        for step in range(expansion - 1):
+            expanded = pipeline.spgemm(f"expand[{iterations}.{step}]",
+                                       expanded, current)
+        # --- inflation + pruning -----------------------------------------
+        inflated = pipeline.host(f"inflate[{iterations}]", "inflate",
+                                 expanded, power=inflation)
+        pruned = pipeline.host(f"prune[{iterations}]", "prune", inflated,
+                               threshold=prune_threshold)
+        current = pipeline.host(f"normalize[{iterations}]",
+                                "normalize_columns", pruned)
+        if chaos(pipeline.scipy_value(current)) < tolerance:
+            converged = True
+            break
+    pipeline.annotate("iterations", iterations)
+    pipeline.annotate("converged", converged)
+    return current
+
+
+def build_khop(pipeline: PipelineBuilder, *, k: int = 3,
+               normalize: bool = True) -> str:
+    """k-hop path counting: the chain ``A² , A³ , … , A^k``.
+
+    Entry (i, j) of the output counts the length-``k`` walks from *i* to
+    *j*.  Annotations: ``k``, ``total_walks``.
+    """
+    _require_square(pipeline, "A")
+    if k < 2:
+        raise ValueError(f"k must be at least 2, got {k}")
+    base = "A"
+    if normalize:
+        base = pipeline.host("adjacency", "simple_graph", "A")
+    power = base
+    for hop in range(2, k + 1):
+        power = pipeline.spgemm(f"power[{hop}]", power, base)
+    pipeline.annotate("k", k)
+    pipeline.annotate("total_walks", float(pipeline.scipy_value(power).sum()))
+    return power
+
+
+def build_galerkin(pipeline: PipelineBuilder, *, group_size: int = 4) -> str:
+    """Galerkin triple product ``R·A·P`` (algebraic-multigrid coarsening).
+
+    P aggregates nodes into contiguous groups, R = Pᵀ; the coarse operator
+    is computed as the SpGEMM chain ``AP = A·P`` then ``R·AP``.
+    Annotations: ``coarse_rows``, ``coarse_nnz``.
+    """
+    _require_square(pipeline, "A")
+    prolongator = pipeline.host("prolongator", "aggregation", "A",
+                                group_size=group_size)
+    restriction = pipeline.host("restriction", "transpose", prolongator)
+    coarse_rhs = pipeline.spgemm("AP", "A", prolongator)
+    coarse = pipeline.spgemm("RAP", restriction, coarse_rhs)
+    pipeline.annotate("coarse_rows", pipeline.shape(coarse)[0])
+    pipeline.annotate("coarse_nnz", pipeline.scipy_value(coarse).nnz)
+    return coarse
+
+
+def build_cosine(pipeline: PipelineBuilder, *, threshold: float = 0.2) -> str:
+    """Cosine-similarity self-join: ``Â·Âᵀ`` on unit rows, thresholded.
+
+    Keeps every pair with similarity ≥ ``threshold``.  Annotations:
+    ``similar_pairs`` (off-diagonal entries of the join, halved).
+    """
+    normalized = pipeline.host("row_normalized", "normalize_rows", "A")
+    transposed = pipeline.host("transposed", "transpose", normalized)
+    similarity = pipeline.spgemm("similarity", normalized, transposed)
+    joined = pipeline.host("thresholded", "prune", similarity,
+                           threshold=threshold)
+    value = pipeline.scipy_value(joined)
+    off_diagonal = value.nnz - int((value.diagonal() != 0).sum())
+    pipeline.annotate("similar_pairs", off_diagonal // 2)
+    return joined

@@ -1,0 +1,199 @@
+"""Host-side stage operations for workload pipelines.
+
+Every non-SpGEMM stage of a workload pipeline is a *host op*: a named pure
+function from ``scipy.sparse`` CSR operands (plus scalar keyword parameters)
+to one CSR result.  The ops registered here are the element-wise /
+normalise / prune / mask vocabulary the registered workloads are written in
+(:mod:`repro.workloads.library`); new workloads can extend the vocabulary
+with :func:`register_host_op`.
+
+Host ops run on the host processor, not on the accelerator, so pipeline
+stage records charge them zero cycles / DRAM traffic / energy — exactly the
+accounting the end-to-end applications used before the workloads subsystem
+existed (the apps timed only their SpGEMM kernels).  Ops must never mutate
+their operands: pipeline values are shared between stages.
+
+The sparse math helpers (:func:`column_normalize`, :func:`inflate`,
+:func:`prune`, :func:`chaos`) are also the implementation behind
+:mod:`repro.apps.markov_clustering`, so the ported app and the registered
+``mcl`` workload cannot drift apart numerically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+#: A host op: ``fn(*operands, **params) -> sparse matrix``.
+HostOp = Callable[..., sp.spmatrix]
+
+#: Registered host ops by name.
+HOST_OPS: dict[str, HostOp] = {}
+
+
+def register_host_op(name: str) -> Callable[[HostOp], HostOp]:
+    """Class-level decorator registering a host op under ``name``."""
+    def decorator(fn: HostOp) -> HostOp:
+        if name in HOST_OPS:
+            raise ValueError(f"host op {name!r} is already registered")
+        HOST_OPS[name] = fn
+        return fn
+    return decorator
+
+
+def get_host_op(name: str) -> HostOp:
+    """Look up one host op by name; raises ``KeyError`` with suggestions."""
+    try:
+        return HOST_OPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown host op {name!r}; known ops: "
+            f"{', '.join(sorted(HOST_OPS))}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Shared sparse math (also used by repro.apps)
+# ----------------------------------------------------------------------
+def column_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Scale every column to sum to one (columns with no mass are left empty)."""
+    sums = np.asarray(matrix.sum(axis=0)).ravel()
+    scale = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
+    return (matrix @ sp.diags(scale)).tocsr()
+
+
+def chaos(matrix: sp.csr_matrix) -> float:
+    """MCL convergence measure: max over columns of (max entry − sum of squares)."""
+    csc = matrix.tocsc()
+    value = 0.0
+    for j in range(csc.shape[1]):
+        column = csc.data[csc.indptr[j]:csc.indptr[j + 1]]
+        if len(column) == 0:
+            continue
+        value = max(value, float(column.max() - np.square(column).sum()))
+    return value
+
+
+def triangles_from_masked(masked: sp.spmatrix) -> tuple[np.ndarray, int]:
+    """Exact triangle counts from the masked square ``(A·A) ⊙ A``.
+
+    Every diagonal entry of ``A²·A`` — equivalently every row sum of the
+    masked product — counts each triangle through that node twice, and each
+    triangle touches three nodes.  The row sums of a binary adjacency
+    product are integers represented exactly in float64, so the count is
+    computed on integers (round each per-node half, then sum) instead of
+    ``round(sum / 3)`` silently absorbing drift.
+
+    Returns:
+        ``(per_node, total)`` — float per-node triangle counts (halved row
+        sums, as the apps report them) and the exact global total.
+
+    Raises:
+        ArithmeticError: if the per-node sum is not divisible by 3, i.e. the
+            masked product is not the triangle structure of a simple graph.
+    """
+    per_node_twice = np.asarray(masked.sum(axis=1)).ravel()
+    halves = np.rint(per_node_twice / 2.0).astype(np.int64)
+    total = int(halves.sum())
+    if total % 3 != 0:
+        raise ArithmeticError(
+            f"per-node triangle sum {total} is not divisible by 3; the input "
+            "is not the masked square of a simple undirected graph"
+        )
+    return per_node_twice / 2.0, total // 3
+
+
+# ----------------------------------------------------------------------
+# Registered ops
+# ----------------------------------------------------------------------
+@register_host_op("mask")
+def mask(matrix: sp.csr_matrix, pattern: sp.csr_matrix) -> sp.spmatrix:
+    """Element-wise (Hadamard) product — masks ``matrix`` by ``pattern``."""
+    return matrix.multiply(pattern)
+
+
+@register_host_op("normalize_columns")
+def normalize_columns(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Column-stochastic rescale (see :func:`column_normalize`)."""
+    return column_normalize(matrix)
+
+
+@register_host_op("normalize_rows")
+def normalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Scale every row to unit L2 norm (empty rows stay empty)."""
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel())
+    scale = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
+    return (sp.diags(scale) @ matrix).tocsr()
+
+
+@register_host_op("inflate")
+def inflate(matrix: sp.csr_matrix, *, power: float) -> sp.csr_matrix:
+    """Element-wise power followed by column re-normalisation (MCL inflation)."""
+    inflated = matrix.copy()
+    inflated.data = np.power(inflated.data, power)
+    return column_normalize(inflated)
+
+
+@register_host_op("prune")
+def prune(matrix: sp.csr_matrix, *, threshold: float) -> sp.csr_matrix:
+    """Drop entries below ``threshold`` (keeps the matrix sparse)."""
+    pruned = matrix.copy()
+    pruned.data[pruned.data < threshold] = 0.0
+    pruned.eliminate_zeros()
+    return pruned
+
+
+@register_host_op("binarize")
+def binarize(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Replace every stored nonzero with 1.0."""
+    binary = matrix.copy().tocsr()
+    binary.eliminate_zeros()
+    binary.data[:] = 1.0
+    return binary
+
+
+@register_host_op("transpose")
+def transpose(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Matrix transpose."""
+    return matrix.T.tocsr()
+
+
+@register_host_op("simple_graph")
+def simple_graph(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Coerce to a simple undirected graph: symmetric, zero-diagonal, binary."""
+    adjacency = matrix + matrix.T
+    adjacency.setdiag(0)
+    adjacency.eliminate_zeros()
+    adjacency.data[:] = 1.0
+    return adjacency.tocsr()
+
+
+@register_host_op("mcl_setup")
+def mcl_setup(matrix: sp.csr_matrix, *, add_self_loops: bool = True
+              ) -> sp.csr_matrix:
+    """MCL input transform: |A| + |A|ᵀ (+ I), column-normalised."""
+    current = abs(matrix) + abs(matrix).T
+    if add_self_loops:
+        current = current + sp.identity(matrix.shape[0], format="csr")
+    return column_normalize(current.tocsr())
+
+
+@register_host_op("aggregation")
+def aggregation(matrix: sp.csr_matrix, *, group_size: int = 4) -> sp.csr_matrix:
+    """Piecewise-constant prolongator P for Galerkin coarsening.
+
+    Nodes are aggregated into contiguous groups of ``group_size``; column
+    *j* of P has a unit entry for every node of aggregate *j* — the simplest
+    algebraic-multigrid aggregation, enough to give the triple product
+    R·A·P its real sparsity structure.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be at least 1, got {group_size}")
+    num_rows = matrix.shape[0]
+    num_groups = (num_rows + group_size - 1) // group_size
+    rows = np.arange(num_rows, dtype=np.int64)
+    cols = rows // group_size
+    vals = np.ones(num_rows)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(num_rows, num_groups))

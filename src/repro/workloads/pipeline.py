@@ -1,0 +1,470 @@
+"""Declarative multi-stage SpGEMM pipelines.
+
+A *workload* is a DAG of named stages over sparse matrices.  Stages come in
+two kinds:
+
+* **SpGEMM stages** — sparse matrix-matrix products, dispatched to a
+  :class:`StageExecutor`: the SpArch simulator (either directly, or with
+  statistics memoised through the
+  :class:`~repro.experiments.runner.ExperimentRunner` fingerprint cache) or
+  any comparison baseline.  Each stage records the executor's full cost
+  model — cycles, runtime, DRAM traffic, energy — in a
+  :class:`StageResult`.
+* **Host stages** — element-wise / normalise / prune / mask operations from
+  :mod:`repro.workloads.ops`, executed on the host and charged zero
+  accelerator cost.
+
+Pipelines are *define-by-run*: a workload's build program receives a
+:class:`PipelineBuilder`, declares stages imperatively — data-dependent
+control flow such as MCL's convergence loop is ordinary Python — and each
+stage executes as it is declared while the DAG (names, kinds, dependencies)
+is recorded into the resulting :class:`WorkloadResult`.
+
+Functional semantics: when an executor returns its own result matrix
+(direct SpArch or baseline execution) the pipeline threads that matrix to
+downstream stages, so applications ported onto the framework reproduce
+their pre-framework outputs bit for bit.  When the executor memoises
+statistics through the experiment runner (which caches
+:class:`~repro.core.stats.SimulationStats` only), the functional product
+comes from one canonical exact host path instead — every backend then
+traverses identical intermediate matrices, which is what makes end-to-end
+backend comparisons apples-to-apples and cached re-runs incremental.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import scipy.sparse as sp
+
+from repro.analysis.energy import EnergyModel
+from repro.baselines.base import BaselineSummary, SpGEMMBaseline
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.core.stats import SimulationStats
+from repro.formats.convert import from_scipy, to_scipy
+from repro.formats.csr import CSRMatrix
+from repro.workloads.ops import get_host_op
+
+if TYPE_CHECKING:  # the runner is only an annotation here; importing it at
+    # runtime would close an import cycle (experiments.registry imports the
+    # workloads experiment, which imports this module)
+    from repro.experiments.runner import ExperimentRunner
+
+#: Stage kind of SpGEMM stages (host stages use their op name as the kind).
+SPGEMM_KIND = "spgemm"
+
+
+@dataclass
+class StageResult:
+    """Record of one executed pipeline stage.
+
+    Attributes:
+        name: unique stage name within the pipeline.
+        kind: ``"spgemm"`` or the host-op name.
+        inputs: names of the values (inputs or earlier stages) consumed.
+        output_shape: shape of the stage's result matrix.
+        output_nnz: stored nonzeros of the stage's result.
+        cycles: simulated accelerator cycles (SpArch stages; baselines model
+            runtime, not cycles).
+        runtime_seconds: modelled kernel runtime of the stage.
+        dram_bytes: modelled main-memory traffic of the stage.
+        energy_joules: modelled dynamic energy of the stage.
+        multiplications: scalar multiplications performed by the kernel.
+        additions: scalar additions performed by the kernel.
+        stats: full simulator statistics (SpArch stages only).
+        summary: memoisable baseline summary (baseline stages only).
+    """
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...]
+    output_shape: tuple[int, int]
+    output_nnz: int
+    cycles: int = 0
+    runtime_seconds: float = 0.0
+    dram_bytes: int = 0
+    energy_joules: float = 0.0
+    multiplications: int = 0
+    additions: int = 0
+    stats: SimulationStats | None = None
+    summary: BaselineSummary | None = None
+
+    @property
+    def is_spgemm(self) -> bool:
+        """True for SpGEMM stages, False for host stages."""
+        return self.kind == SPGEMM_KIND
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload pipeline execution.
+
+    Two runs of the same workload on the same input under the same backend
+    compare equal (the result matrix is excluded from equality — the cached
+    re-run property test relies on this).
+
+    Attributes:
+        workload_id: registry id of the workload ("mcl", "khop", ...).
+        backend: name of the SpGEMM backend ("SpArch", "MKL", ...).
+        stages: per-stage records in execution order.
+        annotations: workload-level scalars set by the build program
+            (iterations, convergence flags, derived counts, ...).
+        output: the designated output matrix, excluded from equality.
+    """
+
+    workload_id: str
+    backend: str
+    stages: list[StageResult]
+    annotations: dict[str, float] = field(default_factory=dict)
+    output: CSRMatrix | None = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        """Number of executed stages (SpGEMM and host alike)."""
+        return len(self.stages)
+
+    @property
+    def spgemm_stages(self) -> list[StageResult]:
+        """The SpGEMM stages, in execution order."""
+        return [stage for stage in self.stages if stage.is_spgemm]
+
+    @property
+    def spgemm_stats(self) -> list[SimulationStats]:
+        """Simulator statistics of every SpArch SpGEMM stage."""
+        return [stage.stats for stage in self.stages if stage.stats is not None]
+
+    @property
+    def total_cycles(self) -> int:
+        """Accelerator cycles summed over all stages."""
+        return sum(stage.cycles for stage in self.stages)
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        """Modelled kernel runtime summed over all stages."""
+        return sum(stage.runtime_seconds for stage in self.stages)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        """Modelled DRAM traffic summed over all stages."""
+        return sum(stage.dram_bytes for stage in self.stages)
+
+    @property
+    def total_energy_joules(self) -> float:
+        """Modelled dynamic energy summed over all stages."""
+        return sum(stage.energy_joules for stage in self.stages)
+
+    @property
+    def total_multiplications(self) -> int:
+        """Scalar multiplications summed over all stages."""
+        return sum(stage.multiplications for stage in self.stages)
+
+    @property
+    def total_additions(self) -> int:
+        """Scalar additions summed over all stages."""
+        return sum(stage.additions for stage in self.stages)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the headline numbers, for reporting and JSON."""
+        payload = {
+            "num_stages": float(self.num_stages),
+            "spgemm_stages": float(len(self.spgemm_stages)),
+            "cycles": float(self.total_cycles),
+            "runtime_seconds": self.total_runtime_seconds,
+            "dram_bytes": float(self.total_dram_bytes),
+            "energy_joules": self.total_energy_joules,
+            "multiplications": float(self.total_multiplications),
+            "additions": float(self.total_additions),
+        }
+        payload.update(self.annotations)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Stage executors
+# ----------------------------------------------------------------------
+@dataclass
+class StageExecution:
+    """What an executor reports back for one SpGEMM stage.
+
+    ``matrix`` is the executor's own functional result when it computes one
+    (direct engine/baseline execution), or ``None`` when only statistics
+    were produced (runner-memoised execution) — the pipeline then derives
+    the product through its canonical host path.
+    """
+
+    matrix: CSRMatrix | None
+    cycles: int
+    runtime_seconds: float
+    dram_bytes: int
+    energy_joules: float
+    multiplications: int
+    additions: int
+    stats: SimulationStats | None = None
+    summary: BaselineSummary | None = None
+
+
+class StageExecutor(abc.ABC):
+    """Dispatches the SpGEMM stages of a pipeline and prices them."""
+
+    #: Backend name used in comparison tables ("SpArch", "MKL", ...).
+    backend_name: str = "backend"
+
+    @abc.abstractmethod
+    def execute(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                ) -> StageExecution:
+        """Run (or price) one ``A · B`` product."""
+
+
+class SpArchExecutor(StageExecutor):
+    """SpGEMM stages on the SpArch simulator.
+
+    Two modes:
+
+    * **engine mode** (default, or ``engine=``): calls
+      :meth:`SpArch.multiply` directly and threads the engine's own result
+      matrix through the pipeline — exact parity with driving the simulator
+      by hand, which is what the ported applications use.
+    * **runner mode** (``runner=``): memoises statistics through the
+      :class:`ExperimentRunner` fingerprint cache, so re-running a pipeline
+      (or sharing stages between sweeps) replays instead of re-simulating;
+      the functional product comes from the pipeline's canonical host path.
+
+    Args:
+        engine: explicit simulator instance (engine mode).
+        runner: experiment runner (runner mode); exclusive with ``engine``.
+        config: configuration for a fresh engine / the runner's simulations.
+        energy_model: per-event energy model (paper constants by default).
+    """
+
+    backend_name = "SpArch"
+
+    def __init__(self, *, engine: SpArch | None = None,
+                 runner: ExperimentRunner | None = None,
+                 config: SpArchConfig | None = None,
+                 energy_model: EnergyModel | None = None) -> None:
+        if engine is not None and runner is not None:
+            raise ValueError("pass either engine= or runner=, not both")
+        self._runner = runner
+        if runner is None:
+            self._engine: SpArch | None = engine or SpArch(config)
+            self._config = self._engine.config
+        else:
+            self._engine = None
+            self._config = config or SpArchConfig()
+        self._energy_model = energy_model or EnergyModel()
+
+    @property
+    def config(self) -> SpArchConfig:
+        """Configuration used for simulations and energy accounting."""
+        return self._config
+
+    def execute(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                ) -> StageExecution:
+        if self._runner is not None:
+            stats = self._runner.simulate(matrix_a, self._config,
+                                          matrix_b=matrix_b)
+            matrix = None
+        else:
+            result = self._engine.multiply(matrix_a, matrix_b)
+            stats, matrix = result.stats, result.matrix
+        return StageExecution(
+            matrix=matrix,
+            cycles=stats.cycles,
+            runtime_seconds=stats.runtime_seconds,
+            dram_bytes=stats.dram_bytes,
+            energy_joules=self._energy_model.total_energy(stats, self._config),
+            multiplications=stats.multiplications,
+            additions=stats.additions,
+            stats=stats,
+        )
+
+
+class BaselineExecutor(StageExecutor):
+    """SpGEMM stages on one of the comparison baselines.
+
+    Args:
+        baseline: the baseline simulator (OuterSPACE, MKL-class, ...).
+        runner: optional experiment runner; when given, each stage's
+            :class:`BaselineSummary` is memoised under the runner's
+            fingerprint cache and the functional product comes from the
+            pipeline's canonical host path.
+    """
+
+    def __init__(self, baseline: SpGEMMBaseline, *,
+                 runner: ExperimentRunner | None = None) -> None:
+        self._baseline = baseline
+        self._runner = runner
+        self.backend_name = baseline.name
+
+    @property
+    def baseline(self) -> SpGEMMBaseline:
+        return self._baseline
+
+    def execute(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                ) -> StageExecution:
+        if self._runner is not None:
+            summary = self._runner.run_baseline(self._baseline, matrix_a,
+                                                matrix_b=matrix_b)
+            matrix = None
+        else:
+            result = self._baseline.multiply(matrix_a, matrix_b)
+            summary = BaselineSummary.from_result(self._baseline, result)
+            matrix = result.matrix
+        return StageExecution(
+            matrix=matrix,
+            cycles=0,  # baseline platforms model runtime, not cycles
+            runtime_seconds=summary.runtime_seconds,
+            dram_bytes=summary.traffic_bytes,
+            energy_joules=summary.energy_joules,
+            multiplications=summary.multiplications,
+            additions=summary.additions,
+            summary=summary,
+        )
+
+
+# ----------------------------------------------------------------------
+# The builder
+# ----------------------------------------------------------------------
+class PipelineBuilder:
+    """Define-by-run pipeline context handed to workload build programs.
+
+    Values (pipeline inputs and stage outputs) live in one namespace and
+    are referred to by name; each :meth:`spgemm` / :meth:`host` call
+    executes immediately and appends a :class:`StageResult` to the record.
+
+    Args:
+        executor: SpGEMM stage executor (SpArch or a baseline).
+        inputs: named input matrices, e.g. ``{"A": matrix}``.
+    """
+
+    def __init__(self, executor: StageExecutor, *,
+                 inputs: dict[str, CSRMatrix]) -> None:
+        if not inputs:
+            raise ValueError("a pipeline needs at least one input matrix")
+        self._executor = executor
+        self._values: dict[str, sp.csr_matrix] = {}
+        self._stages: list[StageResult] = []
+        self._annotations: dict[str, float] = {}
+        self._input_names = tuple(inputs)
+        for name, matrix in inputs.items():
+            self._store(name, to_scipy(matrix))
+
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> StageExecutor:
+        return self._executor
+
+    @property
+    def stages(self) -> list[StageResult]:
+        """Stage records so far, in execution order."""
+        return list(self._stages)
+
+    @property
+    def stage_names(self) -> list[str]:
+        """Names of the executed stages, in execution order."""
+        return [stage.name for stage in self._stages]
+
+    def shape(self, name: str) -> tuple[int, int]:
+        """Shape of a named value."""
+        return self._get(name).shape
+
+    def scipy_value(self, name: str) -> sp.csr_matrix:
+        """The named value as a scipy CSR matrix (treat as read-only)."""
+        return self._get(name)
+
+    def value(self, name: str) -> CSRMatrix:
+        """The named value as a :class:`CSRMatrix`."""
+        return from_scipy(self._get(name))
+
+    def annotate(self, key: str, value: float) -> None:
+        """Record one workload-level scalar (iterations, counts, flags)."""
+        self._annotations[key] = float(value)
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str) -> sp.csr_matrix:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown pipeline value {name!r}; known values: "
+                f"{', '.join(self._values)}"
+            ) from None
+
+    def _store(self, name: str, value: sp.spmatrix) -> None:
+        if name in self._values:
+            raise ValueError(f"pipeline value {name!r} already exists")
+        canonical = sp.csr_matrix(value)
+        canonical.sum_duplicates()
+        canonical.sort_indices()
+        self._values[name] = canonical
+
+    def _record(self, stage: StageResult) -> None:
+        self._stages.append(stage)
+
+    # ------------------------------------------------------------------
+    def spgemm(self, name: str, left: str, right: str) -> str:
+        """Declare and execute one SpGEMM stage ``left · right``.
+
+        Returns ``name`` so programs can chain stages functionally.
+        """
+        matrix_a = from_scipy(self._get(left))
+        # Self-products share one operand object so the runner's cache key
+        # takes its A·A fast path consistently across runs.
+        matrix_b = matrix_a if right == left else from_scipy(self._get(right))
+        execution = self._executor.execute(matrix_a, matrix_b)
+        if execution.matrix is not None:
+            product: sp.spmatrix = to_scipy(execution.matrix)
+        else:
+            product = (self._get(left) @ self._get(right)).tocsr()
+        self._store(name, product)
+        stored = self._values[name]
+        self._record(StageResult(
+            name=name,
+            kind=SPGEMM_KIND,
+            inputs=(left, right),
+            output_shape=stored.shape,
+            output_nnz=int(stored.nnz),
+            cycles=execution.cycles,
+            runtime_seconds=execution.runtime_seconds,
+            dram_bytes=execution.dram_bytes,
+            energy_joules=execution.energy_joules,
+            multiplications=execution.multiplications,
+            additions=execution.additions,
+            stats=execution.stats,
+            summary=execution.summary,
+        ))
+        return name
+
+    def host(self, name: str, op: str, *operands: str, **params) -> str:
+        """Declare and execute one host stage ``op(*operands, **params)``.
+
+        Returns ``name`` so programs can chain stages functionally.
+        """
+        fn = get_host_op(op)
+        result = fn(*[self._get(operand) for operand in operands], **params)
+        self._store(name, result)
+        stored = self._values[name]
+        self._record(StageResult(
+            name=name,
+            kind=op,
+            inputs=tuple(operands),
+            output_shape=stored.shape,
+            output_nnz=int(stored.nnz),
+        ))
+        return name
+
+    # ------------------------------------------------------------------
+    def result(self, workload_id: str, output: str | None = None
+               ) -> WorkloadResult:
+        """Close the pipeline and return its :class:`WorkloadResult`."""
+        return WorkloadResult(
+            workload_id=workload_id,
+            backend=self._executor.backend_name,
+            stages=list(self._stages),
+            annotations=dict(self._annotations),
+            output=self.value(output) if output is not None else None,
+        )

@@ -1,0 +1,163 @@
+"""Registry mapping workload ids to their pipeline build programs.
+
+Mirrors :mod:`repro.experiments.registry`: a tuple of frozen specs, id
+lookup with a helpful unknown-id error, and one entry point —
+:func:`run_workload` — that wires a build program to a backend and returns
+its :class:`~repro.workloads.pipeline.WorkloadResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.baselines.base import SpGEMMBaseline
+from repro.core.accelerator import SpArch
+from repro.core.config import SpArchConfig
+from repro.formats.csr import CSRMatrix
+
+if TYPE_CHECKING:  # annotation only — see repro.workloads.pipeline
+    from repro.experiments.runner import ExperimentRunner
+from repro.workloads import library
+from repro.workloads.pipeline import (
+    BaselineExecutor,
+    PipelineBuilder,
+    SpArchExecutor,
+    StageExecutor,
+    WorkloadResult,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload.
+
+    Attributes:
+        workload_id: short id used on the command line ("mcl", "khop").
+        title: human-readable description of the pipeline.
+        description: what the workload computes and which stages it runs.
+        build: the pipeline build program (see
+            :mod:`repro.workloads.library`); called with the pipeline
+            builder plus the merged parameters.
+        defaults: declarative default parameters of the spec, overridable
+            per run (``run_workload(..., **params)``).
+    """
+
+    workload_id: str
+    title: str
+    description: str
+    build: Callable[..., str]
+    defaults: tuple[tuple[str, object], ...] = ()
+
+    def params(self, overrides: dict | None = None) -> dict:
+        """Merge the spec's defaults with per-run ``overrides``."""
+        merged = dict(self.defaults)
+        merged.update(overrides or {})
+        return merged
+
+
+#: Every workload, in presentation order.
+WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        "triangles",
+        "Triangle counting ((A·A) ⊙ A)",
+        "Square the adjacency on the SpGEMM backend, mask by the adjacency, "
+        "and count each triangle exactly (one SpGEMM + one host mask).",
+        library.build_triangles,
+    ),
+    WorkloadSpec(
+        "mcl",
+        "Markov clustering (expansion / inflation)",
+        "Alternate SpGEMM expansion with host inflation, pruning and "
+        "column normalisation until the chaos measure converges.",
+        library.build_mcl,
+        defaults=(("max_iterations", 30),),
+    ),
+    WorkloadSpec(
+        "khop",
+        "k-hop path counting (A^k chain)",
+        "Chain k−1 SpGEMMs to count the length-k walks between every "
+        "node pair of a simple graph.",
+        library.build_khop,
+        defaults=(("k", 3),),
+    ),
+    WorkloadSpec(
+        "galerkin",
+        "Galerkin triple product R·A·P (multigrid coarsening)",
+        "Aggregate nodes into a prolongator P, then compute the coarse "
+        "operator Pᵀ·A·P as two chained SpGEMMs.",
+        library.build_galerkin,
+        defaults=(("group_size", 4),),
+    ),
+    WorkloadSpec(
+        "cosine",
+        "Cosine-similarity self-join (Â·Âᵀ, thresholded)",
+        "L2-normalise rows, multiply by the transpose on the SpGEMM "
+        "backend, and keep pairs above the similarity threshold.",
+        library.build_cosine,
+        defaults=(("threshold", 0.2),),
+    ),
+)
+
+_BY_ID = {spec.workload_id: spec for spec in WORKLOADS}
+
+
+def list_workloads() -> list[str]:
+    """Return the registered workload ids in presentation order."""
+    return [spec.workload_id for spec in WORKLOADS]
+
+
+def get_workload(workload_id: str) -> WorkloadSpec:
+    """Look up one workload by id; raises ``KeyError`` with suggestions."""
+    try:
+        return _BY_ID[workload_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {workload_id!r}; known ids: "
+            f"{', '.join(list_workloads())}"
+        ) from None
+
+
+def run_workload(workload_id: str, matrix: CSRMatrix, *,
+                 executor: StageExecutor | None = None,
+                 baseline: SpGEMMBaseline | None = None,
+                 engine: SpArch | None = None,
+                 runner: ExperimentRunner | None = None,
+                 config: SpArchConfig | None = None,
+                 **params) -> WorkloadResult:
+    """Run one registered workload on ``matrix`` under a SpGEMM backend.
+
+    The backend is chosen from the keyword arguments, most specific first:
+    an explicit ``executor``; a ``baseline`` (memoised through ``runner``
+    when one is given); otherwise SpArch — memoised through ``runner`` when
+    one is given, else a direct ``engine`` (fresh by default).
+
+    Args:
+        workload_id: one of :func:`list_workloads`.
+        matrix: the workload's input matrix (pipeline value ``"A"``).
+        executor: fully custom stage executor.
+        baseline: run the SpGEMM stages on this comparison baseline.
+        engine: explicit SpArch instance (direct execution).
+        runner: experiment runner for per-stage memoisation.
+        config: SpArch configuration (Table I by default).
+        **params: workload parameters, overriding the spec's defaults.
+
+    Returns:
+        The pipeline's :class:`WorkloadResult`, output matrix included.
+    """
+    spec = get_workload(workload_id)
+    if executor is None:
+        if baseline is not None:
+            if engine is not None:
+                raise ValueError("pass either baseline= or engine=, not both")
+            executor = BaselineExecutor(baseline, runner=runner)
+        elif runner is not None:
+            if engine is not None:
+                raise ValueError("pass either engine= or runner=, not both")
+            executor = SpArchExecutor(runner=runner, config=config)
+        else:
+            executor = SpArchExecutor(engine=engine, config=config)
+    pipeline = PipelineBuilder(executor, inputs={"A": matrix})
+    output = spec.build(pipeline, **spec.params(params))
+    return pipeline.result(spec.workload_id, output)

@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.apps import markov_clustering
+from repro.apps.markov_clustering import _extract_clusters
+from repro.experiments.runner import ExperimentRunner
 from repro.formats import CSRMatrix
 from repro.matrices import random_matrix
 
@@ -65,6 +68,50 @@ def test_isolated_nodes_form_singleton_clusters():
     assert result.num_clusters == 3  # {0,1} plus two singletons
     sizes = sorted(len(c) for c in result.clusters)
     assert sizes == [1, 1, 2]
+
+
+def test_overlap_chains_merge_transitively():
+    """Regression: a∩b, b∩c overlap chains must yield disjoint clusters.
+
+    Attractor 0 claims {0, 3}, attractor 1 claims {1, 4}, and attractor 2
+    claims {2, 3, 4} — bridging the first two.  Merging only into the first
+    overlapping cluster used to leave {1, 4} separate while 4 also sat in
+    the merged cluster, violating the disjointness invariant.
+    """
+    dense = np.zeros((5, 5))
+    dense[0, 0] = dense[1, 1] = dense[2, 2] = 0.4  # attractors
+    dense[0, 3] = 0.3
+    dense[1, 4] = 0.3
+    dense[2, 3] = dense[2, 4] = 0.2
+    clusters = _extract_clusters(sp.csr_matrix(dense))
+    assert clusters == [[0, 1, 2, 3, 4]]
+
+
+def test_extracted_clusters_are_always_disjoint_and_cover():
+    rng = np.random.default_rng(77)
+    for _ in range(20):
+        dense = np.where(rng.random((12, 12)) < 0.2, rng.random((12, 12)), 0.0)
+        clusters = _extract_clusters(sp.csr_matrix(dense))
+        flat = [node for cluster in clusters for node in cluster]
+        assert sorted(flat) == list(range(12))  # disjoint cover
+
+
+def test_runner_mode_matches_engine_mode():
+    graph = random_matrix(40, 40, 200, seed=5)
+    direct = markov_clustering(graph, max_iterations=15)
+    memoised = markov_clustering(graph, max_iterations=15,
+                                 runner=ExperimentRunner())
+    assert memoised.clusters == direct.clusters
+    assert memoised.iterations == direct.iterations
+    assert memoised.total_spgemm_stats == direct.total_spgemm_stats
+
+
+def test_workload_record_is_attached():
+    result = markov_clustering(_two_cliques(), max_iterations=5)
+    assert result.workload is not None
+    assert result.workload.workload_id == "mcl"
+    assert result.workload.total_cycles == result.total_cycles
+    assert len(result.workload.spgemm_stages) == len(result.total_spgemm_stats)
 
 
 def test_invalid_arguments():

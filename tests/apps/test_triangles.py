@@ -75,3 +75,41 @@ def test_spgemm_statistics_are_reported():
 def test_non_square_rejected():
     with pytest.raises(ValueError, match="square"):
         count_triangles(CSRMatrix.empty((3, 4)))
+
+
+def test_count_is_exact_on_a_large_dense_cluster_graph():
+    # Many overlapping cliques: the per-node sums are large, so a float
+    # accumulation path (round(sum/3)) would be exposed to drift; the
+    # integer path must match the dense reference exactly.
+    rng = np.random.default_rng(42)
+    dense = np.zeros((150, 150))
+    for _ in range(30):
+        members = rng.choice(150, size=8, replace=False)
+        dense[np.ix_(members, members)] = 1.0
+    np.fill_diagonal(dense, 0.0)
+    graph = CSRMatrix.from_dense(dense)
+    result = count_triangles(graph, assume_normalized=True)
+    assert result.triangles == _dense_triangle_count(dense)
+    # Per-node counts are integral halves (each triangle is seen twice).
+    np.testing.assert_array_equal(result.per_node_triangles,
+                                  np.rint(result.per_node_triangles))
+
+
+def test_runner_mode_memoises_the_spgemm():
+    from repro.experiments.runner import ExperimentRunner
+
+    graph = powerlaw_matrix(100, 4.0, seed=9)
+    runner = ExperimentRunner()
+    first = count_triangles(graph, runner=runner)
+    second = count_triangles(graph, runner=runner)
+    assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+    assert first.triangles == second.triangles
+    assert first.spgemm_stats == second.spgemm_stats
+
+
+def test_workload_record_is_attached():
+    result = count_triangles(_triangle_graph())
+    assert result.workload is not None
+    assert result.workload.workload_id == "triangles"
+    assert [s.kind for s in result.workload.stages] == [
+        "simple_graph", "spgemm", "mask"]

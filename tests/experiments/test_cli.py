@@ -11,7 +11,8 @@ class TestCli:
     def test_list_option_prints_every_experiment(self, capsys):
         assert main(["--list"]) == 0
         output = capsys.readouterr().out
-        for experiment_id in ("fig08", "fig11", "table2", "dram", "scheduler"):
+        for experiment_id in ("fig08", "fig11", "table2", "dram", "scheduler",
+                              "workloads"):
             assert experiment_id in output
 
     def test_no_arguments_behaves_like_list(self, capsys):
@@ -35,7 +36,19 @@ class TestCli:
         args = build_parser().parse_args(["fig11", "fig12"])
         assert args.experiments == ["fig11", "fig12"]
         assert args.max_rows is None
+        assert args.json is None
         assert not args.list
+
+    def test_json_output_is_written(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "results.json"
+        assert main(["fig08", "--json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"fig08"}
+        assert payload["fig08"]["metrics"]
+        assert payload["fig08"]["table"]["columns"]
 
 
 class TestPublicImportSurface:
@@ -49,7 +62,7 @@ class TestPublicImportSurface:
     @pytest.mark.parametrize("module_name", [
         "repro.formats", "repro.matrices", "repro.hardware", "repro.memory",
         "repro.core", "repro.baselines", "repro.analysis", "repro.apps",
-        "repro.experiments", "repro.utils",
+        "repro.experiments", "repro.utils", "repro.workloads",
     ])
     def test_subpackage_all_resolves(self, module_name):
         import importlib

@@ -1,0 +1,77 @@
+"""Tests for the end-to-end ``workloads`` experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GustavsonSpGEMM
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.workloads_e2e import run
+
+
+@pytest.fixture(scope="module")
+def result_and_runner():
+    runner = ExperimentRunner()
+    result = run(max_rows=150, names=["wiki-Vote"],
+                 workload_ids=["triangles", "khop"],
+                 baselines=[GustavsonSpGEMM()], runner=runner)
+    return result, runner
+
+
+def test_registered_in_the_experiment_registry():
+    assert "workloads" in list_experiments()
+    entry = get_experiment("workloads")
+    assert entry.run is run
+    assert "workload" in entry.title.lower()
+
+
+def test_table_has_one_row_per_workload_and_backend(result_and_runner):
+    result, _ = result_and_runner
+    assert result.experiment_id == "workloads"
+    labels = [(row[0], row[1]) for row in result.table.rows]
+    assert ("triangles", "SpArch") in labels
+    assert ("triangles", "MKL") in labels
+    assert ("khop", "SpArch") in labels
+    assert ("khop", "MKL") in labels
+    assert len(labels) == 4
+
+
+def test_metrics_cover_cycles_dram_energy_and_ratios(result_and_runner):
+    result, _ = result_and_runner
+    for workload_id in ("triangles", "khop"):
+        assert result.metrics[f"sparch_cycles[{workload_id}]"] > 0
+        assert result.metrics[f"sparch_dram_bytes[{workload_id}]"] > 0
+        assert result.metrics[f"sparch_energy_joules[{workload_id}]"] > 0
+        assert result.metrics[f"speedup[{workload_id}][MKL]"] > 0
+        assert result.metrics[f"energy_saving[{workload_id}][MKL]"] > 0
+
+
+def test_rerun_replays_entirely_from_the_cache(result_and_runner):
+    """Acceptance check: per-stage results memoise through the runner."""
+    result, runner = result_and_runner
+    misses_before = runner.cache_misses
+    replay = run(max_rows=150, names=["wiki-Vote"],
+                 workload_ids=["triangles", "khop"],
+                 baselines=[GustavsonSpGEMM()], runner=runner)
+    assert runner.cache_misses == misses_before  # zero new simulations
+    assert replay.metrics == result.metrics
+    assert replay.table.rows == result.table.rows
+
+
+def test_shared_stages_simulate_once_across_workloads():
+    """triangles' A·A and khop's A² are one cached simulation point."""
+    runner = ExperimentRunner()
+    run(max_rows=150, names=["wiki-Vote"], workload_ids=["triangles"],
+        baselines=[], runner=runner)
+    misses_after_triangles = runner.cache_misses
+    run(max_rows=150, names=["wiki-Vote"], workload_ids=["khop"],
+        baselines=[], runner=runner)
+    # khop needs A² (shared, cached) and A³ (one fresh point).
+    assert runner.cache_misses == misses_after_triangles + 1
+
+
+def test_unknown_workload_id_fails_with_suggestions():
+    with pytest.raises(KeyError, match="known ids"):
+        run(max_rows=120, names=["wiki-Vote"], workload_ids=["nope"],
+            baselines=[], runner=ExperimentRunner())
