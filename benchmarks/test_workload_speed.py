@@ -15,15 +15,25 @@ flake).  Local runs and the recorded numbers always use the hard threshold.
 
 from __future__ import annotations
 
+import os
 import time
 
+import pytest
+
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.workloads_e2e import run as run_workloads_experiment
 from repro.matrices.rmat import RMATConfig, generate_rmat
 from repro.workloads import run_workload
 
 from bench_results import enforce_threshold, record_result
 
 MIN_CACHED_SPEEDUP = 5.0
+
+#: The ``--jobs`` fan-out ships whole pipeline runs to worker processes;
+#: on ≥ 2 cores a 2-way fan-out over an imbalanced 3-matrix sweep should
+#: comfortably clear this (identical results are proven separately by
+#: ``tests/workloads/test_experiment_fanout.py``).
+MIN_FANOUT_SPEEDUP = 1.2
 
 #: Mid-size rMAT graph and iteration budget: enough expansions that the
 #: SpArch simulation clearly dominates the host-side pipeline work.
@@ -61,4 +71,42 @@ def test_cached_mcl_workload_at_least_5x_faster():
             f"cached MCL workload only {speedup:.2f}x faster than cold "
             f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s; "
             f"threshold {MIN_CACHED_SPEEDUP}x)"
+        )
+
+
+def test_workloads_experiment_fanout_speedup():
+    """``--jobs`` fan-out of the workloads sweep beats the serial path.
+
+    Whole (workload, backend, matrix) pipeline runs ship to worker
+    processes, so with ≥ 2 cores the wall clock should drop towards the
+    longest single run.  One core cannot show a wall-clock win, so the
+    test skips there instead of measuring scheduler noise.
+    """
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("process fan-out cannot speed up a single-core machine")
+
+    kwargs = dict(max_rows=1000, workload_ids=["mcl"], baselines=[])
+
+    start = time.perf_counter()
+    serial = run_workloads_experiment(runner=ExperimentRunner(), **kwargs)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_workloads_experiment(runner=ExperimentRunner(jobs=2),
+                                        **kwargs)
+    parallel_seconds = time.perf_counter() - start
+    assert parallel.metrics == serial.metrics  # fan-out is a pure speedup
+
+    speedup = serial_seconds / parallel_seconds
+    record_result("workload_fanout[mcl]",
+                  serial_seconds=serial_seconds,
+                  parallel_seconds=parallel_seconds,
+                  jobs=2,
+                  speedup=speedup,
+                  threshold=MIN_FANOUT_SPEEDUP)
+    if speedup < MIN_FANOUT_SPEEDUP:
+        enforce_threshold(
+            f"workloads --jobs fan-out only {speedup:.2f}x faster than "
+            f"serial (serial {serial_seconds:.3f}s, parallel "
+            f"{parallel_seconds:.3f}s; threshold {MIN_FANOUT_SPEEDUP}x)"
         )

@@ -13,6 +13,10 @@ is intentionally small:
 * :mod:`repro.matrices` — synthetic workloads (benchmark-suite proxies, rMAT).
 * :mod:`repro.baselines` — OuterSPACE, MKL-, cuSPARSE-, CUSP- and
   Armadillo-class baselines used by the paper's comparisons.
+* :mod:`repro.metrics` — the canonical :class:`~repro.metrics.CostReport`
+  cost schema every engine's result translates into.
+* :mod:`repro.engines` — the :class:`~repro.engines.Engine` protocol and
+  registry dispatching SpArch and every baseline by name.
 * :mod:`repro.analysis` — energy, area, roofline and analytical DRAM models.
 * :mod:`repro.experiments` — one runnable module per paper table/figure.
 """
@@ -22,8 +26,9 @@ from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats, SpGEMMResult
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
+from repro.metrics.report import CostReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SpArch",
@@ -31,6 +36,7 @@ __all__ = [
     "SpArchConfig",
     "SimulationStats",
     "SpGEMMResult",
+    "CostReport",
     "COOMatrix",
     "CSRMatrix",
     "__version__",

@@ -22,7 +22,9 @@ from repro.baselines.outerspace import OuterSpaceAccelerator
 from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
+from repro.engines.adapters import BaselineEngineAdapter
 from repro.formats.csr import CSRMatrix
+from repro.metrics.report import CostReport
 from repro.utils.maths import geometric_mean
 
 
@@ -90,38 +92,41 @@ def cumulative_breakdown(matrices: dict[str, CSRMatrix], *,
 
     steps: list[BreakdownStep] = []
 
-    outerspace = OuterSpaceAccelerator()
-    outerspace_gflops = []
-    outerspace_bytes = 0
-    for matrix in matrices.values():
-        result = outerspace.multiply(matrix, matrix)
-        outerspace_gflops.append(max(result.gflops, 1e-12))
-        outerspace_bytes += result.traffic_bytes
-    baseline_gflops = geometric_mean(outerspace_gflops)
-    steps.append(BreakdownStep(
-        name="OuterSPACE baseline",
-        gflops=baseline_gflops,
-        dram_bytes=outerspace_bytes,
-        speedup_vs_previous=1.0,
-        speedup_vs_outerspace=1.0,
-    ))
+    # Every step — the OuterSPACE baseline included — reduces to a list of
+    # canonical CostReports; the bar heights are one derived-metric view.
+    outerspace = BaselineEngineAdapter(OuterSpaceAccelerator())
+    outerspace_reports = [outerspace.run(matrix).report
+                          for matrix in matrices.values()]
+    steps.append(_step_from_reports("OuterSPACE baseline", outerspace_reports,
+                                    previous_gflops=None,
+                                    baseline_gflops=None))
+    baseline_gflops = steps[0].gflops
 
     previous_gflops = baseline_gflops
     for name, features in BREAKDOWN_STEPS:
         config = base_config.with_features(**features)
-        per_matrix = []
-        total_bytes = 0
-        for matrix in matrices.values():
-            stats = simulate(matrix, config)
-            per_matrix.append(max(stats.gflops, 1e-12))
-            total_bytes += stats.dram_bytes
-        gflops = geometric_mean(per_matrix)
-        steps.append(BreakdownStep(
-            name=name,
-            gflops=gflops,
-            dram_bytes=total_bytes,
-            speedup_vs_previous=gflops / previous_gflops,
-            speedup_vs_outerspace=gflops / baseline_gflops,
-        ))
-        previous_gflops = gflops
+        reports = [CostReport.from_stats(simulate(matrix, config),
+                                         config=config)
+                   for matrix in matrices.values()]
+        step = _step_from_reports(name, reports,
+                                  previous_gflops=previous_gflops,
+                                  baseline_gflops=baseline_gflops)
+        steps.append(step)
+        previous_gflops = step.gflops
     return steps
+
+
+def _step_from_reports(name: str, reports: list[CostReport], *,
+                       previous_gflops: float | None,
+                       baseline_gflops: float | None) -> BreakdownStep:
+    """One Figure 16 bar from the step's cost reports."""
+    gflops = geometric_mean([max(report.gflops, 1e-12) for report in reports])
+    return BreakdownStep(
+        name=name,
+        gflops=gflops,
+        dram_bytes=sum(report.dram_bytes for report in reports),
+        speedup_vs_previous=(gflops / previous_gflops
+                             if previous_gflops else 1.0),
+        speedup_vs_outerspace=(gflops / baseline_gflops
+                               if baseline_gflops else 1.0),
+    )

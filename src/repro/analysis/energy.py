@@ -15,10 +15,14 @@ HBM ≈ 26 %); DESIGN.md §3 records the substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
 from repro.memory.traffic import TrafficCategory
+
+if TYPE_CHECKING:  # annotation only; repro.metrics imports this module
+    from repro.metrics.report import CostReport
 
 #: JEDEC HBM2 energy efficiency used by the paper: 42.6 GB/s per watt.
 HBM_GBPS_PER_WATT = 42.6
@@ -161,6 +165,64 @@ class EnergyModel:
         if flops == 0:
             return 0.0
         return self.total_energy(stats, config) / flops
+
+    # ------------------------------------------------------------------
+    # CostReport views: the same accounting for every registered engine
+    # ------------------------------------------------------------------
+    def event_energy(self, *, multiplications: int, additions: int,
+                     bookkeeping_ops: int, dram_bytes: int
+                     ) -> dict[str, float]:
+        """Uniform per-event energy of any engine's canonical counters.
+
+        This is the accounting that extends Table III-style energy to the
+        baselines: every multiplication, addition, bookkeeping operation
+        (charged at the comparator rate — one key comparison / hash probe /
+        heap sift class event) and DRAM byte costs the same per-event
+        energy regardless of which engine performed it.  DESIGN.md records
+        the rationale.
+        """
+        constants = self.constants
+        return {
+            "Computation": (multiplications * constants.multiply
+                            + additions * constants.add),
+            "Bookkeeping": bookkeeping_ops * constants.comparator_op,
+            "DRAM": dram_bytes * constants.dram_byte,
+        }
+
+    def report_categories(self, report: "CostReport") -> dict[str, float]:
+        """Table III-style category split (joules) for *any* cost report.
+
+        Dispatches on the report's ``kind``: simulation reports group their
+        per-module energy the way Table III does (Computation = multipliers
+        + merge tree, SRAM = the three buffers, DRAM = HBM) — exact, since
+        the module split was recorded at simulation time.  Baseline and
+        aggregate reports use the uniform per-event accounting of
+        :meth:`event_energy` over their canonical counters (an aggregate
+        may mix engines, so per-event is the only split that never drops
+        energy) — which is exactly what makes the category view comparable
+        across engines.
+        """
+        if report.kind == "simulation":
+            modules = report.energy
+            return {
+                "Computation": (modules.get("Multiplier Array", 0.0)
+                                + modules.get("Merge Tree", 0.0)),
+                "SRAM": (modules.get("Column Fetcher", 0.0)
+                         + modules.get("Row Prefetcher", 0.0)
+                         + modules.get("Partial Mat Writer", 0.0)),
+                "DRAM": modules.get("HBM", 0.0),
+            }
+        events = self.event_energy(
+            multiplications=report.multiplications,
+            additions=report.additions,
+            bookkeeping_ops=report.bookkeeping_ops,
+            dram_bytes=report.dram_bytes,
+        )
+        return {
+            "Computation": events["Computation"] + events["Bookkeeping"],
+            "SRAM": 0.0,
+            "DRAM": events["DRAM"],
+        }
 
     def table3_breakdown(self, stats: SimulationStats,
                          config: SpArchConfig | None = None) -> dict[str, float]:

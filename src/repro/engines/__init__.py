@@ -1,0 +1,36 @@
+"""One engine interface and registry over SpArch and every baseline.
+
+* :mod:`repro.engines.base` — the :class:`Engine` protocol (run a SpGEMM,
+  return the exact result plus a canonical
+  :class:`~repro.metrics.report.CostReport`).
+* :mod:`repro.engines.sparch` — the cycle-accurate simulator as an engine.
+* :mod:`repro.engines.adapters` — the seven baselines as engines.
+* :mod:`repro.engines.registry` — name → factory dispatch
+  (:func:`create_engine`, :func:`resolve_engine`, :func:`list_engines`).
+"""
+
+from repro.engines.adapters import BaselineEngineAdapter
+from repro.engines.base import BACKENDS, Engine, EngineRun
+from repro.engines.registry import (
+    ENGINES,
+    EngineEntry,
+    create_engine,
+    get_engine_entry,
+    list_engines,
+    resolve_engine,
+)
+from repro.engines.sparch import SpArchEngine
+
+__all__ = [
+    "Engine",
+    "EngineRun",
+    "BACKENDS",
+    "SpArchEngine",
+    "BaselineEngineAdapter",
+    "EngineEntry",
+    "ENGINES",
+    "list_engines",
+    "get_engine_entry",
+    "create_engine",
+    "resolve_engine",
+]

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.runner import ExperimentRunner, set_default_runner
+from repro.utils.reporting import cost_table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the results (tables and metrics) of "
                              "every experiment run as JSON to PATH")
+    parser.add_argument("--reports", action="store_true",
+                        help="also print each experiment's per-point cost "
+                             "reports (one unified table for any engine)")
     return parser
 
 
@@ -80,16 +84,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"== {entry.title} ==")
         result = entry.run(**kwargs)
         print(result.render())
+        if args.reports and result.reports:
+            print()
+            print(cost_table(f"{entry.title} — cost reports",
+                             result.reports).render())
         print()
-        payloads[experiment_id] = {
-            "title": result.title,
-            "metrics": result.metrics,
-            "paper_values": result.paper_values,
-            "notes": result.notes,
-            "table": {"title": result.table.title,
-                      "columns": result.table.columns,
-                      "rows": result.table.rows},
-        }
+        # One schema for every registered experiment: the unified payload
+        # (table + metrics + any attached CostReports) renders the same way
+        # whether the harness measures figures, tables or workloads.
+        payloads[experiment_id] = result.to_payload()
     if args.json is not None:
         Path(args.json).write_text(json.dumps(payloads, indent=2,
                                               sort_keys=True) + "\n")

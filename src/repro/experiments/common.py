@@ -16,6 +16,7 @@ from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
+from repro.metrics.report import SCHEMA_VERSION, CostReport
 from repro.matrices.suite import (
     DEFAULT_MAX_ROWS,
     benchmark_names,
@@ -44,6 +45,10 @@ class ExperimentResult:
         paper_values: the corresponding numbers reported in the paper, for
             side-by-side comparison.
         notes: free-form remarks (scaling caveats, substitutions).
+        reports: named canonical cost reports behind the table — one per
+            measured point (or aggregate), keyed however the harness labels
+            them.  Serialised verbatim into the ``--json`` payload, so any
+            experiment's raw cost model is machine-readable in one schema.
     """
 
     experiment_id: str
@@ -52,6 +57,26 @@ class ExperimentResult:
     metrics: dict[str, float] = field(default_factory=dict)
     paper_values: dict[str, float] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    reports: dict[str, CostReport] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable payload of the whole result (one schema for
+        every registered experiment — this is what ``--json`` writes)."""
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "metrics": self.metrics,
+            "paper_values": self.paper_values,
+            "notes": self.notes,
+            "table": {"title": self.table.title,
+                      "columns": self.table.columns,
+                      "rows": self.table.rows},
+        }
+        if self.reports:
+            payload["reports"] = {name: report.to_dict()
+                                  for name, report in self.reports.items()}
+        return payload
 
     def render(self) -> str:
         """Render the experiment output as plain text."""
@@ -77,6 +102,48 @@ def simulate(matrix: CSRMatrix, config: SpArchConfig | None = None, *,
              runner: ExperimentRunner | None = None) -> SimulationStats:
     """Simulate ``matrix · matrix`` through the (given or default) runner."""
     return (runner or default_runner()).simulate(matrix, config)
+
+
+def gather_comparison_reports(workload: dict[str, tuple[CSRMatrix, SpArchConfig | None]],
+                              baselines: list, *,
+                              runner: ExperimentRunner | None = None
+                              ) -> tuple[dict[str, CostReport],
+                                         dict[tuple[str, str], CostReport]]:
+    """Cost reports of one SpArch-vs-baselines comparison sweep.
+
+    The shared shape of Figures 11 and 12 (and any future per-matrix
+    comparison): every workload point once on SpArch, once per baseline,
+    all through the runner's memo.
+
+    Args:
+        workload: ``{name: (matrix, config)}`` points (``config=None``
+            means Table I).
+        baselines: the comparison :class:`SpGEMMBaseline` systems.
+        runner: experiment runner providing memoised/batched execution.
+
+    Returns:
+        ``(sparch_reports, baseline_reports)`` keyed ``{name: report}`` and
+        ``{(name, baseline_index): report}`` respectively — baselines are
+        keyed by position, not display name, so two parameterisations of
+        the same system stay distinct.
+    """
+    from repro.engines.adapters import BaselineEngineAdapter
+    from repro.engines.sparch import SpArchEngine
+
+    runner = runner or default_runner()
+    names = list(workload)
+    sparch_reports = dict(zip(names, runner.run_engine_many(
+        [(SpArchEngine(config or SpArchConfig()), matrix)
+         for matrix, config in workload.values()])))
+    per_point = runner.run_engine_many(
+        [(BaselineEngineAdapter(baseline), matrix)
+         for matrix, _ in workload.values()
+         for baseline in baselines])
+    baseline_reports = dict(zip(
+        [(name, index) for name in names
+         for index in range(len(baselines))],
+        per_point))
+    return sparch_reports, baseline_reports
 
 
 def simulate_workload(workload: dict[str, tuple[CSRMatrix, SpArchConfig | None]],

@@ -1,0 +1,82 @@
+"""Reusable design-space sweep helper: keyed grids of engine points.
+
+Figure 17 (and any future DSE experiment) evaluates a grid of architectural
+configurations over a set of matrices.  The original harness flattened the
+grid into one ``simulate_many`` list and sliced the results back out by
+index arithmetic — correct only as long as every config ran every matrix in
+exactly the constructed order.  :func:`sweep_grid` replaces that with keyed
+results: every ``(config label, matrix name)`` cell of the grid maps to its
+own :class:`~repro.metrics.report.CostReport`, while the batched runner
+underneath still deduplicates and fans out exactly as before.
+
+The aggregation helpers (:func:`geomean_gflops`, :func:`total_dram_bytes`,
+:func:`summarise_grid`) compute the per-config numbers Figure 17 plots, and
+are the building blocks future DSE harnesses should reach for instead of
+re-deriving them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.config import SpArchConfig
+from repro.engines.sparch import SpArchEngine
+from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.formats.csr import CSRMatrix
+from repro.metrics.report import CostReport
+from repro.utils.maths import geometric_mean
+
+
+def sweep_grid(configs: dict[str, SpArchConfig],
+               matrices: dict[str, CSRMatrix], *,
+               runner: ExperimentRunner | None = None
+               ) -> dict[str, dict[str, CostReport]]:
+    """Simulate every config over every matrix, keyed per cell.
+
+    Args:
+        configs: ``{label: config}`` sweep points.
+        matrices: ``{name: matrix}`` workload (each squared, as in the
+            paper's evaluation).
+        runner: experiment runner providing memoised/batched simulation.
+
+    Returns:
+        ``{config label: {matrix name: CostReport}}`` — every cell
+        addressable by its keys, no positional arithmetic.  Duplicate
+        points (configs that collapse to the same effective design, shared
+        matrices) still simulate only once through the runner's fingerprint
+        cache.
+    """
+    runner = runner or default_runner()
+    cells = [(label, name) for label in configs for name in matrices]
+    reports = runner.run_engine_many(
+        [(SpArchEngine(configs[label]), matrices[name])
+         for label, name in cells])
+    grid: dict[str, dict[str, CostReport]] = {label: {} for label in configs}
+    for (label, name), report in zip(cells, reports):
+        grid[label][name] = report
+    return grid
+
+
+def geomean_gflops(reports: Iterable[CostReport], *,
+                   floor: float = 1e-12) -> float:
+    """Geometric-mean achieved GFLOP/s across reports (floored at 0+)."""
+    return geometric_mean([max(report.gflops, floor) for report in reports])
+
+
+def total_dram_bytes(reports: Iterable[CostReport]) -> int:
+    """Total DRAM traffic summed across reports."""
+    return sum(report.dram_bytes for report in reports)
+
+
+def summarise_grid(grid: dict[str, dict[str, CostReport]]
+                   ) -> dict[str, tuple[float, float]]:
+    """Per-config ``(geomean GFLOP/s, total DRAM bytes)`` of a sweep grid.
+
+    The two numbers Figure 17 plots per sweep point, in the grid's label
+    order.
+    """
+    return {
+        label: (geomean_gflops(cells.values()),
+                float(total_dram_bytes(cells.values())))
+        for label, cells in grid.items()
+    }

@@ -23,8 +23,8 @@ from repro.baselines import (
 from repro.core.config import SpArchConfig
 from repro.experiments.common import (
     ExperimentResult,
+    gather_comparison_reports,
     load_scaled_suite,
-    simulate_workload,
 )
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
@@ -73,18 +73,21 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
     columns = ["matrix"] + [f"over {b.name}" for b in baselines]
     table = Table(title="Figure 11 — speedup of SpArch over baselines", columns=columns)
 
-    sparch_stats = simulate_workload(workload, runner=runner)
-    baseline_summaries = runner.run_baseline_many(
-        [(baseline, matrix) for _, (matrix, _) in workload.items()
-         for baseline in baselines])
+    # Every point — SpArch and baselines alike — goes through the engine
+    # registry and comes back as a canonical CostReport; the speedup is one
+    # runtime ratio regardless of which system produced each side.
+    sparch_reports, baseline_reports = gather_comparison_reports(
+        workload, baselines, runner=runner)
+    reports = {f"SpArch[{name}]": report
+               for name, report in sparch_reports.items()}
     speedups: dict[str, list[float]] = {b.name: [] for b in baselines}
-    summaries = iter(baseline_summaries)
-    for name, (matrix, matrix_config) in workload.items():
-        sparch_runtime = sparch_stats[name].runtime_seconds
+    for name in workload:
+        sparch_runtime = sparch_reports[name].runtime_seconds
         row: list[object] = [name]
-        for baseline in baselines:
-            summary = next(summaries)
-            speedup = summary.runtime_seconds / max(sparch_runtime, 1e-15)
+        for index, baseline in enumerate(baselines):
+            report = baseline_reports[(name, index)]
+            reports[f"{baseline.name}[{name}]"] = report
+            speedup = report.runtime_seconds / max(sparch_runtime, 1e-15)
             speedups[baseline.name].append(speedup)
             row.append(speedup)
         table.add_row(*row)
@@ -104,6 +107,7 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
         paper_values=paper_values,
         notes=[f"benchmark proxies capped at {max_rows} rows with "
                "proxy-scaled on-chip buffers (DESIGN.md §3, EXPERIMENTS.md)"],
+        reports=reports,
     )
 
 

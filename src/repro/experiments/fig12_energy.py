@@ -10,13 +10,12 @@ measured powers).
 
 from __future__ import annotations
 
-from repro.analysis.energy import EnergyModel
 from repro.baselines import SpGEMMBaseline
 from repro.core.config import SpArchConfig
 from repro.experiments.common import (
     ExperimentResult,
+    gather_comparison_reports,
     load_scaled_suite,
-    simulate_workload,
 )
 from repro.experiments.fig11_speedup import default_baselines
 from repro.experiments.runner import ExperimentRunner, default_runner
@@ -48,25 +47,27 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
                                      base_config=config)
     baselines = baselines if baselines is not None else default_baselines()
     runner = runner or default_runner()
-    energy_model = EnergyModel()
 
     columns = ["matrix"] + [f"over {b.name}" for b in baselines]
     table = Table(title="Figure 12 — energy saving of SpArch over baselines",
                   columns=columns)
 
-    sparch_stats = simulate_workload(workload, runner=runner)
-    baseline_summaries = runner.run_baseline_many(
-        [(baseline, matrix) for _, (matrix, _) in workload.items()
-         for baseline in baselines])
+    # The unified CostReport carries each point's headline energy (the
+    # per-event module sum for SpArch, modelled runtime × power for the
+    # baselines — the paper's Figure 12 methodology), so the saving is one
+    # ratio of two reports.
+    sparch_reports, baseline_reports = gather_comparison_reports(
+        workload, baselines, runner=runner)
+    reports = {f"SpArch[{name}]": report
+               for name, report in sparch_reports.items()}
     savings: dict[str, list[float]] = {b.name: [] for b in baselines}
-    summaries = iter(baseline_summaries)
-    for name, (matrix, matrix_config) in workload.items():
-        sparch_energy = energy_model.total_energy(sparch_stats[name],
-                                                  matrix_config)
+    for name in workload:
+        sparch_energy = sparch_reports[name].energy_joules
         row: list[object] = [name]
-        for baseline in baselines:
-            summary = next(summaries)
-            saving = summary.energy_joules / max(sparch_energy, 1e-18)
+        for index, baseline in enumerate(baselines):
+            report = baseline_reports[(name, index)]
+            reports[f"{baseline.name}[{name}]"] = report
+            saving = report.energy_joules / max(sparch_energy, 1e-18)
             savings[baseline.name].append(saving)
             row.append(saving)
         table.add_row(*row)
@@ -87,6 +88,7 @@ def run(*, max_rows: int = 1000, names: list[str] | None = None,
         paper_values=paper_values,
         notes=[f"benchmark proxies capped at {max_rows} rows with "
                "proxy-scaled on-chip buffers (DESIGN.md §3, EXPERIMENTS.md)"],
+        reports=reports,
     )
 
 

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from repro.core.config import SpArchConfig
 from repro.experiments.common import ExperimentResult, default_suite
+from repro.experiments.designspace import summarise_grid, sweep_grid
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
-from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
 
 #: Sweep points of Figure 17, matching the paper's x-axes.
@@ -38,18 +38,13 @@ PAPER_METRICS = {
 
 def _sweep(matrices: dict[str, CSRMatrix], configs: dict[str, SpArchConfig],
            runner: ExperimentRunner) -> dict[str, tuple[float, float]]:
-    """Run every config over the matrices; return geomean GFLOPS and bytes."""
-    tasks = [(matrix, config) for config in configs.values()
-             for matrix in matrices.values()]
-    all_stats = runner.simulate_many(tasks)
-    results: dict[str, tuple[float, float]] = {}
-    per_config = len(matrices)
-    for index, label in enumerate(configs):
-        stats_slice = all_stats[index * per_config:(index + 1) * per_config]
-        gflops = [max(stats.gflops, 1e-12) for stats in stats_slice]
-        total_bytes = sum(stats.dram_bytes for stats in stats_slice)
-        results[label] = (geometric_mean(gflops), float(total_bytes))
-    return results
+    """Run every config over the matrices; return geomean GFLOPS and bytes.
+
+    A thin view over :func:`repro.experiments.designspace.sweep_grid`:
+    results come back keyed per ``(config, matrix)`` cell instead of being
+    sliced out of one flat list by index arithmetic.
+    """
+    return summarise_grid(sweep_grid(configs, matrices, runner=runner))
 
 
 def run(*, max_rows: int = 800, names: list[str] | None = None,

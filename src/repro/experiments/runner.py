@@ -1,47 +1,45 @@
-"""Batched experiment runner: shared simulation points, memoised and fanned out.
+"""Batched experiment runner: engine points memoised as cost reports.
 
-Every figure/table harness ultimately calls ``SpArch(config).multiply(m, m)``
-on some set of matrices, and the sets overlap heavily — fig11, fig12, table2
-and fig15 all square the same benchmark proxies under the same scaled
-configurations.  The seed re-simulated each point once per experiment.
+Every figure/table harness ultimately runs some set of ``(engine, matrix)``
+points — SpArch simulations under scaled configurations, baseline platform
+models over the same matrices — and the sets overlap heavily across
+experiments.  :class:`ExperimentRunner` deduplicates that work behind one
+canonical schema:
 
-:class:`ExperimentRunner` deduplicates that work:
+* **One memo schema** — every point, SpArch and baseline alike, is cached
+  as a serialised :class:`~repro.metrics.report.CostReport`.  The cache key
+  folds in :data:`repro.metrics.SCHEMA_VERSION`, so entries written under
+  an older report layout are never deserialised into the new shape — their
+  keys simply stop matching and the points recompute.
+* **One dispatch** — :meth:`run_engine` / :meth:`run_engine_many` accept an
+  :class:`~repro.engines.base.Engine` instance *or a registry name* and
+  return cost reports.  The legacy entry points (:meth:`simulate`,
+  :meth:`run_baseline`, ...) are thin views that rebuild the native
+  :class:`~repro.core.stats.SimulationStats` /
+  :class:`~repro.baselines.base.BaselineSummary` from the report's lossless
+  ``detail`` payload, so nothing downstream changed numerically.
+* **Memoisation** — each point is fingerprinted (SHA-256 over the CSR
+  arrays and the engine's model identity) and cached in memory always and
+  on disk when a cache directory is configured (``--cache-dir`` on the CLI
+  or ``REPRO_CACHE_DIR`` in the environment): JSON files under
+  ``<cache_dir>/sim/`` for simulation points and ``<cache_dir>/baseline/``
+  for baseline points.
+* **Backend sharing** — the execution backend (scalar/vectorized) is
+  *excluded* from the fingerprint: the differential harnesses
+  (``tests/integration/test_engine_equivalence.py``,
+  ``tests/baselines/test_backend_equivalence.py``) prove both backends
+  produce identical counters, so results are shared across them — except
+  when a backend is explicitly forced (``--engine`` / ``engine=``), in
+  which case entries are keyed per backend so the cross-check really
+  simulates.
+* **Fan-out** — :meth:`run_engine_many` (and everything built on it) runs
+  distinct uncached points through ``concurrent.futures`` worker processes
+  (``--jobs`` / ``REPRO_JOBS``), falling back to in-process execution for a
+  single job.
 
-* **Memoisation** — each ``(matrix, config)`` pair is fingerprinted (SHA-256
-  over the CSR arrays and the configuration fields) and its
-  :class:`~repro.core.stats.SimulationStats` cached, in memory always and on
-  disk when a cache directory is configured (``--cache-dir`` on the CLI or
-  ``REPRO_CACHE_DIR`` in the environment).  Disk entries are JSON files named
-  ``<fingerprint>.json`` under ``<cache_dir>/sim/``.  The ``engine`` field is
-  *excluded* from the fingerprint: the differential harness
-  (``tests/integration/test_engine_equivalence.py``) guarantees both engines
-  produce identical statistics, so results are shared across engines —
-  except when an engine is explicitly forced (see below), in which case
-  entries are keyed per backend so the forced run really simulates.
-* **Fan-out** — :meth:`simulate_many` runs distinct uncached points through
-  ``concurrent.futures`` worker processes (``--jobs`` / ``REPRO_JOBS``),
-  falling back to in-process execution for a single job.
-* **Engine override** — a runner built with ``engine="scalar"`` (CLI
-  ``--engine``) re-runs every simulation on the scalar reference engine,
-  which is how the batched suite can be cross-checked end to end.  Forced
-  runs use engine-specific cache keys, so a warm shared cache cannot
-  satisfy the cross-check without actually simulating.
-* **Baseline points** — :meth:`run_baseline` / :meth:`run_baseline_many`
-  give the six comparison simulators the same treatment: each
-  ``(baseline, matrix)`` point is fingerprinted (baseline class, platform
-  constants and model parameters plus the operand hashes) and its
-  :class:`~repro.baselines.base.BaselineSummary` memoised under
-  ``<cache_dir>/baseline/``.  As with SpArch points, the baseline
-  ``engine`` backend is excluded from the key — the differential harness
-  (``tests/baselines/test_backend_equivalence.py``) proves both backends
-  produce identical counters — except when the runner forces an engine,
-  which both re-keys the entries *and* re-runs every baseline on that
-  backend.
-
-Experiment harnesses accept a ``runner`` keyword and route every SpArch
-simulation through :meth:`simulate` / :meth:`simulate_workload` and every
-baseline comparison point through :meth:`run_baseline_many`, so one
-``python -m repro.experiments all`` sweep simulates each shared point once.
+Experiment harnesses accept a ``runner`` keyword and route every point
+through this class, so one ``python -m repro.experiments all`` sweep
+simulates each shared point once.
 """
 
 from __future__ import annotations
@@ -54,10 +52,14 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.baselines.base import BaselineSummary, SpGEMMBaseline
-from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
+from repro.engines.adapters import BaselineEngineAdapter
+from repro.engines.base import Engine
+from repro.engines.registry import resolve_engine
+from repro.engines.sparch import SpArchEngine
 from repro.formats.csr import CSRMatrix
+from repro.metrics.report import SCHEMA_VERSION, CostReport
 
 #: Environment variables honoured by :func:`default_runner`.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -74,37 +76,43 @@ def matrix_fingerprint(matrix: CSRMatrix) -> str:
     return digest.hexdigest()
 
 
-def config_fingerprint(config: SpArchConfig, *,
-                       include_engine: bool = False) -> str:
-    """Content hash of a configuration.
+def _identity_fingerprint(payload: dict) -> str:
+    """Hash a JSON-serialisable identity payload, schema version included.
 
-    By default the ``engine`` backend is excluded: both engines are proven
-    to produce identical results and statistics, so cached simulation points
-    are shared between them.  ``include_engine=True`` keys the entry to the
-    backend — used when an engine is *forced*, so a cross-check run really
-    simulates instead of replaying the other backend's cache.
+    Folding :data:`~repro.metrics.SCHEMA_VERSION` into every fingerprint is
+    what invalidates pre-refactor cache entries cleanly: a schema bump
+    rotates every key, so an old payload is never loaded, let alone
+    deserialised into the new :class:`CostReport` shape.
     """
-    payload = dataclasses.asdict(config)
-    if not include_engine:
-        payload.pop("engine", None)
+    payload = dict(payload)
+    payload["schema"] = SCHEMA_VERSION
     digest = hashlib.sha256()
     digest.update(json.dumps(payload, sort_keys=True, default=str).encode())
     return digest.hexdigest()
 
 
+def config_fingerprint(config: SpArchConfig, *,
+                       include_engine: bool = False) -> str:
+    """Content hash of a SpArch configuration.
+
+    By default the ``engine`` backend is excluded: both backends are proven
+    to produce identical results and statistics, so cached simulation points
+    are shared between them.  ``include_engine=True`` keys the entry to the
+    backend — used when a backend is *forced*, so a cross-check run really
+    simulates instead of replaying the other backend's cache.
+    """
+    payload = dataclasses.asdict(config)
+    if not include_engine:
+        payload.pop("engine", None)
+    return _identity_fingerprint(payload)
+
+
 def simulation_key(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
                    config: SpArchConfig, *,
                    include_engine: bool = False) -> str:
-    """Cache key of one ``A · B`` simulation under ``config``."""
-    digest = hashlib.sha256()
-    digest.update(matrix_fingerprint(matrix_a).encode())
-    if matrix_b is not matrix_a:
-        digest.update(matrix_fingerprint(matrix_b).encode())
-    else:
-        digest.update(b"self")
-    digest.update(config_fingerprint(config,
-                                     include_engine=include_engine).encode())
-    return digest.hexdigest()
+    """Cache key of one SpArch ``A · B`` simulation under ``config``."""
+    return engine_point_key(SpArchEngine(config), matrix_a, matrix_b,
+                            include_backend=include_engine)
 
 
 def baseline_fingerprint(baseline: SpGEMMBaseline, *,
@@ -113,61 +121,64 @@ def baseline_fingerprint(baseline: SpGEMMBaseline, *,
 
     Uses :meth:`~repro.baselines.base.BaselineEngine.cache_fields` (class
     name, platform constants, algorithm parameters).  As with
-    :func:`config_fingerprint`, the execution ``engine`` is excluded unless
-    it is forced: both backends are proven to produce identical counters, so
-    cached baseline points are shared between them.
+    :func:`config_fingerprint`, the execution backend is excluded unless it
+    is forced.
     """
     payload = dict(baseline.cache_fields())
     if include_engine:
         payload["engine"] = baseline.engine
-    digest = hashlib.sha256()
-    digest.update(json.dumps(payload, sort_keys=True, default=str).encode())
-    return digest.hexdigest()
+    return _identity_fingerprint(payload)
 
 
 def baseline_simulation_key(baseline: SpGEMMBaseline, matrix_a: CSRMatrix,
                             matrix_b: CSRMatrix, *,
                             include_engine: bool = False) -> str:
     """Cache key of one baseline ``A · B`` run."""
+    return engine_point_key(BaselineEngineAdapter(baseline),
+                            matrix_a, matrix_b,
+                            include_backend=include_engine)
+
+
+def engine_point_key(engine: Engine, matrix_a: CSRMatrix,
+                     matrix_b: CSRMatrix | None, *,
+                     include_backend: bool = False) -> str:
+    """Cache key of one ``A · B`` point under any :class:`Engine`.
+
+    The model identity comes from the engine's own
+    :meth:`~repro.engines.base.Engine.cache_fields` (which excludes the
+    execution backend by contract); ``include_backend=True`` adds the
+    backend for forced cross-check runs.
+    """
+    identity = dict(engine.cache_fields())
+    if include_backend:
+        identity["backend"] = engine.backend
     digest = hashlib.sha256()
     digest.update(matrix_fingerprint(matrix_a).encode())
-    if matrix_b is not matrix_a:
-        digest.update(matrix_fingerprint(matrix_b).encode())
-    else:
+    if matrix_b is None or matrix_b is matrix_a:
         digest.update(b"self")
-    digest.update(baseline_fingerprint(
-        baseline, include_engine=include_engine).encode())
+    else:
+        digest.update(matrix_fingerprint(matrix_b).encode())
+    digest.update(_identity_fingerprint(identity).encode())
     return digest.hexdigest()
 
 
-def _simulate_task(task: tuple[CSRMatrix, CSRMatrix | None, SpArchConfig]
-                   ) -> dict:
-    """Worker entry point: run one simulation, return serialised stats."""
-    matrix_a, matrix_b, config = task
-    right = matrix_a if matrix_b is None else matrix_b
-    result = SpArch(config).multiply(matrix_a, right)
-    return result.stats.to_dict()
-
-
-def _baseline_task(task: tuple[SpGEMMBaseline, CSRMatrix, CSRMatrix | None]
-                   ) -> dict:
-    """Worker entry point: run one baseline point, return a summary dict."""
-    baseline, matrix_a, matrix_b = task
-    right = matrix_a if matrix_b is None else matrix_b
-    result = baseline.multiply(matrix_a, right)
-    return BaselineSummary.from_result(baseline, result).to_dict()
+def _engine_task(task: tuple[Engine, CSRMatrix, CSRMatrix | None]) -> dict:
+    """Worker entry point: run one engine point, return a report dict."""
+    engine, matrix_a, matrix_b = task
+    return engine.run(matrix_a, matrix_b).report.to_dict()
 
 
 class ExperimentRunner:
-    """Runs SpArch simulations with memoisation and optional fan-out.
+    """Runs engine points with memoisation and optional process fan-out.
 
     Args:
         cache_dir: directory for the on-disk result cache; ``None`` keeps
             the cache in memory only (one process lifetime).
-        jobs: worker processes for :meth:`simulate_many`; ``1`` runs
+        jobs: worker processes for :meth:`run_engine_many`; ``1`` runs
             in-process.
-        engine: when set, overrides ``config.engine`` for every simulation
-            (``"scalar"`` or ``"vectorized"``).
+        engine: when set, forces the execution *backend* (``"scalar"`` or
+            ``"vectorized"``) for every point — the SpArch core and every
+            baseline alike — with backend-specific cache keys.
     """
 
     def __init__(self, *, cache_dir: str | os.PathLike | None = None,
@@ -199,19 +210,13 @@ class ExperimentRunner:
     def engine(self) -> str | None:
         return self._engine
 
-    def _effective_config(self, config: SpArchConfig | None) -> SpArchConfig:
-        config = config or SpArchConfig()
-        if self._engine is not None and config.engine != self._engine:
-            config = config.replace(engine=self._engine)
-        return config
-
     # ------------------------------------------------------------------
-    def _cache_path(self, key: str, kind: str = "sim") -> Path | None:
+    def _cache_path(self, key: str, kind: str) -> Path | None:
         if self._cache_dir is None:
             return None
         return self._cache_dir / kind / f"{key}.json"
 
-    def _cache_load(self, key: str, kind: str = "sim") -> dict | None:
+    def _cache_load(self, key: str, kind: str) -> dict | None:
         payload = self._memory_cache.get(key)
         if payload is not None:
             return payload
@@ -225,7 +230,7 @@ class ExperimentRunner:
         self._memory_cache[key] = payload
         return payload
 
-    def _cache_store(self, key: str, payload: dict, kind: str = "sim") -> None:
+    def _cache_store(self, key: str, payload: dict, kind: str) -> None:
         self._memory_cache[key] = payload
         path = self._cache_path(key, kind)
         if path is None:
@@ -237,45 +242,62 @@ class ExperimentRunner:
         except OSError:
             pass  # cache is best-effort
 
-    # ------------------------------------------------------------------
-    def simulate(self, matrix_a: CSRMatrix, config: SpArchConfig | None = None,
-                 *, matrix_b: CSRMatrix | None = None) -> SimulationStats:
-        """Simulate ``A · B`` (``B = A`` by default), memoised.
+    @staticmethod
+    def _cache_kind(engine: Engine) -> str:
+        return "sim" if engine.kind == "simulation" else "baseline"
 
-        Returns the simulation statistics only — the functional result
-        matrix is not cached (no experiment consumes it; the differential
-        and property tests exercise it directly through :class:`SpArch`).
+    def _effective_engine(self, engine: Engine | str) -> Engine:
+        """Resolve a name and apply the runner's forced backend, if any."""
+        engine = resolve_engine(engine)
+        if self._engine is not None and engine.backend != self._engine:
+            engine = engine.using_backend(self._engine)
+        return engine
+
+    # ------------------------------------------------------------------
+    # The unified entry points: any registered engine, cost reports out
+    # ------------------------------------------------------------------
+    def run_engine(self, engine: Engine | str, matrix_a: CSRMatrix, *,
+                   matrix_b: CSRMatrix | None = None) -> CostReport:
+        """Run one ``A · B`` point (``B = A`` by default), memoised.
+
+        Returns the point's :class:`CostReport` only — the functional
+        result matrix is not cached (no experiment consumes it; the
+        differential and property tests exercise it directly through the
+        engines).
         """
-        config = self._effective_config(config)
-        right = matrix_b if matrix_b is not None else matrix_a
-        key = simulation_key(matrix_a, right, config,
-                             include_engine=self._engine is not None)
-        payload = self._cache_load(key)
+        engine = self._effective_engine(engine)
+        key = engine_point_key(engine, matrix_a, matrix_b,
+                               include_backend=self._engine is not None)
+        kind = self._cache_kind(engine)
+        payload = self._cache_load(key, kind)
         if payload is None:
             self.cache_misses += 1
-            payload = _simulate_task((matrix_a, matrix_b, config))
-            self._cache_store(key, payload)
+            payload = _engine_task((engine, matrix_a, matrix_b))
+            self._cache_store(key, payload, kind)
         else:
             self.cache_hits += 1
-        return SimulationStats.from_dict(payload)
+        return CostReport.from_dict(payload)
 
-    def simulate_many(self, tasks: list[tuple[CSRMatrix, SpArchConfig | None]]
-                      ) -> list[SimulationStats]:
-        """Simulate many ``A · A`` points, fanning uncached ones out.
+    def run_engine_many(self, tasks: list[tuple[Engine | str, CSRMatrix]]
+                        ) -> list[CostReport]:
+        """Run many ``A · A`` points, fanning uncached ones out.
 
         Args:
-            tasks: ``(matrix, config)`` pairs; order is preserved in the
-                returned list.
+            tasks: ``(engine, matrix)`` pairs; order is preserved in the
+                returned list and duplicate points compute once.
         """
-        configs = [self._effective_config(config) for _, config in tasks]
+        engines = [self._effective_engine(engine) for engine, _ in tasks]
         forced = self._engine is not None
-        keys = [simulation_key(matrix, matrix, config, include_engine=forced)
-                for (matrix, _), config in zip(tasks, configs)]
+        keys = [engine_point_key(engine, matrix, None, include_backend=forced)
+                for engine, (_, matrix) in zip(engines, tasks)]
+        kinds = [self._cache_kind(engine) for engine in engines]
 
-        missing: dict[str, tuple[CSRMatrix, None, SpArchConfig]] = {}
-        for (matrix, _), config, key in zip(tasks, configs, keys):
-            if self._cache_load(key) is None and key not in missing:
-                missing[key] = (matrix, None, config)
+        missing: dict[str, tuple[Engine, CSRMatrix, None]] = {}
+        missing_kinds: dict[str, str] = {}
+        for engine, (_, matrix), key, kind in zip(engines, tasks, keys, kinds):
+            if self._cache_load(key, kind) is None and key not in missing:
+                missing[key] = (engine, matrix, None)
+                missing_kinds[key] = kind
 
         self.cache_hits += len(keys) - len(missing)
         self.cache_misses += len(missing)
@@ -283,14 +305,43 @@ class ExperimentRunner:
             items = list(missing.items())
             if self._jobs > 1 and len(items) > 1:
                 with ProcessPoolExecutor(max_workers=self._jobs) as pool:
-                    payloads = list(pool.map(_simulate_task,
+                    payloads = list(pool.map(_engine_task,
                                              [task for _, task in items]))
             else:
-                payloads = [_simulate_task(task) for _, task in items]
+                payloads = [_engine_task(task) for _, task in items]
             for (key, _), payload in zip(items, payloads):
-                self._cache_store(key, payload)
+                self._cache_store(key, payload, missing_kinds[key])
 
-        return [SimulationStats.from_dict(self._cache_load(key)) for key in keys]
+        return [CostReport.from_dict(self._cache_load(key, kind))
+                for key, kind in zip(keys, kinds)]
+
+    # ------------------------------------------------------------------
+    # SpArch views (native SimulationStats out)
+    # ------------------------------------------------------------------
+    def simulate(self, matrix_a: CSRMatrix, config: SpArchConfig | None = None,
+                 *, matrix_b: CSRMatrix | None = None) -> SimulationStats:
+        """Simulate ``A · B`` (``B = A`` by default), memoised.
+
+        A view over :meth:`run_engine`: the native statistics are rebuilt
+        losslessly from the memoised report's ``detail`` payload.
+        """
+        return self.simulate_report(matrix_a, config,
+                                    matrix_b=matrix_b).to_stats()
+
+    def simulate_report(self, matrix_a: CSRMatrix,
+                        config: SpArchConfig | None = None, *,
+                        matrix_b: CSRMatrix | None = None) -> CostReport:
+        """Simulate ``A · B`` and return the point's :class:`CostReport`."""
+        return self.run_engine(SpArchEngine(config or SpArchConfig()),
+                               matrix_a, matrix_b=matrix_b)
+
+    def simulate_many(self, tasks: list[tuple[CSRMatrix, SpArchConfig | None]]
+                      ) -> list[SimulationStats]:
+        """Simulate many ``A · A`` points, fanning uncached ones out."""
+        reports = self.run_engine_many(
+            [(SpArchEngine(config or SpArchConfig()), matrix)
+             for matrix, config in tasks])
+        return [report.to_stats() for report in reports]
 
     def simulate_workload(self, workload: dict[str, tuple[CSRMatrix, SpArchConfig | None]]
                           ) -> dict[str, SimulationStats]:
@@ -300,71 +351,22 @@ class ExperimentRunner:
         return dict(zip(names, stats))
 
     # ------------------------------------------------------------------
-    def _effective_baseline(self, baseline: SpGEMMBaseline) -> SpGEMMBaseline:
-        """Apply the runner's forced engine to a baseline, when set."""
-        if (self._engine is not None
-                and getattr(baseline, "engine", None) != self._engine):
-            return baseline.using_engine(self._engine)
-        return baseline
-
+    # Baseline views (native BaselineSummary out)
+    # ------------------------------------------------------------------
     def run_baseline(self, baseline: SpGEMMBaseline, matrix_a: CSRMatrix, *,
                      matrix_b: CSRMatrix | None = None) -> BaselineSummary:
-        """Run one baseline point (``B = A`` by default), memoised.
-
-        Returns the serialisable :class:`BaselineSummary` only — like
-        :meth:`simulate`, the functional result matrix is not cached (no
-        experiment consumes it; the differential tests exercise it directly
-        through ``baseline.multiply``).
-        """
-        baseline = self._effective_baseline(baseline)
-        right = matrix_b if matrix_b is not None else matrix_a
-        key = baseline_simulation_key(baseline, matrix_a, right,
-                                      include_engine=self._engine is not None)
-        payload = self._cache_load(key, "baseline")
-        if payload is None:
-            self.cache_misses += 1
-            payload = _baseline_task((baseline, matrix_a, matrix_b))
-            self._cache_store(key, payload, "baseline")
-        else:
-            self.cache_hits += 1
-        return BaselineSummary.from_dict(payload)
+        """Run one baseline point (``B = A`` by default), memoised."""
+        report = self.run_engine(BaselineEngineAdapter(baseline), matrix_a,
+                                 matrix_b=matrix_b)
+        return report.to_baseline_summary()
 
     def run_baseline_many(self, tasks: list[tuple[SpGEMMBaseline, CSRMatrix]]
                           ) -> list[BaselineSummary]:
-        """Run many baseline ``A · A`` points, fanning uncached ones out.
-
-        Args:
-            tasks: ``(baseline, matrix)`` pairs; order is preserved in the
-                returned list.
-        """
-        baselines = [self._effective_baseline(baseline)
-                     for baseline, _ in tasks]
-        forced = self._engine is not None
-        keys = [baseline_simulation_key(baseline, matrix, matrix,
-                                        include_engine=forced)
-                for baseline, (_, matrix) in zip(baselines, tasks)]
-
-        missing: dict[str, tuple[SpGEMMBaseline, CSRMatrix, None]] = {}
-        for baseline, (_, matrix), key in zip(baselines, tasks, keys):
-            if (self._cache_load(key, "baseline") is None
-                    and key not in missing):
-                missing[key] = (baseline, matrix, None)
-
-        self.cache_hits += len(keys) - len(missing)
-        self.cache_misses += len(missing)
-        if missing:
-            items = list(missing.items())
-            if self._jobs > 1 and len(items) > 1:
-                with ProcessPoolExecutor(max_workers=self._jobs) as pool:
-                    payloads = list(pool.map(_baseline_task,
-                                             [task for _, task in items]))
-            else:
-                payloads = [_baseline_task(task) for _, task in items]
-            for (key, _), payload in zip(items, payloads):
-                self._cache_store(key, payload, "baseline")
-
-        return [BaselineSummary.from_dict(self._cache_load(key, "baseline"))
-                for key in keys]
+        """Run many baseline ``A · A`` points, fanning uncached ones out."""
+        reports = self.run_engine_many(
+            [(BaselineEngineAdapter(baseline), matrix)
+             for baseline, matrix in tasks])
+        return [report.to_baseline_summary() for report in reports]
 
 
 _default_runner: ExperimentRunner | None = None

@@ -14,12 +14,10 @@ from repro.analysis.area import AreaModel, OUTERSPACE_TOTAL_AREA_MM2
 from repro.analysis.energy import EnergyModel
 from repro.baselines.outerspace import OuterSpaceAccelerator
 from repro.core.config import SpArchConfig
-from repro.experiments.common import (
-    ExperimentResult,
-    load_scaled_suite,
-    simulate_workload,
-)
-from repro.experiments.runner import ExperimentRunner
+from repro.engines.adapters import BaselineEngineAdapter
+from repro.engines.sparch import SpArchEngine
+from repro.experiments.common import ExperimentResult, load_scaled_suite
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.reporting import Table
 
@@ -45,27 +43,32 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
                                      base_config=config)
 
     energy_model = EnergyModel()
-    outerspace = OuterSpaceAccelerator()
+    runner = runner or default_runner()
+
+    # Both systems come back as canonical CostReports; the Table III
+    # category split is the uniform report view of the energy model
+    # (module grouping for SpArch, per-event accounting for baselines).
+    names_in_order = list(workload)
+    sparch_reports = dict(zip(names_in_order, runner.run_engine_many(
+        [(SpArchEngine(matrix_config or config), matrix)
+         for _, (matrix, matrix_config) in workload.items()])))
+    outerspace_reports = dict(zip(names_in_order, runner.run_engine_many(
+        [(BaselineEngineAdapter(OuterSpaceAccelerator()), matrix)
+         for _, (matrix, _) in workload.items()])))
 
     sparch_categories = {"Computation": 0.0, "SRAM": 0.0, "DRAM": 0.0}
     sparch_flops = 0
     outerspace_energy = 0.0
     outerspace_flops = 0
-    sparch_stats = simulate_workload(workload, runner=runner)
-    for name, (matrix, matrix_config) in workload.items():
-        stats = sparch_stats[name]
-        breakdown = energy_model.breakdown(stats, matrix_config)
-        sparch_categories["Computation"] += (breakdown.multiplier_array
-                                             + breakdown.merge_tree)
-        sparch_categories["SRAM"] += (breakdown.column_fetcher
-                                      + breakdown.row_prefetcher
-                                      + breakdown.partial_matrix_writer)
-        sparch_categories["DRAM"] += breakdown.hbm
-        sparch_flops += stats.flops
+    for name in names_in_order:
+        report = sparch_reports[name]
+        for category, joules in energy_model.report_categories(report).items():
+            sparch_categories[category] += joules
+        sparch_flops += report.flops
 
-        outer_result = outerspace.multiply(matrix, matrix)
-        outerspace_energy += outer_result.energy_joules
-        outerspace_flops += outer_result.flops
+        outer_report = outerspace_reports[name]
+        outerspace_energy += outer_report.energy_joules
+        outerspace_flops += outer_report.flops
 
     sparch_per_flop = {category: 1e9 * value / max(1, sparch_flops)
                        for category, value in sparch_categories.items()}
@@ -103,6 +106,10 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
         table=table,
         metrics=metrics,
         paper_values=dict(PAPER_TABLE3),
+        reports={**{f"SpArch[{name}]": report
+                    for name, report in sparch_reports.items()},
+                 **{f"OuterSPACE[{name}]": report
+                    for name, report in outerspace_reports.items()}},
     )
 
 

@@ -8,26 +8,46 @@ simulator and once under each comparison baseline, and reports the
 end-to-end cycles / DRAM bytes / energy of the whole pipeline — the
 application-level counterpart of Figures 11 and 12.
 
-Every SpGEMM stage routes through the
-:class:`~repro.experiments.runner.ExperimentRunner` fingerprint cache, so
-stages shared between workloads (the adjacency square of ``triangles`` and
-``khop``, for example) simulate once, and re-running the sweep replays
-from the memo.  All backends traverse identical intermediate matrices (the
-pipeline's canonical functional path), which keeps the comparison
-apples-to-apples.
+Backends are dispatched through the engine registry
+(:mod:`repro.engines`): one :class:`~repro.workloads.pipeline.EngineExecutor`
+per engine, no per-backend branches.  Each pipeline run reduces to one
+aggregate :class:`~repro.metrics.report.CostReport`, which is the only
+thing the comparison consumes — so the sweep parallelises cleanly:
+
+* **serial** (default): every SpGEMM stage routes through the
+  :class:`~repro.experiments.runner.ExperimentRunner` fingerprint cache, so
+  stages shared between workloads (the adjacency square of ``triangles``
+  and ``khop``, for example) simulate once, and re-running the sweep
+  replays from the memo;
+* **fan-out** (``--jobs N`` / a runner with ``jobs > 1``): whole
+  ``(workload, backend, matrix)`` pipeline runs are shipped to worker
+  processes, each with its own in-memory memo.  Workers return aggregate
+  cost reports, so the fan-out produces *identical* tables to the serial
+  path (``tests/workloads/test_experiment_fanout.py`` proves it); the
+  trade is cross-workload cache sharing for wall-clock parallelism.
+
+All backends traverse identical intermediate matrices (the pipeline's
+canonical functional path), which keeps the comparison apples-to-apples.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+
 from repro.baselines import SpGEMMBaseline
 from repro.core.config import SpArchConfig
+from repro.engines.adapters import BaselineEngineAdapter
+from repro.engines.base import Engine
+from repro.engines.sparch import SpArchEngine
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig11_speedup import default_baselines
 from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.formats.csr import CSRMatrix
 from repro.matrices.suite import load_benchmark
+from repro.metrics.report import CostReport
 from repro.utils.maths import geometric_mean
 from repro.utils.reporting import Table
-from repro.workloads.pipeline import BaselineExecutor, SpArchExecutor
+from repro.workloads.pipeline import EngineExecutor
 from repro.workloads.registry import get_workload, list_workloads, run_workload
 
 #: Suite matrices the comparison runs on by default — a small, structurally
@@ -43,6 +63,63 @@ SWEEP_PARAMS: dict[str, dict] = {
 }
 
 
+def _run_one(workload_id: str, params: dict, matrix: CSRMatrix,
+             engine: Engine, runner: ExperimentRunner) -> CostReport:
+    """Run one (workload, backend, matrix) pipeline; aggregate its cost."""
+    executor = EngineExecutor(engine, runner=runner)
+    result = run_workload(workload_id, matrix, executor=executor, **params)
+    return result.aggregate_report()
+
+
+def _workload_task(task: tuple[str, dict, CSRMatrix, Engine, str | None,
+                               str | None]) -> dict:
+    """Worker entry point: one pipeline run, aggregate report dict out.
+
+    Each worker gets a fresh runner honouring the parent's forced backend
+    and disk cache directory — so repeated stages *within* the pipeline
+    memoise exactly as on the serial path, and stage reports still land in
+    (and replay from) the shared on-disk memo.  Concurrent writers are
+    safe: cache entries are written atomically (tmp + rename).
+    """
+    workload_id, params, matrix, engine, forced_backend, cache_dir = task
+    local_runner = ExperimentRunner(engine=forced_backend,
+                                    cache_dir=cache_dir)
+    return _run_one(workload_id, params, matrix, engine,
+                    local_runner).to_dict()
+
+
+def _sweep_reports(workload_ids: list[str], matrices: dict[str, CSRMatrix],
+                   engines: list[Engine], runner: ExperimentRunner
+                   ) -> dict[tuple[str, str], list[CostReport]]:
+    """Aggregate reports of every (workload, backend) pair, per matrix.
+
+    Serial when the runner has one job (shared fingerprint cache across
+    workloads and backends); process fan-out over whole pipeline runs when
+    ``runner.jobs > 1``.
+    """
+    grid = [(workload_id, SWEEP_PARAMS.get(workload_id, {}), name, engine)
+            for workload_id in workload_ids
+            for engine in engines
+            for name in matrices]
+    if runner.jobs > 1 and len(grid) > 1:
+        cache_dir = str(runner.cache_dir) if runner.cache_dir else None
+        tasks = [(workload_id, params, matrices[name], engine, runner.engine,
+                  cache_dir)
+                 for workload_id, params, name, engine in grid]
+        with ProcessPoolExecutor(max_workers=runner.jobs) as pool:
+            payloads = list(pool.map(_workload_task, tasks))
+        reports = [CostReport.from_dict(payload) for payload in payloads]
+    else:
+        reports = [_run_one(workload_id, params, matrices[name], engine,
+                            runner)
+                   for workload_id, params, name, engine in grid]
+    per_pair: dict[tuple[str, str], list[CostReport]] = {}
+    for (workload_id, _, _, engine), report in zip(grid, reports):
+        per_pair.setdefault((workload_id, engine.display_name),
+                            []).append(report)
+    return per_pair
+
+
 def run(*, max_rows: int = 400, names: list[str] | None = None,
         workload_ids: list[str] | None = None,
         baselines: list[SpGEMMBaseline] | None = None,
@@ -56,20 +133,23 @@ def run(*, max_rows: int = 400, names: list[str] | None = None,
         workload_ids: workload subset (every registered workload by default).
         baselines: comparison systems (the paper's five by default).
         config: SpArch configuration (Table I by default).
-        runner: experiment runner providing memoised/batched simulation.
+        runner: experiment runner providing memoised/batched execution;
+            ``runner.jobs > 1`` fans whole pipeline runs out over worker
+            processes.
     """
     names = names if names is not None else list(DEFAULT_NAMES)
     workload_ids = (workload_ids if workload_ids is not None
                     else list_workloads())
     baselines = baselines if baselines is not None else default_baselines()
     runner = runner or default_runner()
+    for workload_id in workload_ids:
+        get_workload(workload_id)  # fail fast with the helpful unknown-id error
     matrices = {name: load_benchmark(name, max_rows=max_rows)
                 for name in names}
 
-    executors = [SpArchExecutor(runner=runner, config=config)]
-    executors += [BaselineExecutor(baseline, runner=runner)
-                  for baseline in baselines]
-    sparch_name = executors[0].backend_name
+    engines: list[Engine] = [SpArchEngine(config or SpArchConfig())]
+    engines += [BaselineEngineAdapter(baseline) for baseline in baselines]
+    sparch_name = engines[0].display_name
 
     table = Table(
         title="Workloads — end-to-end pipeline cost, SpArch vs baselines "
@@ -78,50 +158,45 @@ def run(*, max_rows: int = 400, names: list[str] | None = None,
                  "DRAM [B]", "energy [J]", "speedup", "energy saving"],
     )
     metrics: dict[str, float] = {}
+    experiment_reports: dict[str, CostReport] = {}
 
+    per_pair = _sweep_reports(workload_ids, matrices, engines, runner)
     for workload_id in workload_ids:
-        get_workload(workload_id)  # fail fast with the helpful unknown-id error
-        params = SWEEP_PARAMS.get(workload_id, {})
-        per_backend: dict[str, dict[str, list[float]]] = {}
-        for executor in executors:
-            runs = [run_workload(workload_id, matrix, executor=executor,
-                                 **params)
-                    for matrix in matrices.values()]
-            per_backend[executor.backend_name] = {
-                "spgemms": [float(len(r.spgemm_stages)) for r in runs],
-                "cycles": [float(r.total_cycles) for r in runs],
-                "runtime": [r.total_runtime_seconds for r in runs],
-                "dram": [float(r.total_dram_bytes) for r in runs],
-                "energy": [r.total_energy_joules for r in runs],
-            }
-
+        per_backend = {engine.display_name:
+                       per_pair[(workload_id, engine.display_name)]
+                       for engine in engines}
         sparch = per_backend[sparch_name]
-        for backend_name, totals in per_backend.items():
+        for backend_name, reports in per_backend.items():
             is_sparch = backend_name == sparch_name
             speedup = geometric_mean([
-                other / max(ours, 1e-15)
-                for other, ours in zip(totals["runtime"], sparch["runtime"])
+                other.runtime_seconds / max(ours.runtime_seconds, 1e-15)
+                for other, ours in zip(reports, sparch)
             ])
             saving = geometric_mean([
-                other / max(ours, 1e-18)
-                for other, ours in zip(totals["energy"], sparch["energy"])
+                other.energy_joules / max(ours.energy_joules, 1e-18)
+                for other, ours in zip(reports, sparch)
             ])
+            total = CostReport.aggregate(reports, engine=backend_name)
+            experiment_reports[f"{workload_id}[{backend_name}]"] = total
+            spgemms = sum(report.extras.get("spgemm_stages", 0.0)
+                          for report in reports)
             table.add_row(
                 workload_id,
                 backend_name,
-                int(sum(totals["spgemms"])),
-                int(sum(totals["cycles"])) if is_sparch else "-",
-                sum(totals["runtime"]),
-                int(sum(totals["dram"])),
-                sum(totals["energy"]),
+                int(spgemms),
+                total.cycles if is_sparch else "-",
+                total.runtime_seconds,
+                total.dram_bytes,
+                total.energy_joules,
                 speedup,
                 saving,
             )
             if is_sparch:
-                metrics[f"sparch_cycles[{workload_id}]"] = sum(totals["cycles"])
-                metrics[f"sparch_dram_bytes[{workload_id}]"] = sum(totals["dram"])
+                metrics[f"sparch_cycles[{workload_id}]"] = float(total.cycles)
+                metrics[f"sparch_dram_bytes[{workload_id}]"] = (
+                    float(total.dram_bytes))
                 metrics[f"sparch_energy_joules[{workload_id}]"] = (
-                    sum(totals["energy"]))
+                    total.energy_joules)
             else:
                 metrics[f"speedup[{workload_id}][{backend_name}]"] = speedup
                 metrics[f"energy_saving[{workload_id}][{backend_name}]"] = saving
@@ -139,6 +214,7 @@ def run(*, max_rows: int = 400, names: list[str] | None = None,
             "host stages (mask/inflate/prune/normalise) are charged zero "
             "accelerator cost on every backend",
         ],
+        reports=experiment_reports,
     )
 
 

@@ -45,6 +45,42 @@ class Table:
         return self.render()
 
 
+def cost_table(title: str, reports: dict[str, Any]) -> Table:
+    """Render named cost reports as one table, identically for any engine.
+
+    Args:
+        title: table title.
+        reports: ``{label: CostReport}`` — any object exposing the
+            canonical report surface (``cycles``, ``runtime_seconds``,
+            ``gflops``, ``dram_bytes``, ``energy_joules``,
+            ``multiplications``, ``additions``, ``output_nnz``).
+
+    The unified :class:`~repro.metrics.report.CostReport` schema is what
+    makes this possible: one renderer covers SpArch simulations, baseline
+    models and workload aggregates alike, so new experiments get tabular
+    output without writing a formatter.
+    """
+    table = Table(
+        title=title,
+        columns=["point", "engine", "cycles", "runtime [s]", "GFLOP/s",
+                 "DRAM [B]", "energy [J]", "mults", "adds", "nnz"],
+    )
+    for label, report in reports.items():
+        table.add_row(
+            label,
+            getattr(report, "engine", "-") or "-",
+            int(report.cycles) if report.cycles else "-",
+            report.runtime_seconds,
+            report.gflops,
+            int(report.dram_bytes),
+            report.energy_joules,
+            int(report.multiplications),
+            int(report.additions),
+            int(report.output_nnz),
+        )
+    return table
+
+
 def format_table(title: str, columns: list[str], rows: list[list[Any]]) -> str:
     """Render ``rows`` under ``columns`` as a fixed-width text table."""
     cells = [[_format_cell(v) for v in row] for row in rows]

@@ -30,6 +30,7 @@ from repro.workloads.ops import (
 from repro.workloads.pipeline import (
     SPGEMM_KIND,
     BaselineExecutor,
+    EngineExecutor,
     PipelineBuilder,
     SpArchExecutor,
     StageExecutor,
@@ -48,6 +49,7 @@ __all__ = [
     "SPGEMM_KIND",
     "HOST_OPS",
     "BaselineExecutor",
+    "EngineExecutor",
     "PipelineBuilder",
     "SpArchExecutor",
     "StageExecutor",

@@ -4,12 +4,13 @@ A *workload* is a DAG of named stages over sparse matrices.  Stages come in
 two kinds:
 
 * **SpGEMM stages** — sparse matrix-matrix products, dispatched to a
-  :class:`StageExecutor`: the SpArch simulator (either directly, or with
-  statistics memoised through the
-  :class:`~repro.experiments.runner.ExperimentRunner` fingerprint cache) or
-  any comparison baseline.  Each stage records the executor's full cost
-  model — cycles, runtime, DRAM traffic, energy — in a
-  :class:`StageResult`.
+  :class:`StageExecutor` built on the engine registry
+  (:mod:`repro.engines`): any registered engine — the SpArch simulator or
+  any comparison baseline — addressed by name or instance, either executed
+  directly or with its :class:`~repro.metrics.report.CostReport` memoised
+  through the :class:`~repro.experiments.runner.ExperimentRunner`
+  fingerprint cache.  Each stage records the engine's full cost report —
+  cycles, runtime, DRAM traffic, energy — in a :class:`StageResult`.
 * **Host stages** — element-wise / normalise / prune / mask operations from
   :mod:`repro.workloads.ops`, executed on the host and charged zero
   accelerator cost.
@@ -44,8 +45,13 @@ from repro.baselines.base import BaselineSummary, SpGEMMBaseline
 from repro.core.accelerator import SpArch
 from repro.core.config import SpArchConfig
 from repro.core.stats import SimulationStats
+from repro.engines.adapters import BaselineEngineAdapter
+from repro.engines.base import Engine
+from repro.engines.registry import resolve_engine
+from repro.engines.sparch import SpArchEngine
 from repro.formats.convert import from_scipy, to_scipy
 from repro.formats.csr import CSRMatrix
+from repro.metrics.report import CostReport
 from repro.workloads.ops import get_host_op
 
 if TYPE_CHECKING:  # the runner is only an annotation here; importing it at
@@ -74,8 +80,11 @@ class StageResult:
         energy_joules: modelled dynamic energy of the stage.
         multiplications: scalar multiplications performed by the kernel.
         additions: scalar additions performed by the kernel.
-        stats: full simulator statistics (SpArch stages only).
-        summary: memoisable baseline summary (baseline stages only).
+        report: the stage's canonical cost report (SpGEMM stages only).
+        stats: full simulator statistics (SpArch stages only; a lossless
+            view over ``report``).
+        summary: memoisable baseline summary (baseline stages only; a
+            lossless view over ``report``).
     """
 
     name: str
@@ -89,6 +98,7 @@ class StageResult:
     energy_joules: float = 0.0
     multiplications: int = 0
     additions: int = 0
+    report: CostReport | None = None
     stats: SimulationStats | None = None
     summary: BaselineSummary | None = None
 
@@ -182,6 +192,22 @@ class WorkloadResult:
         payload.update(self.annotations)
         return payload
 
+    def aggregate_report(self) -> CostReport:
+        """One ``kind="aggregate"`` cost report summing the SpGEMM stages.
+
+        Host stages are charged zero accelerator cost, so the aggregate of
+        the SpGEMM stage reports is the pipeline's end-to-end cost in the
+        canonical schema (counters, per-category traffic and per-module
+        energy all add up).  Workload annotations ride along as extras.
+        """
+        reports = [stage.report for stage in self.stages
+                   if stage.report is not None]
+        extras = dict(self.annotations)
+        extras["num_stages"] = float(self.num_stages)
+        extras["spgemm_stages"] = float(len(self.spgemm_stages))
+        return CostReport.aggregate(reports, engine=self.backend,
+                                    extras=extras)
+
 
 # ----------------------------------------------------------------------
 # Stage executors
@@ -191,9 +217,9 @@ class StageExecution:
     """What an executor reports back for one SpGEMM stage.
 
     ``matrix`` is the executor's own functional result when it computes one
-    (direct engine/baseline execution), or ``None`` when only statistics
-    were produced (runner-memoised execution) — the pipeline then derives
-    the product through its canonical host path.
+    (direct engine execution), or ``None`` when only the cost report was
+    produced (runner-memoised execution) — the pipeline then derives the
+    product through its canonical host path.
     """
 
     matrix: CSRMatrix | None
@@ -203,8 +229,34 @@ class StageExecution:
     energy_joules: float
     multiplications: int
     additions: int
+    report: CostReport | None = None
     stats: SimulationStats | None = None
     summary: BaselineSummary | None = None
+
+    @classmethod
+    def from_report(cls, report: CostReport, *,
+                    matrix: CSRMatrix | None = None) -> "StageExecution":
+        """Build a stage execution from a canonical cost report.
+
+        The native ``stats`` / ``summary`` views are rebuilt losslessly
+        from the report, so downstream consumers of either schema keep
+        working unchanged.
+        """
+        stats = report.to_stats() if report.kind == "simulation" else None
+        summary = (report.to_baseline_summary()
+                   if report.kind == "baseline" else None)
+        return cls(
+            matrix=matrix,
+            cycles=report.cycles,
+            runtime_seconds=report.runtime_seconds,
+            dram_bytes=report.dram_bytes,
+            energy_joules=report.energy_joules,
+            multiplications=report.multiplications,
+            additions=report.additions,
+            report=report,
+            stats=stats,
+            summary=summary,
+        )
 
 
 class StageExecutor(abc.ABC):
@@ -219,28 +271,64 @@ class StageExecutor(abc.ABC):
         """Run (or price) one ``A · B`` product."""
 
 
-class SpArchExecutor(StageExecutor):
-    """SpGEMM stages on the SpArch simulator.
+class EngineExecutor(StageExecutor):
+    """SpGEMM stages on any registered engine, addressed by name or instance.
 
-    Two modes:
+    This is the one dispatch path every pipeline backend goes through —
+    :class:`SpArchExecutor` and :class:`BaselineExecutor` are thin
+    constructors over it.  Two modes:
 
-    * **engine mode** (default, or ``engine=``): calls
-      :meth:`SpArch.multiply` directly and threads the engine's own result
-      matrix through the pipeline — exact parity with driving the simulator
-      by hand, which is what the ported applications use.
-    * **runner mode** (``runner=``): memoises statistics through the
+    * **direct mode** (default): calls :meth:`Engine.run` and threads the
+      engine's own exact result matrix through the pipeline — parity with
+      driving the simulator or baseline by hand.
+    * **runner mode** (``runner=``): memoises each stage's
+      :class:`~repro.metrics.report.CostReport` through the
       :class:`ExperimentRunner` fingerprint cache, so re-running a pipeline
       (or sharing stages between sweeps) replays instead of re-simulating;
       the functional product comes from the pipeline's canonical host path.
 
     Args:
-        engine: explicit simulator instance (engine mode).
-        runner: experiment runner (runner mode); exclusive with ``engine``.
-        config: configuration for a fresh engine / the runner's simulations.
-        energy_model: per-event energy model (paper constants by default).
+        engine: a registry name ("sparch", "mkl", "outerspace", ...) or an
+            :class:`~repro.engines.base.Engine` instance.
+        runner: experiment runner (runner mode).
     """
 
-    backend_name = "SpArch"
+    def __init__(self, engine: Engine | str, *,
+                 runner: ExperimentRunner | None = None) -> None:
+        self._engine_impl = resolve_engine(engine)
+        self._runner = runner
+        self.backend_name = self._engine_impl.display_name
+
+    @property
+    def engine(self) -> Engine:
+        """The dispatched engine."""
+        return self._engine_impl
+
+    def execute(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
+                ) -> StageExecution:
+        if self._runner is not None:
+            report = self._runner.run_engine(self._engine_impl, matrix_a,
+                                             matrix_b=matrix_b)
+            return StageExecution.from_report(report)
+        run = self._engine_impl.run(matrix_a, matrix_b)
+        return StageExecution.from_report(run.report, matrix=run.matrix)
+
+
+class SpArchExecutor(EngineExecutor):
+    """SpGEMM stages on the SpArch simulator.
+
+    A thin constructor over :class:`EngineExecutor` that keeps the
+    historical signature: an explicit simulator instance (``engine=``,
+    direct mode — exact parity with driving the simulator by hand, which
+    is what the ported applications use) or a runner (``runner=``,
+    memoised mode), plus the configuration and energy model.
+
+    Args:
+        engine: explicit simulator instance (direct mode).
+        runner: experiment runner (runner mode); exclusive with ``engine``.
+        config: configuration for a fresh simulator / the runner's points.
+        energy_model: per-event energy model (paper constants by default).
+    """
 
     def __init__(self, *, engine: SpArch | None = None,
                  runner: ExperimentRunner | None = None,
@@ -248,82 +336,34 @@ class SpArchExecutor(StageExecutor):
                  energy_model: EnergyModel | None = None) -> None:
         if engine is not None and runner is not None:
             raise ValueError("pass either engine= or runner=, not both")
-        self._runner = runner
-        if runner is None:
-            self._engine: SpArch | None = engine or SpArch(config)
-            self._config = self._engine.config
-        else:
-            self._engine = None
-            self._config = config or SpArchConfig()
-        self._energy_model = energy_model or EnergyModel()
+        super().__init__(SpArchEngine(config, simulator=engine,
+                                      energy_model=energy_model),
+                         runner=runner)
 
     @property
     def config(self) -> SpArchConfig:
         """Configuration used for simulations and energy accounting."""
-        return self._config
-
-    def execute(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
-                ) -> StageExecution:
-        if self._runner is not None:
-            stats = self._runner.simulate(matrix_a, self._config,
-                                          matrix_b=matrix_b)
-            matrix = None
-        else:
-            result = self._engine.multiply(matrix_a, matrix_b)
-            stats, matrix = result.stats, result.matrix
-        return StageExecution(
-            matrix=matrix,
-            cycles=stats.cycles,
-            runtime_seconds=stats.runtime_seconds,
-            dram_bytes=stats.dram_bytes,
-            energy_joules=self._energy_model.total_energy(stats, self._config),
-            multiplications=stats.multiplications,
-            additions=stats.additions,
-            stats=stats,
-        )
+        return self._engine_impl.config
 
 
-class BaselineExecutor(StageExecutor):
+class BaselineExecutor(EngineExecutor):
     """SpGEMM stages on one of the comparison baselines.
 
     Args:
         baseline: the baseline simulator (OuterSPACE, MKL-class, ...).
-        runner: optional experiment runner; when given, each stage's
-            :class:`BaselineSummary` is memoised under the runner's
-            fingerprint cache and the functional product comes from the
-            pipeline's canonical host path.
+        runner: optional experiment runner; when given, each stage's cost
+            report is memoised under the runner's fingerprint cache and the
+            functional product comes from the pipeline's canonical host
+            path.
     """
 
     def __init__(self, baseline: SpGEMMBaseline, *,
                  runner: ExperimentRunner | None = None) -> None:
-        self._baseline = baseline
-        self._runner = runner
-        self.backend_name = baseline.name
+        super().__init__(BaselineEngineAdapter(baseline), runner=runner)
 
     @property
     def baseline(self) -> SpGEMMBaseline:
-        return self._baseline
-
-    def execute(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix
-                ) -> StageExecution:
-        if self._runner is not None:
-            summary = self._runner.run_baseline(self._baseline, matrix_a,
-                                                matrix_b=matrix_b)
-            matrix = None
-        else:
-            result = self._baseline.multiply(matrix_a, matrix_b)
-            summary = BaselineSummary.from_result(self._baseline, result)
-            matrix = result.matrix
-        return StageExecution(
-            matrix=matrix,
-            cycles=0,  # baseline platforms model runtime, not cycles
-            runtime_seconds=summary.runtime_seconds,
-            dram_bytes=summary.traffic_bytes,
-            energy_joules=summary.energy_joules,
-            multiplications=summary.multiplications,
-            additions=summary.additions,
-            summary=summary,
-        )
+        return self._engine_impl.baseline
 
 
 # ----------------------------------------------------------------------
@@ -434,6 +474,7 @@ class PipelineBuilder:
             energy_joules=execution.energy_joules,
             multiplications=execution.multiplications,
             additions=execution.additions,
+            report=execution.report,
             stats=execution.stats,
             summary=execution.summary,
         ))

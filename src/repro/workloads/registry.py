@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # annotation only — see repro.workloads.pipeline
 from repro.workloads import library
 from repro.workloads.pipeline import (
     BaselineExecutor,
+    EngineExecutor,
     PipelineBuilder,
     SpArchExecutor,
     StageExecutor,
@@ -120,7 +121,7 @@ def get_workload(workload_id: str) -> WorkloadSpec:
 
 
 def run_workload(workload_id: str, matrix: CSRMatrix, *,
-                 executor: StageExecutor | None = None,
+                 executor: StageExecutor | str | None = None,
                  baseline: SpGEMMBaseline | None = None,
                  engine: SpArch | None = None,
                  runner: ExperimentRunner | None = None,
@@ -129,14 +130,16 @@ def run_workload(workload_id: str, matrix: CSRMatrix, *,
     """Run one registered workload on ``matrix`` under a SpGEMM backend.
 
     The backend is chosen from the keyword arguments, most specific first:
-    an explicit ``executor``; a ``baseline`` (memoised through ``runner``
+    an explicit ``executor`` (a :class:`StageExecutor` instance, or an
+    engine-registry name like ``"mkl"`` dispatched through
+    :class:`EngineExecutor`); a ``baseline`` (memoised through ``runner``
     when one is given); otherwise SpArch — memoised through ``runner`` when
     one is given, else a direct ``engine`` (fresh by default).
 
     Args:
         workload_id: one of :func:`list_workloads`.
         matrix: the workload's input matrix (pipeline value ``"A"``).
-        executor: fully custom stage executor.
+        executor: fully custom stage executor, or an engine registry name.
         baseline: run the SpGEMM stages on this comparison baseline.
         engine: explicit SpArch instance (direct execution).
         runner: experiment runner for per-stage memoisation.
@@ -147,7 +150,21 @@ def run_workload(workload_id: str, matrix: CSRMatrix, *,
         The pipeline's :class:`WorkloadResult`, output matrix included.
     """
     spec = get_workload(workload_id)
-    if executor is None:
+    if isinstance(executor, str):
+        if baseline is not None or engine is not None:
+            raise ValueError(
+                "pass either an executor name or baseline=/engine=, not both")
+        from repro.engines.registry import create_engine, get_engine_entry
+
+        if (config is not None
+                and get_engine_entry(executor).kind != "simulation"):
+            raise ValueError(
+                f"config= applies to simulation engines only, not "
+                f"{executor!r}")
+        kwargs = {"config": config} if config is not None else {}
+        executor = EngineExecutor(create_engine(executor, **kwargs),
+                                  runner=runner)
+    elif executor is None:
         if baseline is not None:
             if engine is not None:
                 raise ValueError("pass either baseline= or engine=, not both")

@@ -67,6 +67,39 @@ class TestEnergyModel:
         assert model.average_power(empty) == 0.0
         assert model.energy_per_flop(empty) == 0.0
 
+    def test_report_categories_dispatch_on_report_kind(self, simulated_stats):
+        """Simulation reports get the exact module grouping; baseline and
+        aggregate reports get the per-event split over their counters —
+        no energy is ever dropped from a mixed aggregate."""
+        from repro.engines import create_engine
+        from repro.metrics.report import CostReport
+
+        model = EnergyModel()
+        matrix = powerlaw_matrix(120, 4.0, seed=33)
+        sparch = create_engine("sparch").run(matrix).report
+        mkl = create_engine("mkl").run(matrix).report
+
+        sim_cats = model.report_categories(sparch)
+        assert sum(sim_cats.values()) == pytest.approx(sparch.energy_joules)
+
+        base_cats = model.report_categories(mkl)
+        assert base_cats["SRAM"] == 0.0
+        assert sum(base_cats.values()) == pytest.approx(
+            sum(mkl.energy.values()))
+
+        mixed = CostReport.aggregate([sparch, mkl])
+        mixed_cats = model.report_categories(mixed)
+        # Per-event over the summed counters: both engines' DRAM bytes
+        # are charged, not just SpArch's HBM module.
+        assert mixed_cats["DRAM"] == pytest.approx(
+            mixed.dram_bytes * model.constants.dram_byte)
+        events = model.event_energy(
+            multiplications=mixed.multiplications, additions=mixed.additions,
+            bookkeeping_ops=mixed.bookkeeping_ops,
+            dram_bytes=mixed.dram_bytes)
+        assert mixed_cats["Computation"] == pytest.approx(
+            events["Computation"] + events["Bookkeeping"])
+
     def test_custom_constants_scale_linearly(self, simulated_stats):
         base = EnergyModel().breakdown(simulated_stats)
         doubled = EnergyModel(EnergyConstants(

@@ -39,6 +39,13 @@ class TestCli:
         assert args.json is None
         assert not args.list
 
+    def test_reports_flag_prints_the_unified_cost_table(self, capsys):
+        assert main(["table3", "--max-rows", "150", "--reports"]) == 0
+        output = capsys.readouterr().out
+        assert "cost reports" in output
+        # The unified renderer covers both kinds in one table.
+        assert "SpArch[" in output and "OuterSPACE[" in output
+
     def test_json_output_is_written(self, capsys, tmp_path):
         import json
 
@@ -63,6 +70,7 @@ class TestPublicImportSurface:
         "repro.formats", "repro.matrices", "repro.hardware", "repro.memory",
         "repro.core", "repro.baselines", "repro.analysis", "repro.apps",
         "repro.experiments", "repro.utils", "repro.workloads",
+        "repro.metrics", "repro.engines",
     ])
     def test_subpackage_all_resolves(self, module_name):
         import importlib

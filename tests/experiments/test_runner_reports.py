@@ -1,0 +1,188 @@
+"""The runner's unified CostReport memo and its schema-versioned keys."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    ExperimentRunner,
+    baseline_fingerprint,
+    baseline_simulation_key,
+    config_fingerprint,
+    simulation_key,
+)
+from repro.baselines import GustavsonSpGEMM
+from repro.core.config import SpArchConfig
+from repro.matrices.synthetic import powerlaw_matrix
+from repro.metrics.report import SCHEMA_VERSION, CostReport
+
+
+@pytest.fixture()
+def matrix():
+    return powerlaw_matrix(70, 4.0, seed=41)
+
+
+class TestSchemaVersionedFingerprint:
+    """Satellite: a schema bump rotates every cache key, so pre-refactor
+    entries invalidate cleanly instead of deserialising into the new
+    CostReport shape."""
+
+    def test_keys_rotate_when_the_schema_version_bumps(self, matrix,
+                                                       monkeypatch):
+        config = SpArchConfig()
+        baseline = GustavsonSpGEMM()
+        keys_now = (
+            config_fingerprint(config),
+            simulation_key(matrix, matrix, config),
+            baseline_fingerprint(baseline),
+            baseline_simulation_key(baseline, matrix, matrix),
+        )
+        monkeypatch.setattr(runner_module, "SCHEMA_VERSION",
+                            SCHEMA_VERSION + 1)
+        keys_bumped = (
+            config_fingerprint(config),
+            simulation_key(matrix, matrix, config),
+            baseline_fingerprint(baseline),
+            baseline_simulation_key(baseline, matrix, matrix),
+        )
+        for now, bumped in zip(keys_now, keys_bumped):
+            assert now != bumped
+
+    def test_stale_schema_entries_recompute_instead_of_deserialising(
+            self, matrix, tmp_path, monkeypatch):
+        # Warm a disk cache under a *different* (older) schema version.
+        monkeypatch.setattr(runner_module, "SCHEMA_VERSION",
+                            SCHEMA_VERSION - 1)
+        old = ExperimentRunner(cache_dir=tmp_path)
+        old.simulate(matrix)
+        assert old.cache_misses == 1
+        monkeypatch.undo()
+
+        # A current-schema runner over the same directory must miss (the
+        # old entry's key no longer matches) and recompute cleanly.
+        new = ExperimentRunner(cache_dir=tmp_path)
+        new.simulate(matrix)
+        assert (new.cache_hits, new.cache_misses) == (0, 1)
+
+    def test_disk_payloads_carry_the_schema_version(self, matrix, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.simulate(matrix)
+        runner.run_baseline(GustavsonSpGEMM(), matrix)
+        for kind in ("sim", "baseline"):
+            entries = list((tmp_path / kind).glob("*.json"))
+            assert entries, kind
+            payload = json.loads(entries[0].read_text())
+            assert payload["schema_version"] == SCHEMA_VERSION
+
+
+class TestUnifiedReportMemo:
+    def test_run_engine_returns_reports_from_both_cache_tiers(self, matrix,
+                                                              tmp_path):
+        writer = ExperimentRunner(cache_dir=tmp_path)
+        fresh = writer.run_engine("cusparse", matrix)
+        assert isinstance(fresh, CostReport)
+        assert fresh.kind == "baseline"
+
+        reader = ExperimentRunner(cache_dir=tmp_path)
+        replayed = reader.run_engine("cusparse", matrix)
+        assert (reader.cache_hits, reader.cache_misses) == (1, 0)
+        assert replayed == fresh
+
+    def test_run_engine_many_mixes_kinds_and_preserves_order(self, matrix):
+        runner = ExperimentRunner()
+        reports = runner.run_engine_many(
+            [("sparch", matrix), ("mkl", matrix), ("sparch", matrix)])
+        assert [r.kind for r in reports] == ["simulation", "baseline",
+                                            "simulation"]
+        assert reports[0] == reports[2]
+        # Two distinct points; the duplicate replayed from the memo.
+        assert (runner.cache_hits, runner.cache_misses) == (1, 2)
+
+    def test_custom_engine_is_cacheable_through_its_cache_fields(self, matrix):
+        """Any Engine implementation memoises via its own cache_fields()."""
+        from repro.engines.base import Engine, EngineRun
+        from repro.metrics.report import CostReport
+
+        class ConstantEngine(Engine):
+            name = "constant"
+            display_name = "Constant"
+            kind = "baseline"
+
+            def run(self, matrix_a, matrix_b=None):
+                return EngineRun(matrix=matrix_a, report=CostReport(
+                    engine=self.name, kind="baseline",
+                    runtime_seconds=1.0, output_nnz=matrix_a.nnz,
+                    detail={"baseline": "Constant", "engine": "scalar",
+                            "platform": "test", "runtime_seconds": 1.0,
+                            "traffic_bytes": 0, "multiplications": 0,
+                            "additions": 0, "bookkeeping_ops": 0,
+                            "energy_joules": 0.0, "result_nnz": matrix_a.nnz,
+                            "extras": {}}))
+
+            def cache_fields(self):
+                return {"engine": self.name}
+
+            def using_backend(self, backend):
+                return self
+
+            @property
+            def backend(self):
+                return "scalar"
+
+        runner = ExperimentRunner()
+        first = runner.run_engine(ConstantEngine(), matrix)
+        second = runner.run_engine(ConstantEngine(), matrix)
+        assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+        assert first == second
+
+    def test_same_named_baseline_variants_stay_distinct_in_comparisons(
+            self, matrix):
+        """Two parameterisations of one system must not collapse to one
+        report in the fig11/fig12 gathering helper."""
+        import dataclasses
+
+        from repro.baselines import GustavsonSpGEMM
+        from repro.baselines.platforms import INTEL_CPU
+        from repro.experiments.common import gather_comparison_reports
+
+        slow_platform = dataclasses.replace(INTEL_CPU,
+                                            fixed_overhead_seconds=2e-3)
+        fast = GustavsonSpGEMM()
+        slow = GustavsonSpGEMM(platform=slow_platform)
+        _, baseline_reports = gather_comparison_reports(
+            {"m": (matrix, None)}, [fast, slow], runner=ExperimentRunner())
+        assert (baseline_reports[("m", 0)].runtime_seconds
+                < baseline_reports[("m", 1)].runtime_seconds)
+
+    def test_custom_energy_model_does_not_poison_the_shared_cache(self, matrix):
+        """Engines differing only in energy constants get distinct entries.
+
+        Regression: the memoised report bakes per-module energy in, so a
+        custom-constants engine must never replay a default-constants
+        entry (or vice versa) from the shared memo.
+        """
+        from repro.analysis.energy import EnergyConstants, EnergyModel
+        from repro.engines.sparch import SpArchEngine
+
+        zero_dram = EnergyModel(constants=EnergyConstants(dram_byte=0.0))
+        runner = ExperimentRunner()
+        default_report = runner.run_engine(SpArchEngine(), matrix)
+        custom_report = runner.run_engine(SpArchEngine(energy_model=zero_dram),
+                                          matrix)
+        assert runner.cache_misses == 2  # two points, no collision
+        assert custom_report.energy["HBM"] == 0.0
+        assert default_report.energy["HBM"] > 0.0
+        assert custom_report.energy_joules < default_report.energy_joules
+        # Direct (uncached) execution agrees with the memoised report.
+        direct = SpArchEngine(energy_model=zero_dram).run(matrix).report
+        assert direct.energy_joules == custom_report.energy_joules
+
+    def test_forced_backend_rekeys_and_relabels(self, matrix):
+        forced = ExperimentRunner(engine="scalar")
+        report = forced.run_engine("mkl", matrix)
+        assert report.backend == "scalar"
+        shared = ExperimentRunner()
+        assert shared.run_engine("mkl", matrix).backend == "vectorized"

@@ -1,0 +1,13 @@
+"""Fixtures for the metrics/engines layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matrices.synthetic import powerlaw_matrix
+
+
+@pytest.fixture(scope="session")
+def small_matrix():
+    """One small power-law matrix shared by the layer tests."""
+    return powerlaw_matrix(72, 4.0, seed=9)

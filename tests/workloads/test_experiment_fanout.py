@@ -1,0 +1,49 @@
+"""The ``--jobs`` fan-out of the workloads experiment is a pure speedup.
+
+Whole (workload, backend, matrix) pipeline runs ship to worker processes,
+each reducing to one aggregate cost report — so the fanned-out sweep must
+produce *identical* tables, metrics and reports to the serial path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GustavsonSpGEMM
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.workloads_e2e import run
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel():
+    kwargs = dict(max_rows=150, names=["wiki-Vote"],
+                  workload_ids=["triangles", "khop"],
+                  baselines=[GustavsonSpGEMM()])
+    serial = run(runner=ExperimentRunner(), **kwargs)
+    parallel = run(runner=ExperimentRunner(jobs=2), **kwargs)
+    return serial, parallel
+
+
+def test_fanout_metrics_identical(serial_and_parallel):
+    serial, parallel = serial_and_parallel
+    assert parallel.metrics == serial.metrics
+
+
+def test_fanout_tables_identical(serial_and_parallel):
+    serial, parallel = serial_and_parallel
+    assert parallel.table.rows == serial.table.rows
+
+
+def test_fanout_aggregate_reports_identical(serial_and_parallel):
+    serial, parallel = serial_and_parallel
+    assert set(parallel.reports) == set(serial.reports)
+    for key, report in serial.reports.items():
+        assert parallel.reports[key] == report, key
+
+
+def test_fanout_with_forced_scalar_backend_matches_serial():
+    kwargs = dict(max_rows=120, names=["wiki-Vote", "ca-CondMat"],
+                  workload_ids=["triangles"], baselines=[])
+    serial = run(runner=ExperimentRunner(engine="scalar"), **kwargs)
+    parallel = run(runner=ExperimentRunner(engine="scalar", jobs=2), **kwargs)
+    assert parallel.metrics == serial.metrics
