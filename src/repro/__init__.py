@@ -18,6 +18,8 @@ is intentionally small:
 * :mod:`repro.engines` — the :class:`~repro.engines.Engine` protocol and
   registry dispatching SpArch and every baseline by name.
 * :mod:`repro.analysis` — energy, area, roofline and analytical DRAM models.
+* :mod:`repro.corpus` / :mod:`repro.sweeps` — frozen scenario corpora and
+  sharded, resumable sweeps over them with an append-only result store.
 * :mod:`repro.experiments` — one runnable module per paper table/figure.
 """
 

@@ -1,0 +1,32 @@
+"""Scenario corpora: frozen, parameterized matrix families for sweeps.
+
+* :mod:`repro.corpus.spec` — :class:`Scenario` (a named, seed-deterministic
+  matrix recipe) and :class:`CorpusSpec` (an ordered family of scenarios).
+* :mod:`repro.corpus.registry` — registered corpora (suite scale ladders,
+  the rMAT grid, density/band sweeps, a CI smoke corpus) plus the public
+  constructor helpers for declaring new ones.
+"""
+
+from repro.corpus.registry import (
+    CORPORA,
+    band_sweep,
+    density_sweep,
+    get_corpus,
+    list_corpora,
+    rmat_grid,
+    suite_ladder,
+)
+from repro.corpus.spec import SCENARIO_FAMILIES, CorpusSpec, Scenario
+
+__all__ = [
+    "Scenario",
+    "CorpusSpec",
+    "SCENARIO_FAMILIES",
+    "CORPORA",
+    "list_corpora",
+    "get_corpus",
+    "suite_ladder",
+    "rmat_grid",
+    "density_sweep",
+    "band_sweep",
+]

@@ -26,6 +26,74 @@ from repro.formats.csr import CSRMatrix
 from repro.metrics.report import CostReport
 from repro.utils.maths import geometric_mean
 
+#: Sweep points of the four Figure 17 design-space axes, matching the
+#: paper's x-axes.  They live here (not in the fig17 harness) because the
+#: same grid is re-expressed as the registered ``fig17-dse`` corpus sweep.
+LINE_SIZE_SWEEP = (24, 36, 48, 60, 72, 84, 96)
+BUFFER_SHAPE_SWEEP = ((2048, 24), (1024, 48), (512, 96), (256, 192))
+COMPARATOR_SWEEP = (1, 2, 4, 8, 16)
+LOOKAHEAD_SWEEP = (1024, 2048, 4096, 8192, 16384)
+
+
+def fig17_grid(base_config: SpArchConfig | None = None, *,
+               buffer_scale: int = 16
+               ) -> dict[str, dict[str, SpArchConfig]]:
+    """The Figure 17 design-space grid as labelled config families.
+
+    Args:
+        base_config: configuration the sweeps perturb (Table I by default).
+        buffer_scale: prefetch-buffer and look-ahead capacities are divided
+            by this factor so scaled-down proxies exercise the same
+            capacity-pressure regime as the paper's full-size matrices.
+
+    Returns:
+        ``{family: {label: config}}`` with the four families ``"line"``
+        (prefetch line size), ``"shape"`` (buffer shape at fixed capacity),
+        ``"comparator"`` (merger array size) and ``"lookahead"`` (FIFO
+        size) — consumed label-keyed by the fig17 harness and flattened
+        into the ``fig17-dse`` sweep's config axis.
+    """
+    base_config = base_config or SpArchConfig()
+    scaled_lines = max(4, base_config.prefetch_buffer_lines // buffer_scale)
+    grid: dict[str, dict[str, SpArchConfig]] = {}
+    grid["line"] = {
+        f"{scaled_lines}x{line}": base_config.replace(
+            prefetch_buffer_lines=scaled_lines,
+            prefetch_line_elements=line)
+        for line in LINE_SIZE_SWEEP
+    }
+    grid["shape"] = {
+        f"{lines}x{elements}": base_config.replace(
+            prefetch_buffer_lines=max(2, lines // buffer_scale),
+            prefetch_line_elements=elements)
+        for lines, elements in BUFFER_SHAPE_SWEEP
+    }
+    grid["comparator"] = {
+        f"{size}x{size}": base_config.replace(
+            merger_width=size, merger_chunk_size=min(4, size))
+        for size in COMPARATOR_SWEEP
+    }
+    grid["lookahead"] = {
+        str(size): base_config.replace(
+            lookahead_fifo_elements=max(16, size // buffer_scale),
+            prefetch_buffer_lines=scaled_lines)
+        for size in LOOKAHEAD_SWEEP
+    }
+    return grid
+
+
+def flatten_grid(grid: dict[str, dict[str, SpArchConfig]]
+                 ) -> tuple[tuple[str, SpArchConfig], ...]:
+    """Flatten a ``{family: {label: config}}`` grid into labelled configs.
+
+    Labels become ``"family:label"`` — the form a
+    :class:`~repro.sweeps.spec.SweepSpec` declares its config axis in
+    (family prefixes keep labels unique across families).
+    """
+    return tuple((f"{family}:{label}", config)
+                 for family, configs in grid.items()
+                 for label, config in configs.items())
+
 
 def sweep_grid(configs: dict[str, SpArchConfig],
                matrices: dict[str, CSRMatrix], *,

@@ -16,17 +16,25 @@ The paper sweeps four parameters around the Table I design point:
 from __future__ import annotations
 
 from repro.core.config import SpArchConfig
+from repro.corpus.registry import DSE_BENCHMARKS
 from repro.experiments.common import ExperimentResult, default_suite
-from repro.experiments.designspace import summarise_grid, sweep_grid
+from repro.experiments.designspace import (
+    fig17_grid,
+    summarise_grid,
+    sweep_grid,
+)
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.utils.reporting import Table
 
-#: Sweep points of Figure 17, matching the paper's x-axes.
-LINE_SIZE_SWEEP = (24, 36, 48, 60, 72, 84, 96)
-BUFFER_SHAPE_SWEEP = ((2048, 24), (1024, 48), (512, 96), (256, 192))
-COMPARATOR_SWEEP = (1, 2, 4, 8, 16)
-LOOKAHEAD_SWEEP = (1024, 2048, 4096, 8192, 16384)
+#: Display row of each grid family, in the paper's presentation order
+#: (metric keys use the family name itself).
+_FAMILY_ROWS = {
+    "line": "(a) line size",
+    "shape": "(b) buffer shape",
+    "comparator": "(c) comparator array",
+    "lookahead": "(d) look-ahead FIFO",
+}
 
 PAPER_METRICS = {
     "chosen_line_elements": 48,
@@ -68,8 +76,9 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
     runner = runner or default_runner()
     if matrices is None:
         if names is None:
-            names = ["wiki-Vote", "facebook", "email-Enron", "ca-CondMat",
-                     "p2p-Gnutella31"]
+            # The same benchmark subset the registered fig17-dse corpus
+            # sweep runs — one definition of the grid's matrix axis.
+            names = list(DSE_BENCHMARKS)
         matrices = default_suite(max_rows=max_rows, names=names)
 
     table = Table(
@@ -78,52 +87,24 @@ def run(*, max_rows: int = 800, names: list[str] | None = None,
     )
     metrics: dict[str, float] = {}
 
-    # (a) line size at a fixed number of (scaled) lines.
-    lines = max(4, base_config.prefetch_buffer_lines // buffer_scale)
-    configs = {
-        f"{lines}x{line}": base_config.replace(prefetch_buffer_lines=lines,
-                                               prefetch_line_elements=line)
-        for line in LINE_SIZE_SWEEP
-    }
-    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
-        table.add_row("(a) line size", label, gflops, dram)
-        metrics[f"gflops[line:{label.split('x')[1]}]"] = gflops
-        metrics[f"dram[line:{label.split('x')[1]}]"] = dram
-
-    # (b) buffer shape at fixed total capacity.
-    configs = {}
-    for shape_lines, shape_elements in BUFFER_SHAPE_SWEEP:
-        scaled_lines = max(2, shape_lines // buffer_scale)
-        configs[f"{shape_lines}x{shape_elements}"] = base_config.replace(
-            prefetch_buffer_lines=scaled_lines,
-            prefetch_line_elements=shape_elements)
-    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
-        table.add_row("(b) buffer shape", label, gflops, dram)
-        metrics[f"gflops[shape:{label}]"] = gflops
-        metrics[f"dram[shape:{label}]"] = dram
-
-    # (c) comparator array size.
-    configs = {
-        f"{size}x{size}": base_config.replace(merger_width=size,
-                                              merger_chunk_size=min(4, size))
-        for size in COMPARATOR_SWEEP
-    }
-    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
-        table.add_row("(c) comparator array", label, gflops, dram)
-        metrics[f"gflops[comparator:{label.split('x')[0]}]"] = gflops
-
-    # (d) look-ahead FIFO size.
-    configs = {
-        str(size): base_config.replace(
-            lookahead_fifo_elements=max(16, size // buffer_scale),
-            prefetch_buffer_lines=max(4, base_config.prefetch_buffer_lines
-                                      // buffer_scale))
-        for size in LOOKAHEAD_SWEEP
-    }
-    for label, (gflops, dram) in _sweep(matrices, configs, runner).items():
-        table.add_row("(d) look-ahead FIFO", label, gflops, dram)
-        metrics[f"gflops[lookahead:{label}]"] = gflops
-        metrics[f"dram[lookahead:{label}]"] = dram
+    # The shared Figure 17 grid (designspace.fig17_grid) — the same labelled
+    # configs the registered `fig17-dse` corpus sweep executes.
+    grid = fig17_grid(base_config, buffer_scale=buffer_scale)
+    for family, configs in grid.items():
+        for label, (gflops, dram) in _sweep(matrices, configs,
+                                            runner).items():
+            table.add_row(_FAMILY_ROWS[family], label, gflops, dram)
+            # Metric keys keep their historical, family-specific point
+            # naming: line size by elements-per-line, comparator by width.
+            if family == "line":
+                point = label.split("x")[1]
+            elif family == "comparator":
+                point = label.split("x")[0]
+            else:
+                point = label
+            metrics[f"gflops[{family}:{point}]"] = gflops
+            if family != "comparator":
+                metrics[f"dram[{family}:{point}]"] = dram
 
     return ExperimentResult(
         experiment_id="fig17",

@@ -139,25 +139,49 @@ def baseline_simulation_key(baseline: SpGEMMBaseline, matrix_a: CSRMatrix,
                             include_backend=include_engine)
 
 
-def engine_point_key(engine: Engine, matrix_a: CSRMatrix,
+def engine_point_key(engine: Engine, matrix_a: CSRMatrix | None,
                      matrix_b: CSRMatrix | None, *,
-                     include_backend: bool = False) -> str:
+                     include_backend: bool = False,
+                     fingerprint_a: str | None = None,
+                     fingerprint_b: str | None = None) -> str:
     """Cache key of one ``A · B`` point under any :class:`Engine`.
 
     The model identity comes from the engine's own
     :meth:`~repro.engines.base.Engine.cache_fields` (which excludes the
     execution backend by contract); ``include_backend=True`` adds the
     backend for forced cross-check runs.
+
+    Self-products are keyed by *fingerprint equality*, not object identity:
+    ``matrix_b=None``, ``matrix_b is matrix_a`` and an equal-content copy
+    of ``matrix_a`` all describe the same ``A · A`` computation, so they
+    must share one cache entry.  (An earlier revision hashed identity-based
+    self-products as a ``b"self"`` sentinel, which gave an equal-content
+    copy a different key and silently fragmented the memo.)
+
+    ``fingerprint_a`` / ``fingerprint_b`` accept precomputed
+    :func:`matrix_fingerprint` values so grid callers (the sweeps driver
+    keys every config cell of a scenario against one operand) hash each
+    matrix once instead of once per cell.  With ``fingerprint_a`` given,
+    ``matrix_a`` may be ``None`` — a key can be computed for an operand
+    that is no longer materialised.
     """
     identity = dict(engine.cache_fields())
     if include_backend:
         identity["backend"] = engine.backend
     digest = hashlib.sha256()
-    digest.update(matrix_fingerprint(matrix_a).encode())
-    if matrix_b is None or matrix_b is matrix_a:
-        digest.update(b"self")
-    else:
-        digest.update(matrix_fingerprint(matrix_b).encode())
+    if fingerprint_a is None:
+        if matrix_a is None:
+            raise ValueError("matrix_a may be None only with fingerprint_a")
+        fingerprint_a = matrix_fingerprint(matrix_a)
+    if fingerprint_b is None:
+        # An explicit fingerprint_b always wins — without it, a missing
+        # (or identical) matrix_b means the self-product ``A · A``.
+        if matrix_b is None or matrix_b is matrix_a:
+            fingerprint_b = fingerprint_a
+        else:
+            fingerprint_b = matrix_fingerprint(matrix_b)
+    digest.update(fingerprint_a.encode())
+    digest.update(fingerprint_b.encode())
     digest.update(_identity_fingerprint(identity).encode())
     return digest.hexdigest()
 
@@ -256,6 +280,27 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # The unified entry points: any registered engine, cost reports out
     # ------------------------------------------------------------------
+    def point_key(self, engine: Engine | str,
+                  matrix_a: CSRMatrix | None, *,
+                  matrix_b: CSRMatrix | None = None,
+                  fingerprint_a: str | None = None,
+                  fingerprint_b: str | None = None) -> str:
+        """The cache key :meth:`run_engine` would memoise this point under.
+
+        Applies the runner's forced backend (and its backend-specific
+        keying), exactly as the execution path does — this is the
+        fingerprint the sweep :class:`~repro.sweeps.store.ResultStore`
+        records per cell, linking a sweep's results to the runner's memo.
+        Precomputed operand fingerprints are forwarded to
+        :func:`engine_point_key` (with ``fingerprint_a`` given,
+        ``matrix_a`` may be ``None``).
+        """
+        engine = self._effective_engine(engine)
+        return engine_point_key(engine, matrix_a, matrix_b,
+                                include_backend=self._engine is not None,
+                                fingerprint_a=fingerprint_a,
+                                fingerprint_b=fingerprint_b)
+
     def run_engine(self, engine: Engine | str, matrix_a: CSRMatrix, *,
                    matrix_b: CSRMatrix | None = None) -> CostReport:
         """Run one ``A · B`` point (``B = A`` by default), memoised.
@@ -278,18 +323,30 @@ class ExperimentRunner:
             self.cache_hits += 1
         return CostReport.from_dict(payload)
 
-    def run_engine_many(self, tasks: list[tuple[Engine | str, CSRMatrix]]
+    def run_engine_many(self, tasks: list[tuple[Engine | str, CSRMatrix]],
+                        *, keys: list[str] | None = None
                         ) -> list[CostReport]:
         """Run many ``A · A`` points, fanning uncached ones out.
 
         Args:
             tasks: ``(engine, matrix)`` pairs; order is preserved in the
                 returned list and duplicate points compute once.
+            keys: optional precomputed :meth:`point_key` values aligned
+                with ``tasks`` — grid callers that already fingerprinted
+                every point (the sweeps driver) skip re-hashing each
+                operand's CSR arrays per task.
         """
         engines = [self._effective_engine(engine) for engine, _ in tasks]
         forced = self._engine is not None
-        keys = [engine_point_key(engine, matrix, None, include_backend=forced)
-                for engine, (_, matrix) in zip(engines, tasks)]
+        if keys is None:
+            keys = [engine_point_key(engine, matrix, None,
+                                     include_backend=forced)
+                    for engine, (_, matrix) in zip(engines, tasks)]
+        elif len(keys) != len(tasks):
+            raise ValueError(
+                f"keys length {len(keys)} does not match "
+                f"{len(tasks)} tasks"
+            )
         kinds = [self._cache_kind(engine) for engine in engines]
 
         missing: dict[str, tuple[Engine, CSRMatrix, None]] = {}

@@ -1,0 +1,97 @@
+"""The registered ``sweep`` experiment: a corpus sweep as a harness.
+
+Runs one registered :class:`~repro.sweeps.spec.SweepSpec` (the Figure 17
+design-space grid by default, re-expressed over the corpus layer) through
+the sharded driver and summarises the result store per (engine, config)
+group — the same geomean-GFLOP/s / DRAM-bytes quantities Figure 17 plots.
+Because it is a registered experiment, the sweep inherits the whole CLI
+surface for free: ``--json`` emits the unified payload with every cell's
+:class:`~repro.metrics.report.CostReport` attached, ``--reports`` prints
+them as one cost table, and ``--jobs``/``--cache-dir`` fan out and memoise
+through the shared runner.
+
+``python -m repro.sweeps`` remains the operational interface (shards,
+resumable stores, merge/summarise of shard artifacts); this harness is the
+paper-facing view of the same machinery.
+
+Note:
+    ``repro.sweeps`` is imported lazily inside :func:`run`: the experiment
+    registry imports this module eagerly, while the sweeps registry imports
+    :mod:`repro.experiments.designspace` for the shared Figure 17 grid — a
+    top-level import here would close that cycle.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.designspace import geomean_gflops
+
+#: Headline design points of the Figure 17 grid (the default sweep) —
+#: the fig17 harness's values, one definition for both views of the grid.
+from repro.experiments.fig17_dse import PAPER_METRICS
+from repro.experiments.runner import ExperimentRunner, default_runner
+
+
+def run(*, sweep: str = "fig17-dse", shard_index: int = 0,
+        shard_count: int = 1, store_path: str | None = None,
+        max_rows: int | None = None,
+        runner: ExperimentRunner | None = None) -> ExperimentResult:
+    """Execute a registered sweep and summarise its result store.
+
+    Args:
+        sweep: sweep registry id (``python -m repro.sweeps --list``).
+        shard_index / shard_count: deterministic cell slice to own —
+            harness runs default to the whole grid.
+        store_path: append results to (and resume from) this JSONL store;
+            ``None`` keeps the store in memory for the harness run.
+        max_rows: cap the corpus scenario dimensions (the standard
+            experiment ``--max-rows`` contract).
+        runner: experiment runner providing memoised/batched execution.
+    """
+    from repro.sweeps.driver import group_reports, run_sweep, summarise_groups
+    from repro.sweeps.registry import get_sweep
+    from repro.sweeps.store import merge_records, records_to_reports
+
+    spec = get_sweep(sweep)
+    runner = runner or default_runner()
+    summary, store = run_sweep(spec, store=store_path, runner=runner,
+                               shard_index=shard_index,
+                               shard_count=shard_count, max_rows=max_rows)
+    # A shared store may hold other sweeps' cells; this harness reports
+    # exactly the requested sweep's grid.
+    records = [record for record in merge_records(store.records)
+               if record.sweep_id == spec.sweep_id]
+
+    # One deserialisation pass feeds the attached per-cell reports, the
+    # grouped summary table and the headline metrics alike.
+    cell_reports = records_to_reports(records)
+    groups = group_reports(records, reports=cell_reports)
+    table = summarise_groups(
+        groups, title=f"Corpus sweep '{spec.sweep_id}' — {spec.title}")
+    metrics: dict[str, float] = {"cells": float(summary.cells_grid)}
+    for (engine, label), reports in groups.items():
+        group = f"{engine}|{label}"
+        metrics[f"gflops[{group}]"] = geomean_gflops(reports)
+        metrics[f"dram[{group}]"] = float(sum(report.dram_bytes
+                                              for report in reports))
+
+    notes = [summary.render()]
+    if store.path is not None:
+        notes.append(f"result store: {store.path}")
+    return ExperimentResult(
+        experiment_id="sweep",
+        title=f"Corpus sweep ({spec.sweep_id})",
+        table=table,
+        metrics=metrics,
+        paper_values=dict(PAPER_METRICS) if sweep == "fig17-dse" else {},
+        notes=notes,
+        reports=cell_reports,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

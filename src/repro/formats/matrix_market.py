@@ -38,8 +38,9 @@ def read_matrix_market(source: str | Path | io.TextIOBase) -> CSRMatrix:
         The matrix in canonical CSR form (sorted rows, duplicates summed).
 
     Raises:
-        ValueError: for array-format files, complex fields or malformed
-            headers/entries.
+        ValueError: for array-format files, complex fields, malformed
+            headers/entries, or nonzero diagonal entries in a file declared
+            ``skew-symmetric`` (whose diagonal is identically zero).
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
@@ -103,7 +104,20 @@ def read_matrix_market(source: str | Path | io.TextIOBase) -> CSRMatrix:
         raise ValueError(f"expected {nnz} entries, found {count}")
 
     if symmetry in ("symmetric", "skew-symmetric"):
+        # Mirror strictly off-diagonal entries only: an explicit diagonal
+        # entry is its own transpose, so mirroring it would double-count
+        # the value when coordinates are summed during canonicalisation.
         off_diagonal = rows != cols
+        if symmetry == "skew-symmetric":
+            # A = -Aᵀ forces a zero diagonal; a nonzero explicit diagonal
+            # entry contradicts the declared symmetry, so fail loudly
+            # instead of loading a matrix that is not skew-symmetric.
+            diagonal_vals = vals[~off_diagonal]
+            if np.any(diagonal_vals != 0.0):
+                raise ValueError(
+                    "skew-symmetric MatrixMarket file declares nonzero "
+                    "diagonal entries"
+                )
         mirror_sign = -1.0 if symmetry == "skew-symmetric" else 1.0
         mirror_rows = cols[off_diagonal]
         mirror_cols = rows[off_diagonal]

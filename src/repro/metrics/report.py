@@ -48,7 +48,16 @@ if TYPE_CHECKING:  # imported lazily inside the converters to keep
 #: Version of the serialised report layout.  Bump on any incompatible
 #: change; the experiment runner keys its cache on this number, so old
 #: entries invalidate instead of deserialising into the wrong shape.
-SCHEMA_VERSION = 2
+#: v3: integer op counters (cycles, multiplications, additions, output_nnz,
+#: ...) serialise and summarise as ints — earlier layouts floated them in
+#: ``summary()``, losing precision past 2**53 on large sweep aggregates.
+SCHEMA_VERSION = 3
+
+#: The counter fields that must stay exact integers through every
+#: serialisation path (floats lose precision past 2**53, which aggregated
+#: corpus sweeps do reach).
+_INT_COUNTER_FIELDS = ("cycles", "multiplications", "additions",
+                       "bookkeeping_ops", "comparator_ops", "output_nnz")
 
 #: The two point kinds plus the sum of several points.
 KINDS = ("simulation", "baseline", "aggregate")
@@ -166,8 +175,18 @@ class CostReport:
     # Serialisation (lossless JSON round trip)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Serialise every field to a JSON-compatible dict."""
-        return dataclasses.asdict(self)
+        """Serialise every field to a JSON-compatible dict.
+
+        Integer op counters are emitted as Python ints (never floats, never
+        numpy scalars): JSON round-trips arbitrary-precision ints exactly,
+        while a float representation silently loses precision past 2**53.
+        """
+        payload = dataclasses.asdict(self)
+        for name in _INT_COUNTER_FIELDS:
+            payload[name] = int(payload[name])
+        payload["traffic"] = {str(k): int(v)
+                              for k, v in payload["traffic"].items()}
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CostReport":
@@ -184,6 +203,8 @@ class CostReport:
                 f"cost report schema mismatch: payload version {version}, "
                 f"supported version {SCHEMA_VERSION}"
             )
+        for name in _INT_COUNTER_FIELDS:
+            data[name] = int(data.get(name, 0))
         data["traffic"] = {str(k): int(v)
                            for k, v in data.get("traffic", {}).items()}
         data["energy"] = {str(k): float(v)
@@ -199,20 +220,25 @@ class CostReport:
         """Rebuild a report from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
-    def summary(self) -> dict[str, float]:
-        """Flat dict of the headline numbers, for tables and ``--json``."""
+    def summary(self) -> dict[str, float | int]:
+        """Flat dict of the headline numbers, for tables and ``--json``.
+
+        Op counters stay exact ints (an earlier revision floated them,
+        losing precision past 2**53 — which aggregated corpus sweeps reach);
+        genuinely continuous metrics stay floats.
+        """
         return {
-            "cycles": float(self.cycles),
+            "cycles": int(self.cycles),
             "runtime_seconds": self.runtime_seconds,
             "gflops": self.gflops,
-            "dram_bytes": float(self.dram_bytes),
+            "dram_bytes": int(self.dram_bytes),
             "energy_joules": self.energy_joules,
             "energy_per_flop": self.energy_per_flop,
             "operational_intensity": self.operational_intensity,
             "bandwidth_utilization": self.bandwidth_utilization,
-            "multiplications": float(self.multiplications),
-            "additions": float(self.additions),
-            "output_nnz": float(self.output_nnz),
+            "multiplications": int(self.multiplications),
+            "additions": int(self.additions),
+            "output_nnz": int(self.output_nnz),
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Sharded, resumable corpus sweeps with an append-only result store.
+
+* :mod:`repro.sweeps.spec` — :class:`SweepSpec` (corpus × engines ×
+  SpArch configs) and the canonical cell order / shard assignment.
+* :mod:`repro.sweeps.store` — the JSONL :class:`ResultStore`: one
+  schema-versioned :class:`~repro.metrics.report.CostReport` per cell,
+  keyed by the experiment runner's fingerprint, with canonical merging.
+* :mod:`repro.sweeps.driver` — :func:`run_sweep`, the sharded/resumable
+  executor over :class:`~repro.experiments.runner.ExperimentRunner`.
+* :mod:`repro.sweeps.registry` — registered sweeps (``smoke``,
+  ``fig17-dse``, ``engines-suite``, ``rmat-sweep``).
+* ``python -m repro.sweeps`` — the run / merge / summarise CLI.
+"""
+
+from repro.sweeps.driver import (
+    SweepRunSummary,
+    group_reports,
+    run_sweep,
+    summarise_groups,
+    summarise_records,
+)
+from repro.sweeps.registry import SWEEPS, get_sweep, list_sweeps
+from repro.sweeps.spec import (
+    NO_CONFIG_LABEL,
+    SweepCell,
+    SweepSpec,
+    enumerate_cells,
+    shard_cells,
+)
+from repro.sweeps.store import (
+    STORE_VERSION,
+    ResultStore,
+    SweepRecord,
+    merge_files,
+    merge_records,
+    parse_line,
+    records_to_reports,
+    render_records,
+    require_single_sweep,
+    write_records,
+)
+
+__all__ = [
+    "SweepSpec",
+    "SweepCell",
+    "NO_CONFIG_LABEL",
+    "enumerate_cells",
+    "shard_cells",
+    "ResultStore",
+    "SweepRecord",
+    "STORE_VERSION",
+    "parse_line",
+    "merge_records",
+    "merge_files",
+    "records_to_reports",
+    "render_records",
+    "require_single_sweep",
+    "write_records",
+    "run_sweep",
+    "SweepRunSummary",
+    "group_reports",
+    "summarise_groups",
+    "summarise_records",
+    "SWEEPS",
+    "list_sweeps",
+    "get_sweep",
+]

@@ -1,0 +1,158 @@
+"""Command-line runner: ``python -m repro.sweeps <command> [...]``.
+
+Three subcommands cover the sweep-as-a-service lifecycle:
+
+* ``run SWEEP --store out.jsonl [--shard i/n]`` — execute (one shard of) a
+  registered sweep, appending schema-versioned cost reports to a resumable
+  JSONL result store.  Re-running with the same store re-executes only
+  unfinished cells; ``--jobs``/``--cache-dir`` reuse the experiment
+  runner's fan-out and disk memo.
+* ``merge --out merged.jsonl SHARD...`` — canonically merge shard stores
+  (sorted by cell order, one record per cell; conflicting records of one
+  cell — stores written under different parameters — are refused); the
+  merged bytes are independent of shard count and resume history.
+* ``summarise STORE...`` — print the per-(engine, config) summary table
+  (geomean GFLOP/s, DRAM, runtime, energy) of one or more stores.
+
+``--list`` (or no arguments) prints the registered sweeps and corpora.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.corpus.registry import get_corpus, list_corpora
+from repro.experiments.runner import ExperimentRunner
+from repro.sweeps.driver import run_sweep, summarise_records
+from repro.sweeps.registry import get_sweep, list_sweeps
+from repro.sweeps.spec import enumerate_cells
+from repro.sweeps.store import merge_files, write_records
+
+
+def _parse_shard(value: str) -> tuple[int, int]:
+    """Parse ``"i/n"`` into ``(shard_index, shard_count)``."""
+    try:
+        index_text, count_text = value.split("/", 1)
+        shard_index, shard_count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected SHARD as i/n (e.g. 0/2), got {value!r}"
+        ) from None
+    if shard_count < 1 or not 0 <= shard_index < shard_count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= i < n, got {value!r}"
+        )
+    return shard_index, shard_count
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps",
+        description="Sharded, resumable corpus sweeps over the engine "
+                    "registry.",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered sweeps and corpora and "
+                             "exit")
+    commands = parser.add_subparsers(dest="command")
+
+    run = commands.add_parser(
+        "run", help="execute (one shard of) a registered sweep")
+    run.add_argument("sweep", help="sweep id (see --list)")
+    run.add_argument("--store", default=None, metavar="PATH",
+                     help="resumable JSONL result store (default: "
+                          "in-memory only)")
+    run.add_argument("--shard", type=_parse_shard, default=(0, 1),
+                     metavar="I/N",
+                     help="own cells with index %% N == I (default 0/1)")
+    run.add_argument("--max-rows", type=int, default=None,
+                     help="cap the corpus scenario dimensions")
+    run.add_argument("--max-cells", type=int, default=None,
+                     help="stop after executing this many cells "
+                          "(time-boxed incremental runs)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the engine fan-out")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="share the experiment runner's on-disk memo")
+    run.add_argument("--engine", choices=("scalar", "vectorized"),
+                     default=None,
+                     help="force an execution backend (backend-specific "
+                          "fingerprints, as in the experiments CLI)")
+
+    merge = commands.add_parser(
+        "merge", help="canonically merge shard stores into one")
+    merge.add_argument("stores", nargs="+", metavar="STORE",
+                       help="shard store files to merge")
+    merge.add_argument("--out", required=True, metavar="PATH",
+                       help="merged store destination")
+
+    summarise = commands.add_parser(
+        "summarise", help="print the per-(engine, config) summary of "
+                          "one or more stores")
+    summarise.add_argument("stores", nargs="+", metavar="STORE",
+                           help="store files to summarise (merged first)")
+    return parser
+
+
+def _print_listing() -> None:
+    print("registered sweeps:")
+    for sweep_id in list_sweeps():
+        spec = get_sweep(sweep_id)
+        cells = len(enumerate_cells(spec))
+        print(f"{sweep_id:>14}  {spec.title} "
+              f"[corpus {spec.corpus}, {cells} cells]")
+    print()
+    print("registered corpora:")
+    for corpus_id in list_corpora():
+        spec = get_corpus(corpus_id)
+        print(f"{corpus_id:>14}  {spec.title} "
+              f"[{len(spec.scenarios)} scenarios]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list or args.command is None:
+        _print_listing()
+        return 0
+
+    if args.command == "run":
+        spec = get_sweep(args.sweep)
+        runner = ExperimentRunner(cache_dir=args.cache_dir, jobs=args.jobs,
+                                  engine=args.engine)
+        shard_index, shard_count = args.shard
+        summary, store = run_sweep(
+            spec, store=args.store, runner=runner,
+            shard_index=shard_index, shard_count=shard_count,
+            max_rows=args.max_rows, max_cells=args.max_cells)
+        print(summary.render())
+        print(f"[runner] {runner.cache_misses} points computed, "
+              f"{runner.cache_hits} reused from cache")
+        if store.path is not None:
+            print(f"[store] {len(store)} records in {store.path}")
+        return 0
+
+    if args.command == "merge":
+        records = merge_files(args.stores)
+        write_records(args.out, records)
+        print(f"[merge] {len(records)} records from {len(args.stores)} "
+              f"store(s) -> {args.out}")
+        return 0
+
+    # "summarise" — one table per sweep (shared stores may hold several).
+    records = merge_files(args.stores)
+    sweep_ids = sorted({record.sweep_id for record in records})
+    for sweep_id in sweep_ids:
+        mine = [record for record in records if record.sweep_id == sweep_id]
+        print(summarise_records(
+            mine,
+            title=f"sweep {sweep_id!r} summary ({len(mine)} cells)"
+        ).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

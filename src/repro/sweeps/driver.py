@@ -1,0 +1,372 @@
+"""Sharded, resumable sweep execution over the experiment runner.
+
+:func:`run_sweep` turns a frozen :class:`~repro.sweeps.spec.SweepSpec` into
+engine executions: it enumerates the canonical cell order, keeps the
+deterministic ``index % shard_count`` slice, skips every cell already
+recorded in the :class:`~repro.sweeps.store.ResultStore`, and runs the
+rest in chunks through
+:meth:`~repro.experiments.runner.ExperimentRunner.run_engine_many` (process
+fan-out under ``--jobs``), appending one schema-versioned record per cell
+as each chunk lands.  Because records append *per chunk* and done-ness is
+per cell, a killed sweep loses at most one chunk of work and a resumed one
+re-executes only unfinished cells.
+
+Each record also carries the runner's point fingerprint: cells that
+coincide (two grid configs collapsing to one effective design) still get
+their own records but *compute* once through the runner's memo, and a
+sweep sharing a ``--cache-dir`` with the figure harnesses replays their
+overlapping points instead of re-simulating them — and vice versa.  The
+fingerprint doubles as a guard: a store whose records disagree with the
+current invocation's fingerprints was written under different parameters
+and is refused rather than silently mixed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from itertools import groupby
+
+from repro.corpus.spec import CorpusSpec, Scenario
+from repro.engines.base import Engine
+from repro.engines.registry import create_engine
+from repro.experiments.designspace import geomean_gflops
+from repro.experiments.runner import (
+    ExperimentRunner,
+    default_runner,
+    matrix_fingerprint,
+)
+from repro.formats.csr import CSRMatrix
+from repro.metrics.report import CostReport
+from repro.sweeps.spec import SweepCell, SweepSpec, enumerate_cells, shard_cells
+from repro.sweeps.store import ResultStore, SweepRecord, records_to_reports
+from repro.utils.reporting import Table
+
+
+@dataclass(frozen=True)
+class SweepRunSummary:
+    """Outcome of one :func:`run_sweep` invocation.
+
+    Attributes:
+        sweep_id: the executed sweep.
+        shard_index / shard_count: the shard this invocation owned.
+        cells_grid: cells in the whole sweep grid.
+        cells_shard: cells assigned to this shard.
+        executed: cells recorded by this invocation (coinciding cells
+            compute once through the runner's memo but each count here).
+        replayed: shard cells already recorded in the store — skipped.
+        remaining: shard cells left unexecuted by a ``max_cells`` stop.
+    """
+
+    sweep_id: str
+    shard_index: int
+    shard_count: int
+    cells_grid: int
+    cells_shard: int
+    executed: int
+    replayed: int
+    remaining: int
+
+    def render(self) -> str:
+        """One status line, e.g. for the CLI."""
+        return (f"[sweep {self.sweep_id}] shard "
+                f"{self.shard_index}/{self.shard_count}: "
+                f"{self.cells_shard} of {self.cells_grid} cells, "
+                f"{self.executed} executed, {self.replayed} replayed, "
+                f"{self.remaining} remaining")
+
+
+#: Process-wide fingerprint memo keyed by the frozen scenario recipe.
+#: Scenarios build deterministically from their parameters, so a recipe's
+#: operand fingerprint never changes — memoising it makes a fully-recorded
+#: (no-op) resume skip matrix generation entirely for scenarios this
+#: process has hashed before.
+_FINGERPRINT_MEMO: dict[Scenario, str] = {}
+
+
+def _scenario_fingerprint(scenario: Scenario) -> str:
+    """The scenario's operand fingerprint, memoised by recipe.
+
+    A cold scenario is built transiently just to hash; the matrix is
+    dropped immediately (execution materialises operands per chunk).
+    """
+    fingerprint = _FINGERPRINT_MEMO.get(scenario)
+    if fingerprint is None:
+        fingerprint = matrix_fingerprint(scenario.build())
+        _FINGERPRINT_MEMO[scenario] = fingerprint
+    return fingerprint
+
+
+def _cell_engine(cell: SweepCell,
+                 engines: dict[tuple[str, str], Engine]) -> Engine:
+    """Build (or reuse) the engine instance executing ``cell``."""
+    cache_key = (cell.engine, cell.config_label)
+    if cache_key not in engines:
+        if cell.config is not None:
+            engines[cache_key] = create_engine(cell.engine,
+                                               config=cell.config)
+        else:
+            engines[cache_key] = create_engine(cell.engine)
+    return engines[cache_key]
+
+
+def _check_store_consistency(spec: SweepSpec, corpus: CorpusSpec,
+                             store: ResultStore, runner: ExperimentRunner,
+                             engines: dict[tuple[str, str], Engine],
+                             expected_keys: dict[tuple[str, str, str, str],
+                                                 str],
+                             fingerprints: dict[str, str],
+                             indices: dict[tuple[str, str, str, str], int]
+                             ) -> None:
+    """Refuse to resume a store written under different parameters.
+
+    Every record of *this* sweep — this shard's cells and the ones other
+    shards wrote into a shared store alike — must sit at its cell's
+    current canonical index *and* carry the fingerprint the current
+    invocation would compute for it.  A disagreement means a different
+    corpus scale, a forced backend, or an edited spec (renamed labels,
+    added or reordered scenarios); resuming anyway would append a second,
+    incompatible copy of the grid — or scramble the canonical order the
+    byte-identical merge contract rests on.  Records of *other* sweeps are
+    ignored: stores may legitimately be shared, each sweep owning its own
+    cells.
+    """
+    for record in store.records:
+        if record.sweep_id != spec.sweep_id:
+            continue
+        if indices.get(record.cell) != record.cell_index:
+            raise ValueError(
+                f"result store {store.path or '<memory>'} holds cell "
+                f"{'|'.join(record.cell[1:])!r} of sweep "
+                f"{spec.sweep_id!r} at canonical index "
+                f"{record.cell_index}, which does not match the current "
+                f"grid — the spec or corpus was edited since the store "
+                f"was written; use a fresh store"
+            )
+        expected = expected_keys.get(record.cell)
+        if expected is None:
+            expected = _expected_record_key(record, spec, corpus, runner,
+                                            engines, fingerprints)
+            if expected is not None:
+                expected_keys[record.cell] = expected
+        if expected is None or record.key != expected:
+            raise ValueError(
+                f"result store {store.path or '<memory>'} holds cell "
+                f"{'|'.join(record.cell[1:])!r} of sweep "
+                f"{spec.sweep_id!r} under a different fingerprint — it was "
+                f"written with different parameters (corpus scale, forced "
+                f"backend, or an edited spec); use a fresh store or rerun "
+                f"with the original parameters"
+            )
+
+
+def _expected_record_key(record: SweepRecord, spec: SweepSpec,
+                         corpus: CorpusSpec, runner: ExperimentRunner,
+                         engines: dict[tuple[str, str], Engine],
+                         fingerprints: dict[str, str]) -> str | None:
+    """The fingerprint this invocation would assign a record's cell.
+
+    Used for records outside the current shard's slice (another shard's
+    cells in a shared store).  Returns ``None`` when the record's
+    coordinates do not exist in the current spec/corpus — an edited spec,
+    which the caller reports as an inconsistency.
+    """
+    if record.engine not in spec.engines:
+        return None
+    try:
+        scenario = corpus.get_scenario(record.scenario)
+        config = spec.config_for(record.config_label)
+    except KeyError:
+        return None
+    engine_key = (record.engine, record.config_label)
+    if engine_key not in engines:
+        engines[engine_key] = (create_engine(record.engine, config=config)
+                               if config is not None
+                               else create_engine(record.engine))
+    fingerprint = fingerprints.get(record.scenario)
+    if fingerprint is None:
+        fingerprint = _scenario_fingerprint(scenario)
+        fingerprints[record.scenario] = fingerprint
+    # With a precomputed operand fingerprint the matrix itself is not
+    # needed by the key computation (self-product, B = A).
+    return runner.point_key(engines[engine_key], None,
+                            fingerprint_a=fingerprint)
+
+
+def run_sweep(spec: SweepSpec, *,
+              store: ResultStore | str | os.PathLike | None = None,
+              runner: ExperimentRunner | None = None,
+              shard_index: int = 0, shard_count: int = 1,
+              max_rows: int | None = None,
+              max_cells: int | None = None,
+              chunk_size: int | None = None
+              ) -> tuple[SweepRunSummary, ResultStore]:
+    """Execute (this shard of) a sweep, appending results to the store.
+
+    Args:
+        spec: the frozen sweep declaration.
+        store: result store instance, JSONL path, or ``None`` for an
+            in-memory store.  An existing file resumes: recorded cells are
+            skipped, unfinished ones execute.
+        runner: experiment runner (memoisation, ``--jobs`` fan-out);
+            defaults to the process-wide runner.
+        shard_index / shard_count: deterministic ``index % shard_count``
+            slice of the canonical cell order this invocation owns.
+        max_rows: cap the corpus scenario dimensions (smoke runs).
+        max_cells: stop after executing this many cells — the programmatic
+            equivalent of a mid-flight kill, used by the resumability tests
+            and useful for time-boxed incremental runs.
+        chunk_size: cells per execution batch (defaults to the runner's
+            job count); records append after each batch, bounding how much
+            work a kill can lose.
+
+    Returns:
+        ``(summary, store)`` — the run's counts and the (possibly newly
+        created) store holding every completed cell.
+    """
+    runner = runner or default_runner()
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    cells = enumerate_cells(spec, max_rows=max_rows)
+    mine = shard_cells(cells, shard_index, shard_count)
+
+    corpus = spec.corpus_spec(max_rows=max_rows)
+    engines: dict[tuple[str, str], Engine] = {}
+    pending: list[tuple[SweepCell, Engine, str]] = []
+    expected_keys: dict[tuple[str, str, str, str], str] = {}
+    fingerprints: dict[str, str] = {}
+    done = store.done_cells
+    replayed = 0
+    # Key cells one scenario at a time (the shard slice preserves the
+    # scenario-major canonical order): each operand's fingerprint comes
+    # from the recipe-keyed memo — a scenario this process hashed before
+    # is not even rebuilt, so a fully-recorded (no-op) resume touches no
+    # matrices at all, and a cold one holds at most one matrix at a time.
+    for name, group in groupby(mine, key=lambda cell: cell.scenario.name):
+        fingerprint = _scenario_fingerprint(corpus.get_scenario(name))
+        fingerprints[name] = fingerprint
+        for cell in group:
+            engine = _cell_engine(cell, engines)
+            key = runner.point_key(engine, None, fingerprint_a=fingerprint)
+            cell_identity = (spec.sweep_id, name, cell.engine,
+                             cell.config_label)
+            expected_keys[cell_identity] = key
+            if cell_identity in done:
+                replayed += 1
+            else:
+                pending.append((cell, engine, key))
+
+    indices = {(spec.sweep_id, cell.scenario.name, cell.engine,
+                cell.config_label): cell.index for cell in cells}
+    _check_store_consistency(spec, corpus, store, runner, engines,
+                             expected_keys, fingerprints, indices)
+
+    if max_cells is not None and max_cells < 0:
+        raise ValueError(f"max_cells must be non-negative, got {max_cells}")
+    budget = len(pending) if max_cells is None else min(max_cells,
+                                                        len(pending))
+    chunk = max(1, chunk_size if chunk_size is not None else runner.jobs)
+
+    # Execution materialises operands lazily, chunk by chunk, and frees
+    # each scenario's matrix after its last pending cell runs — peak
+    # memory is one chunk's operands, never the remaining corpus.  A cold
+    # scenario with pending cells is thus generated twice (once above to
+    # fingerprint, once here to execute); that is deliberate: generation
+    # is cheap next to simulation, warm processes skip the first build
+    # through the fingerprint memo, and the alternative — retaining every
+    # pending operand from the keying loop — scales peak memory with the
+    # whole un-run grid.
+    last_use = {cell.scenario.name: position
+                for position, (cell, _, _) in enumerate(pending)}
+    matrices: dict[str, CSRMatrix] = {}
+    executed = 0
+    while executed < budget:
+        batch = pending[executed:min(executed + chunk, budget)]
+        for name in {cell.scenario.name for cell, _, _ in batch}:
+            if name not in matrices:
+                matrices[name] = corpus.get_scenario(name).build()
+        reports = runner.run_engine_many(
+            [(engine, matrices[cell.scenario.name])
+             for cell, engine, _ in batch],
+            keys=[key for _, _, key in batch])
+        for (cell, _, key), report in zip(batch, reports):
+            store.append(SweepRecord(
+                sweep_id=spec.sweep_id,
+                cell_index=cell.index,
+                scenario=cell.scenario.name,
+                engine=cell.engine,
+                config_label=cell.config_label,
+                key=key,
+                report=report.to_dict(),
+            ))
+        executed += len(batch)
+        # Free operands whose last pending cell has now run; memory only
+        # shrinks as the (scenario-contiguous) pending list drains.
+        for name in [name for name, position in last_use.items()
+                     if position < executed]:
+            del matrices[name]
+            del last_use[name]
+
+    summary = SweepRunSummary(
+        sweep_id=spec.sweep_id,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        cells_grid=len(cells),
+        cells_shard=len(mine),
+        executed=executed,
+        replayed=replayed,
+        remaining=len(pending) - executed,
+    )
+    return summary, store
+
+
+# ----------------------------------------------------------------------
+# Summarising stores
+# ----------------------------------------------------------------------
+def group_reports(records: list[SweepRecord], *,
+                  reports: dict[str, CostReport] | None = None
+                  ) -> dict[tuple[str, str], list[CostReport]]:
+    """Records' reports grouped by ``(engine, config label)``.
+
+    Group order follows first appearance, which for canonical (merged)
+    records is the sweep's engine/config declaration order.  ``reports``
+    accepts a precomputed :func:`~repro.sweeps.store.records_to_reports`
+    mapping so callers that also need the per-cell reports deserialise
+    each record only once.
+    """
+    if reports is None:
+        reports = records_to_reports(records)
+    groups: dict[tuple[str, str], list[CostReport]] = {}
+    for record in records:
+        groups.setdefault((record.engine, record.config_label),
+                          []).append(reports[record.report_key])
+    return groups
+
+
+def summarise_groups(groups: dict[tuple[str, str], list[CostReport]], *,
+                     title: str = "sweep summary") -> Table:
+    """Per-(engine, config) summary table of grouped reports.
+
+    The Figure 17 quantities — geomean GFLOP/s and total DRAM bytes — plus
+    modelled runtime and headline energy, one row per grid column.
+    """
+    table = Table(
+        title=title,
+        columns=["engine", "config", "cells", "geomean GFLOP/s",
+                 "DRAM [B]", "runtime [s]", "energy [J]"],
+    )
+    for (engine, label), reports in groups.items():
+        table.add_row(
+            engine, label, len(reports),
+            geomean_gflops(reports),
+            sum(report.dram_bytes for report in reports),
+            sum(report.runtime_seconds for report in reports),
+            sum(report.energy_joules for report in reports),
+        )
+    return table
+
+
+def summarise_records(records: list[SweepRecord], *,
+                      title: str = "sweep summary") -> Table:
+    """Per-(engine, config) summary table of a (merged) result store."""
+    return summarise_groups(group_reports(records), title=title)

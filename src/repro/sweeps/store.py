@@ -1,0 +1,338 @@
+"""Append-only, resumable JSONL result store for corpus sweeps.
+
+One line per completed sweep cell: the cell's coordinates (scenario /
+engine / config label, plus its canonical index), the *runner fingerprint*
+the cell's :class:`~repro.metrics.report.CostReport` is memoised under, and
+the schema-versioned report payload itself.  The format is designed around
+three operations a long-running sweep needs:
+
+* **Resume** — a killed run reopens its store, collects the cell
+  identities of the lines that survived (a torn final line from the kill
+  parses as corrupt and is simply skipped), and re-executes only cells
+  without a record.  Every grid cell gets exactly one record — cells that
+  share a fingerprint (two ladder rungs capping to one proxy, grid configs
+  coinciding at small scale) *compute* once through the runner's memo but
+  are each recorded under their own coordinates, so summaries never lose a
+  grid point.
+* **Rotation** — a line whose report was written under an older
+  :data:`~repro.metrics.report.SCHEMA_VERSION` (or store layout) is treated
+  as *not done*: stale results rotate out by recomputation, exactly like
+  the experiment runner's cache keys, never by coercion.
+* **Merge** — shard stores concatenate into one *canonical* store:
+  records sorted by canonical cell order and deduplicated per cell.
+  Canonicalisation makes the merged bytes a pure function of the sweep
+  spec and the engines' deterministic results — independent of shard
+  count, resume points and append order — which is what the resumability
+  tests assert byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.metrics.report import SCHEMA_VERSION, CostReport
+from repro.sweeps.spec import cell_key
+
+#: Version of the store line layout.  Bump on any incompatible change;
+#: loading skips (and a resumed sweep recomputes) lines from other layouts.
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One completed cell: coordinates, runner fingerprint, cost report.
+
+    Attributes:
+        sweep_id: the owning sweep's registry id.
+        cell_index: the cell's position in the sweep's canonical order.
+        scenario: corpus scenario name.
+        engine: engine registry name.
+        config_label: SpArch config label (``"-"`` for baselines).
+        key: the experiment runner's point fingerprint — the identity the
+            runner memoises the report under, linking store records to the
+            shared simulation memo (and letting the driver detect a store
+            written under different parameters).
+        report: the cell's ``CostReport.to_dict()`` payload, verbatim.
+    """
+
+    sweep_id: str
+    cell_index: int
+    scenario: str
+    engine: str
+    config_label: str
+    key: str
+    report: dict
+
+    @property
+    def cell(self) -> tuple[str, str, str, str]:
+        """The record's cell identity (sweep, scenario, engine, config)."""
+        return (self.sweep_id, self.scenario, self.engine, self.config_label)
+
+    @property
+    def report_key(self) -> str:
+        """The record's report key, ``scenario|engine|config``."""
+        return cell_key(self.scenario, self.engine, self.config_label)
+
+    def to_line(self) -> str:
+        """Serialise to one canonical JSONL line (sorted keys, ``\\n``)."""
+        payload = {
+            "store_version": STORE_VERSION,
+            "sweep_id": self.sweep_id,
+            "cell_index": self.cell_index,
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "config_label": self.config_label,
+            "key": self.key,
+            "report": self.report,
+        }
+        return json.dumps(payload, sort_keys=True) + "\n"
+
+    def cost_report(self) -> CostReport:
+        """Deserialise the embedded report."""
+        return CostReport.from_dict(self.report)
+
+
+def parse_line(line: str) -> SweepRecord | None:
+    """Parse one store line; ``None`` marks it *not done* (recompute).
+
+    Returns ``None`` for blank lines, torn/corrupt JSON (a kill mid-append),
+    other store layouts, and reports written under a different
+    :data:`~repro.metrics.report.SCHEMA_VERSION` — stale entries rotate by
+    recomputation, never by coercion.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("store_version") != STORE_VERSION:
+        return None
+    report = payload.get("report")
+    if (not isinstance(report, dict)
+            or report.get("schema_version") != SCHEMA_VERSION):
+        return None
+    try:
+        return SweepRecord(
+            sweep_id=str(payload["sweep_id"]),
+            cell_index=int(payload["cell_index"]),
+            scenario=str(payload["scenario"]),
+            engine=str(payload["engine"]),
+            config_label=str(payload["config_label"]),
+            key=str(payload["key"]),
+            report=report,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class ResultStore:
+    """Append-only record store, optionally persisted as a JSONL file.
+
+    Args:
+        path: JSONL file location; an existing file's valid records are
+            loaded (that is what makes a sweep resumable).  ``None`` keeps
+            the store in memory only — one process lifetime, used by the
+            ``sweep`` experiment harness when no ``--store`` is given.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._records: list[SweepRecord] = []
+        self._cells: dict[tuple[str, str, str, str], str] = {}
+        self._keys: set[str] = set()
+        self._needs_newline = False
+        if self._path is not None and self._path.is_file():
+            text = self._path.read_text()
+            # A kill mid-append leaves a torn final line with no newline;
+            # the first append after resume must not glue its record onto
+            # that fragment (which would silently corrupt *both* lines).
+            self._needs_newline = bool(text) and not text.endswith("\n")
+            for line in text.splitlines():
+                record = parse_line(line)
+                if record is None:
+                    continue
+                existing = self._cells.get(record.cell)
+                if existing is None:
+                    self._records.append(record)
+                    self._cells[record.cell] = (record.key,
+                                                record.cell_index)
+                    self._keys.add(record.key)
+                elif existing != (record.key, record.cell_index):
+                    # Two fingerprints (or canonical indices) for one cell
+                    # in a single file: the file concatenates stores
+                    # written under different parameters or spec
+                    # revisions.  A legitimate store can never contain
+                    # this (the driver refuses cross-parameter appends),
+                    # so fail loudly rather than silently keep one side.
+                    raise ValueError(
+                        f"store {self._path} holds conflicting records "
+                        f"for cell {'|'.join(record.cell[1:])!r} of sweep "
+                        f"{record.cell[0]!r} — it mixes results written "
+                        f"under different parameters or spec revisions"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    @property
+    def records(self) -> list[SweepRecord]:
+        """The loaded/appended records, in arrival order (a copy)."""
+        return list(self._records)
+
+    @property
+    def done_cells(self) -> set[tuple[str, str, str, str]]:
+        """Cell identities of every recorded cell (a copy)."""
+        return set(self._cells)
+
+    @property
+    def done_keys(self) -> set[str]:
+        """Runner fingerprints of every recorded cell (a copy)."""
+        return set(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        """Whether any recorded cell carries this runner fingerprint."""
+        return key in self._keys
+
+    # ------------------------------------------------------------------
+    def append(self, record: SweepRecord) -> None:
+        """Append one completed cell, flushed to disk immediately.
+
+        Duplicate *cells* are ignored (each grid cell has exactly one
+        record); distinct cells sharing a fingerprint are all recorded —
+        the computation deduplicates in the runner's memo, the grid never
+        loses a point.
+        """
+        if record.cell in self._cells:
+            return
+        self._records.append(record)
+        self._cells[record.cell] = (record.key, record.cell_index)
+        self._keys.add(record.key)
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self._path, "a", encoding="utf-8") as handle:
+                if self._needs_newline:
+                    # Terminate the torn line a kill left behind, so it
+                    # stays an isolated (skipped) fragment instead of
+                    # corrupting this record too.
+                    handle.write("\n")
+                    self._needs_newline = False
+                handle.write(record.to_line())
+                handle.flush()
+
+    def reports(self) -> dict[str, CostReport]:
+        """Every record's report, keyed by ``scenario|engine|config``.
+
+        Raises ``ValueError`` for stores shared by several sweeps — filter
+        :attr:`records` by ``sweep_id`` first.
+        """
+        return records_to_reports(self._records)
+
+
+def require_single_sweep(records: list[SweepRecord]) -> None:
+    """Reject record sets spanning more than one sweep.
+
+    The per-cell report keys and the (engine, config) summary groups are
+    meaningful within one sweep's grid; silently collapsing or mixing the
+    cells of two sweeps sharing a store would misattribute results.
+    Callers holding a shared store filter by ``sweep_id`` first (as the
+    summarise CLI and the ``sweep`` experiment do).
+    """
+    sweep_ids = {record.sweep_id for record in records}
+    if len(sweep_ids) > 1:
+        raise ValueError(
+            f"records span multiple sweeps ({', '.join(sorted(sweep_ids))});"
+            f" filter by sweep_id before keying or summarising them"
+        )
+
+
+def records_to_reports(records: list[SweepRecord]) -> dict[str, CostReport]:
+    """Deserialise records into ``{"scenario|engine|config": report}``.
+
+    The one definition of the report-key format, shared by
+    :meth:`ResultStore.reports` and the ``sweep`` experiment harness.
+    Records must belong to one sweep (see :func:`require_single_sweep`).
+    """
+    require_single_sweep(records)
+    return {record.report_key: record.cost_report() for record in records}
+
+
+# ----------------------------------------------------------------------
+# Canonical merge
+# ----------------------------------------------------------------------
+def merge_records(records: list[SweepRecord]) -> list[SweepRecord]:
+    """Canonicalise records: sort by canonical cell order, one per cell.
+
+    Duplicate records of one *cell* (the same file merged twice, a race
+    between concurrent writers) collapse to the first in sorted order;
+    distinct cells always survive, even when they share a fingerprint.
+    The result is independent of input order, shard split and resume
+    history.
+
+    Raises:
+        ValueError: when two records of one cell carry *different*
+            fingerprints or canonical indices — the inputs were produced
+            under different parameters (corpus scale, forced backend) or
+            spec revisions (added/reordered scenarios), and collapsing
+            them would quietly mix incompatible grids; mixed stores are
+            refused, never merged.
+    """
+    merged: dict[tuple[str, str, str, str], SweepRecord] = {}
+    for record in sorted(records,
+                         key=lambda r: (r.sweep_id, r.cell_index, r.key)):
+        existing = merged.get(record.cell)
+        if existing is None:
+            merged[record.cell] = record
+        elif (existing.key != record.key
+              or existing.cell_index != record.cell_index):
+            raise ValueError(
+                f"conflicting records for cell "
+                f"{'|'.join(record.cell[1:])!r} of sweep "
+                f"{record.sweep_id!r}: two fingerprints or canonical "
+                f"indices — the inputs were written under different "
+                f"parameters or spec revisions and cannot be merged"
+            )
+    return sorted(merged.values(),
+                  key=lambda r: (r.sweep_id, r.cell_index, r.key))
+
+
+def merge_files(paths: list[str | os.PathLike]) -> list[SweepRecord]:
+    """Load shard stores and merge them canonically.
+
+    Raises:
+        FileNotFoundError: when a named store does not exist — a merge
+            quietly missing a shard would produce a plausible-looking but
+            incomplete result set, so a typo'd path must fail loudly
+            (unlike :class:`ResultStore`, whose missing file legitimately
+            means "fresh store").
+    """
+    records: list[SweepRecord] = []
+    for path in paths:
+        if not Path(path).is_file():
+            raise FileNotFoundError(f"result store not found: {path}")
+        records.extend(ResultStore(path).records)
+    return merge_records(records)
+
+
+def render_records(records: list[SweepRecord]) -> str:
+    """The canonical byte content of a store holding ``records``."""
+    return "".join(record.to_line() for record in records)
+
+
+def write_records(path: str | os.PathLike, records: list[SweepRecord]
+                  ) -> None:
+    """Write a canonical (merged) store file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_records(records))

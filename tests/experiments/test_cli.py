@@ -12,7 +12,7 @@ class TestCli:
         assert main(["--list"]) == 0
         output = capsys.readouterr().out
         for experiment_id in ("fig08", "fig11", "table2", "dram", "scheduler",
-                              "workloads"):
+                              "workloads", "sweep"):
             assert experiment_id in output
 
     def test_no_arguments_behaves_like_list(self, capsys):
@@ -70,7 +70,7 @@ class TestPublicImportSurface:
         "repro.formats", "repro.matrices", "repro.hardware", "repro.memory",
         "repro.core", "repro.baselines", "repro.analysis", "repro.apps",
         "repro.experiments", "repro.utils", "repro.workloads",
-        "repro.metrics", "repro.engines",
+        "repro.metrics", "repro.engines", "repro.corpus", "repro.sweeps",
     ])
     def test_subpackage_all_resolves(self, module_name):
         import importlib

@@ -47,7 +47,7 @@ class TestRegistry:
         ids = list_experiments()
         assert ids == ["fig08", "table2", "table3", "fig11", "fig12", "fig13",
                        "fig14", "fig15", "fig16", "fig17", "fig18", "dram",
-                       "condense", "scheduler", "workloads"]
+                       "condense", "scheduler", "workloads", "sweep"]
 
     def test_lookup_and_error(self):
         entry = get_experiment("fig11")

@@ -78,6 +78,85 @@ class TestSchemaVersionedFingerprint:
             assert payload["schema_version"] == SCHEMA_VERSION
 
 
+class TestSelfProductCacheIdentity:
+    """Satellite regression: self-products are keyed by fingerprint
+    equality, so ``simulate(A)`` and an equal-content *copy* of A passed as
+    ``matrix_b`` share one cache entry (an earlier revision hashed
+    identity-based self-products as a ``b"self"`` sentinel, fragmenting the
+    memo)."""
+
+    @staticmethod
+    def _copy_of(matrix):
+        from repro.formats.csr import CSRMatrix
+
+        return CSRMatrix(matrix.indptr.copy(), matrix.indices.copy(),
+                         matrix.data.copy(), matrix.shape)
+
+    def test_equal_content_copy_shares_the_key(self, matrix):
+        from repro.engines.sparch import SpArchEngine
+        from repro.experiments.runner import engine_point_key
+
+        engine = SpArchEngine()
+        self_key = engine_point_key(engine, matrix, None)
+        assert engine_point_key(engine, matrix, matrix) == self_key
+        assert engine_point_key(engine, matrix, self._copy_of(matrix)) == \
+            self_key
+
+    def test_distinct_b_still_gets_its_own_key(self, matrix):
+        from repro.engines.sparch import SpArchEngine
+        from repro.experiments.runner import engine_point_key
+        from repro.matrices.synthetic import powerlaw_matrix
+
+        other = powerlaw_matrix(matrix.shape[0], 4.0, seed=99)
+        engine = SpArchEngine()
+        assert engine_point_key(engine, matrix, other) != \
+            engine_point_key(engine, matrix, None)
+
+    def test_simulate_then_copy_product_hits_the_memo(self, matrix):
+        from repro.engines.sparch import SpArchEngine
+
+        runner = ExperimentRunner()
+        native = runner.simulate(matrix)
+        report = runner.run_engine(SpArchEngine(), matrix,
+                                   matrix_b=self._copy_of(matrix))
+        assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+        assert report.to_stats() == native
+
+    def test_precomputed_fingerprints_reproduce_the_keys(self, matrix):
+        """The dematerialised-operand path: keys computed from cached
+        fingerprints (matrix_a=None, explicit fingerprint_b) must equal
+        the keys computed from the matrices themselves."""
+        from repro.engines.sparch import SpArchEngine
+        from repro.experiments.runner import (engine_point_key,
+                                              matrix_fingerprint)
+        from repro.matrices.synthetic import powerlaw_matrix
+
+        other = powerlaw_matrix(matrix.shape[0], 4.0, seed=99)
+        engine = SpArchEngine()
+        fp_a, fp_b = matrix_fingerprint(matrix), matrix_fingerprint(other)
+        assert engine_point_key(engine, None, None, fingerprint_a=fp_a) == \
+            engine_point_key(engine, matrix, None)
+        # An explicit fingerprint_b wins even without a materialised B —
+        # the A·B key must never silently alias to the A·A self-product.
+        ab_key = engine_point_key(engine, None, None, fingerprint_a=fp_a,
+                                  fingerprint_b=fp_b)
+        assert ab_key == engine_point_key(engine, matrix, other)
+        assert ab_key != engine_point_key(engine, matrix, None)
+        with pytest.raises(ValueError, match="only with fingerprint_a"):
+            engine_point_key(engine, None, None)
+
+    def test_point_key_matches_the_execution_path(self, matrix):
+        """ExperimentRunner.point_key (what sweep stores record) is the key
+        run_engine memoises under, forced backend included."""
+        for runner in (ExperimentRunner(), ExperimentRunner(engine="scalar")):
+            key = runner.point_key("mkl", matrix)
+            runner.run_engine("mkl", matrix)
+            assert key in runner._memory_cache
+        unforced = ExperimentRunner().point_key("mkl", matrix)
+        forced = ExperimentRunner(engine="scalar").point_key("mkl", matrix)
+        assert unforced != forced  # forced backends re-key, as documented
+
+
 class TestUnifiedReportMemo:
     def test_run_engine_returns_reports_from_both_cache_tiers(self, matrix,
                                                               tmp_path):
@@ -90,6 +169,27 @@ class TestUnifiedReportMemo:
         replayed = reader.run_engine("cusparse", matrix)
         assert (reader.cache_hits, reader.cache_misses) == (1, 0)
         assert replayed == fresh
+
+    def test_run_engine_many_accepts_precomputed_keys(self, matrix,
+                                                      monkeypatch):
+        """Grid callers pass point_key results through run_engine_many to
+        skip re-hashing each operand's CSR arrays per task."""
+        runner = ExperimentRunner()
+        reference = runner.run_engine_many([("sparch", matrix),
+                                            ("mkl", matrix)])
+        keys = [runner.point_key("sparch", matrix),
+                runner.point_key("mkl", matrix)]
+        calls = []
+        monkeypatch.setattr(
+            runner_module, "matrix_fingerprint",
+            lambda m: calls.append(1) or "unused")
+        fresh = ExperimentRunner()
+        fresh._memory_cache = runner._memory_cache  # share the warm memo
+        assert fresh.run_engine_many([("sparch", matrix), ("mkl", matrix)],
+                                     keys=keys) == reference
+        assert not calls  # no operand was re-hashed
+        with pytest.raises(ValueError, match="does not match"):
+            fresh.run_engine_many([("sparch", matrix)], keys=keys)
 
     def test_run_engine_many_mixes_kinds_and_preserves_order(self, matrix):
         runner = ExperimentRunner()

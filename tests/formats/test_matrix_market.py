@@ -40,6 +40,27 @@ SKEW_FILE = """%%MatrixMarket matrix coordinate real skew-symmetric
 3 2 -1.0
 """
 
+SYMMETRIC_PATTERN_DIAGONAL_FILE = """%%MatrixMarket matrix coordinate pattern symmetric
+3 3 3
+1 1
+2 2
+3 1
+"""
+
+SKEW_NONZERO_DIAGONAL_FILE = """%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 3
+2 1 5.0
+2 2 7.0
+3 2 -1.0
+"""
+
+SKEW_ZERO_DIAGONAL_FILE = """%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 3
+2 1 5.0
+2 2 0.0
+3 2 -1.0
+"""
+
 
 def test_read_general_coordinate_file():
     matrix = read_matrix_market(io.StringIO(GENERAL_FILE))
@@ -65,6 +86,31 @@ def test_read_skew_symmetric_file_negates_mirror():
     dense = matrix.to_dense()
     assert dense[1, 0] == 5.0 and dense[0, 1] == -5.0
     np.testing.assert_allclose(dense, -dense.T)
+
+
+def test_symmetric_pattern_diagonal_entries_not_duplicated():
+    # Regression: mirroring must exclude the diagonal for *every* field
+    # type — a duplicated pattern diagonal would sum to 2.0 on
+    # canonicalisation.
+    matrix = read_matrix_market(io.StringIO(SYMMETRIC_PATTERN_DIAGONAL_FILE))
+    dense = matrix.to_dense()
+    assert dense[0, 0] == 1.0 and dense[1, 1] == 1.0
+    assert dense[2, 0] == 1.0 and dense[0, 2] == 1.0
+    assert matrix.nnz == 4
+
+
+def test_skew_symmetric_nonzero_diagonal_rejected():
+    # A = -A^T forces a zero diagonal; loading a contradicting file would
+    # silently produce a matrix that is not skew-symmetric.
+    with pytest.raises(ValueError, match="skew-symmetric.*diagonal"):
+        read_matrix_market(io.StringIO(SKEW_NONZERO_DIAGONAL_FILE))
+
+
+def test_skew_symmetric_explicit_zero_diagonal_accepted():
+    matrix = read_matrix_market(io.StringIO(SKEW_ZERO_DIAGONAL_FILE))
+    dense = matrix.to_dense()
+    np.testing.assert_allclose(dense, -dense.T)
+    assert dense[1, 1] == 0.0
 
 
 def test_read_pattern_file_uses_unit_values():

@@ -73,6 +73,55 @@ class TestRoundTripProperty:
         assert replayed.bandwidth_utilization == 0.0
 
 
+class TestIntegerCounterExactness:
+    """Satellite regression: op counters round-trip as exact ints.  An
+    earlier revision floated them in ``summary()``, which silently loses
+    precision past 2**53 — a magnitude long corpus-sweep aggregates reach.
+    """
+
+    BIG = 2**53 + 1  # the first integer a float64 cannot represent
+
+    def _big_report(self) -> CostReport:
+        return CostReport(engine="sparch", cycles=self.BIG,
+                          multiplications=self.BIG, additions=self.BIG + 2,
+                          bookkeeping_ops=self.BIG, comparator_ops=self.BIG,
+                          output_nnz=self.BIG, traffic={"total": self.BIG})
+
+    def test_summary_keeps_counters_as_exact_ints(self):
+        summary = self._big_report().summary()
+        for key in ("cycles", "multiplications", "additions", "output_nnz",
+                    "dram_bytes"):
+            assert isinstance(summary[key], int), key
+        assert summary["additions"] == self.BIG + 2  # float would collapse
+        assert summary["additions"] != float(self.BIG + 2)
+
+    def test_json_round_trip_is_exact_past_2_53(self):
+        report = self._big_report()
+        replayed = CostReport.from_json(report.to_json())
+        assert replayed == report
+        assert replayed.additions == self.BIG + 2
+        assert isinstance(replayed.additions, int)
+        assert replayed.traffic["total"] == self.BIG
+
+    def test_to_dict_emits_python_ints(self):
+        import numpy as np
+
+        # Engines compute closed-form counters in numpy; the serialised
+        # payload must still be plain JSON-compatible ints.
+        report = CostReport(engine="sparch",
+                            multiplications=np.int64(7),
+                            traffic={"total": np.int64(12)})
+        payload = report.to_dict()
+        assert type(payload["multiplications"]) is int
+        assert type(payload["traffic"]["total"]) is int
+        json.dumps(payload)  # must not raise on numpy scalars
+
+    def test_schema_version_was_bumped_for_the_int_layout(self):
+        # v3 introduced the exact-int contract; stale v2 cache entries must
+        # rotate (from_dict refuses them) instead of deserialising.
+        assert SCHEMA_VERSION >= 3
+
+
 class TestEngineProducedReports:
     """Round trips of real reports, including the empty-matrix edge case."""
 

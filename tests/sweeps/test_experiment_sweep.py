@@ -1,0 +1,53 @@
+"""The registered ``sweep`` experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments import sweep as sweep_experiment
+from repro.experiments.runner import ExperimentRunner
+
+
+class TestRegistration:
+    def test_sweep_is_registered(self):
+        assert "sweep" in list_experiments()
+        assert get_experiment("sweep").run is sweep_experiment.run
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep_experiment.run(sweep="smoke",
+                                    runner=ExperimentRunner())
+
+    def test_summary_table_and_metrics(self, result):
+        assert result.experiment_id == "sweep"
+        assert result.metrics["cells"] == 6.0
+        assert result.metrics["gflops[sparch|table1]"] > 0
+        assert result.metrics["dram[mkl|-]"] > 0
+        assert len(result.table.rows) == 2  # one row per (engine, config)
+
+    def test_reports_attached_per_cell(self, result):
+        assert len(result.reports) == 6
+        assert "wiki-Vote@120|sparch|table1" in result.reports
+        # The unified --json payload serialises them verbatim.
+        payload = result.to_payload()
+        assert len(payload["reports"]) == 6
+
+    def test_shard_run_covers_only_its_slice(self):
+        result = sweep_experiment.run(sweep="smoke", shard_index=0,
+                                      shard_count=2,
+                                      runner=ExperimentRunner())
+        assert len(result.reports) == 3
+
+    def test_store_path_persists_and_resumes(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        runner = ExperimentRunner()
+        first = sweep_experiment.run(sweep="smoke", store_path=str(path),
+                                     runner=runner)
+        again = sweep_experiment.run(sweep="smoke", store_path=str(path),
+                                     runner=runner)
+        assert path.is_file()
+        assert any("0 executed, 6 replayed" in note for note in again.notes)
+        assert again.metrics == first.metrics

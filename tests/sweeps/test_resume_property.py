@@ -1,0 +1,96 @@
+"""Property: sweep results are independent of kill points and shard counts.
+
+The acceptance contract of the sweeps subsystem: a sweep killed after *k*
+cells and resumed, and a sweep split over *n* shards and merged, must both
+produce a merged result store **byte-identical** to an uninterrupted
+single-shard run.  Hypothesis drives *k* over every prefix length and *n*
+over realistic shard counts; all executions share one memoising runner, so
+each engine point computes once for the whole module and the property runs
+at unit-test speed.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import ExperimentRunner
+from repro.sweeps import (
+    enumerate_cells,
+    get_sweep,
+    merge_files,
+    merge_records,
+    render_records,
+    run_sweep,
+)
+
+SMOKE = get_sweep("smoke")
+NUM_CELLS = len(enumerate_cells(SMOKE))
+
+#: One process-wide memoising runner: deterministic reports, computed once.
+RUNNER = ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def reference_bytes() -> str:
+    """Canonical merged bytes of an uninterrupted single-shard run."""
+    _, store = run_sweep(SMOKE, runner=RUNNER)
+    return render_records(merge_records(store.records))
+
+
+class TestResumeProperty:
+    @given(kill_after=st.integers(min_value=0, max_value=NUM_CELLS))
+    @settings(max_examples=NUM_CELLS + 1, deadline=None)
+    def test_kill_after_k_cells_then_resume_is_byte_identical(
+            self, kill_after, reference_bytes):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "store.jsonl"
+            killed, _ = run_sweep(SMOKE, store=path, runner=RUNNER,
+                                  max_cells=kill_after)
+            assert killed.executed == kill_after
+            resumed, store = run_sweep(SMOKE, store=path, runner=RUNNER)
+            # Only unfinished cells re-execute after the kill.
+            assert resumed.executed == NUM_CELLS - kill_after
+            assert resumed.replayed == kill_after
+            merged = render_records(merge_records(store.records))
+            assert merged == reference_bytes
+
+    @given(shard_count=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=4, deadline=None)
+    def test_sharded_execution_merges_to_the_single_shard_bytes(
+            self, shard_count, reference_bytes):
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for shard_index in range(shard_count):
+                path = Path(tmp) / f"shard{shard_index}.jsonl"
+                summary, _ = run_sweep(SMOKE, store=path, runner=RUNNER,
+                                       shard_index=shard_index,
+                                       shard_count=shard_count)
+                assert summary.executed == summary.cells_shard
+                paths.append(path)
+            merged = render_records(merge_files(paths))
+            assert merged == reference_bytes
+
+    @given(kill_after=st.integers(min_value=0, max_value=NUM_CELLS // 2),
+           shard_count=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_killed_shard_resumed_then_merged_is_byte_identical(
+            self, kill_after, shard_count, reference_bytes):
+        """Compose the two failure modes: shard 0 dies mid-flight, resumes,
+        and the shard artifacts still merge to the canonical bytes."""
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for shard_index in range(shard_count):
+                path = Path(tmp) / f"shard{shard_index}.jsonl"
+                if shard_index == 0:
+                    run_sweep(SMOKE, store=path, runner=RUNNER,
+                              shard_index=0, shard_count=shard_count,
+                              max_cells=kill_after)
+                run_sweep(SMOKE, store=path, runner=RUNNER,
+                          shard_index=shard_index, shard_count=shard_count)
+                paths.append(path)
+            assert render_records(merge_files(paths)) == reference_bytes
