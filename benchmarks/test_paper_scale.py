@@ -1,0 +1,86 @@
+"""Paper-scale smoke benchmark: a 10⁵-row suite rung, unscaled buffers.
+
+The benchmark suite normally runs on ``BENCH_MAX_ROWS = 600`` proxies with
+proxy-scaled buffers.  This module is the exception: it executes the
+*smallest paper-scale rung* — patents_main capped at 10⁵ rows — on the
+streaming engine with the **unscaled Table I configuration**, exactly the
+regime DESIGN.md's proxy-scaling argument used to exclude.  Tracked
+quantities:
+
+* ``rows_per_second`` — result rows divided by best-of wall-clock; the
+  headline throughput number for the paper-scale trajectory (methodology in
+  README.md § Paper scale).
+* ``peak_rss_mib`` — the process high-water mark after the run, a coarse
+  regression tripwire for the streaming core's bounded-memory claim.
+
+The threshold is deliberately loose (~15× below the measured laptop
+number): it exists to catch complexity regressions (an accidentally
+quadratic path turns minutes into hours at this scale), not to benchmark
+the host.  ``REPRO_BENCH_SOFT=1`` demotes a miss to a warning on shared CI
+runners.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+from bench_results import enforce_threshold, record_result
+from repro.core.accelerator import SpArch
+from repro.experiments.common import (
+    PAPER_SCALE_MAX_ROWS,
+    load_paper_scale_suite,
+)
+
+#: The smallest (cheapest-nnz) paper-scale rung of the suite ladder.
+RUNG_NAME = "patents_main"
+REPEATS = 3
+
+#: Rows/second floor — ~15× below the measured reference-host number, so
+#: only a complexity regression (not host speed) can trip it.
+MIN_ROWS_PER_SECOND = 2_000.0
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_paper_scale_rung_streaming_throughput():
+    """patents_main @ 10⁵ rows, streaming engine, unscaled Table I."""
+    suite = load_paper_scale_suite(max_rows=PAPER_SCALE_MAX_ROWS,
+                                   names=[RUNG_NAME])
+    matrix, config = suite[RUNG_NAME]
+    assert config.engine == "streaming"
+    assert config.prefetch_buffer_lines == 1024  # unscaled Table I
+    assert config.lookahead_fifo_elements == 8192
+
+    accelerator = SpArch(config)
+    # One warm-up run doubles as the correctness probe for the recorded
+    # output statistics.
+    result = accelerator.multiply(matrix, matrix)
+    assert result.matrix.nnz > 0
+    best = _best_of(REPEATS, lambda: accelerator.multiply(matrix, matrix))
+    rows_per_second = matrix.shape[0] / best
+    peak_rss_mib = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                    / 1024.0)
+
+    record_result(f"paper_scale[{RUNG_NAME}@{PAPER_SCALE_MAX_ROWS}]",
+                  seconds=best,
+                  rows_per_second=rows_per_second,
+                  rows=matrix.shape[0],
+                  nnz=matrix.nnz,
+                  output_nnz=result.matrix.nnz,
+                  merge_rounds=result.stats.num_merge_rounds,
+                  peak_rss_mib=peak_rss_mib,
+                  threshold=MIN_ROWS_PER_SECOND)
+    if rows_per_second < MIN_ROWS_PER_SECOND:
+        enforce_threshold(
+            f"paper-scale rung ran at {rows_per_second:,.0f} rows/s "
+            f"(< {MIN_ROWS_PER_SECOND:,.0f}; {best:.2f}s for "
+            f"{matrix.shape[0]:,} rows)"
+        )

@@ -15,11 +15,12 @@ final cycle count is the maximum of the memory-bound and compute-bound
 estimates plus the per-round startup overhead — the bandwidth-bound analysis
 the paper's roofline (Figure 15) is built on.
 
-Two interchangeable backends implement the multiply/merge hot path, chosen
+Three interchangeable backends implement the multiply/merge hot path, chosen
 by ``SpArchConfig.engine``: the scalar reference in this module
-(:class:`_LeafStreamer` + :class:`~repro.hardware.merge_tree.MergeTree`) and
-the batched implementation in :mod:`repro.core.vectorized`.  Both produce
-identical results and statistics — see
+(:class:`_LeafStreamer` + :class:`~repro.hardware.merge_tree.MergeTree`),
+the batched implementation in :mod:`repro.core.vectorized`, and the
+bounded-memory chunked implementation in :mod:`repro.core.streaming` used
+for paper-scale runs.  All produce identical results and statistics — see
 ``tests/integration/test_engine_equivalence.py``.  Everything else (plan
 construction, the prefetcher policy, traffic accounting, result
 materialisation) is shared code.
@@ -40,10 +41,12 @@ from repro.core.huffman import MergePlan, huffman_schedule, sequential_schedule
 from repro.core.partial_matrix import PartialMatrixStore, PartialMatrixWriter
 from repro.core.prefetcher import PrefetchStats, RowPrefetcher
 from repro.core.stats import SimulationStats, SpGEMMResult
+from repro.core.streaming import StreamingLeafStreamer, StreamingMergeTree
 from repro.core.vectorized import VectorizedLeafStreamer, VectorizedMergeTree
 from repro.formats.condensed import CondensedMatrix
 from repro.formats.convert import csr_to_csc
 from repro.formats.csr import CSRMatrix
+from repro.formats.keys import linear_keys
 from repro.hardware.merge_tree import MergeTree
 from repro.hardware.multiplier_array import MultiplierArray
 from repro.memory.hbm import HBMModel
@@ -122,7 +125,7 @@ class _LeafStreamer:
             a_cols = np.full(len(a_rows), column, dtype=np.int64)
             rows, cols, vals = self._multipliers.multiply_column(
                 a_rows, a_cols, a_vals, self._matrix_b)
-        keys = rows * self._matrix_b.num_cols + cols
+        keys = linear_keys(rows, cols, self._matrix_b.num_cols)
         return keys, vals
 
 
@@ -172,12 +175,17 @@ class SpArch:
         traffic = TrafficCounter()
         hbm = HBMModel(config.hbm)
         multipliers = MultiplierArray(config.num_multipliers)
-        tree_class = (VectorizedMergeTree if config.engine == "vectorized"
-                      else MergeTree)
-        merge_tree = tree_class(num_layers=config.merge_tree_layers,
-                                merger_width=config.merger_width,
-                                chunk_size=config.merger_chunk_size,
-                                fifo_capacity=config.partial_matrix_writer_fifo)
+        tree_kwargs = dict(num_layers=config.merge_tree_layers,
+                           merger_width=config.merger_width,
+                           chunk_size=config.merger_chunk_size,
+                           fifo_capacity=config.partial_matrix_writer_fifo)
+        if config.engine == "streaming":
+            merge_tree: MergeTree = StreamingMergeTree(
+                block_elements=config.streaming_block_elements, **tree_kwargs)
+        elif config.engine == "vectorized":
+            merge_tree = VectorizedMergeTree(**tree_kwargs)
+        else:
+            merge_tree = MergeTree(**tree_kwargs)
         store = PartialMatrixStore(traffic, element_bytes=config.element_bytes)
         writer = PartialMatrixWriter(traffic, element_bytes=config.element_bytes,
                                      fifo_depth=config.partial_matrix_writer_fifo)
@@ -191,12 +199,25 @@ class SpArch:
             stats.scheduler = self._scheduler_name()
             return SpGEMMResult(CSRMatrix.empty(result_shape), stats)
 
-        streamer_class = (VectorizedLeafStreamer if config.engine == "vectorized"
-                          else _LeafStreamer)
-        streamer = streamer_class(matrix_a, matrix_b, multipliers,
-                                  condensing=config.enable_matrix_condensing)
+        if config.engine == "streaming":
+            streamer: _LeafStreamer = StreamingLeafStreamer(
+                matrix_a, matrix_b, multipliers,
+                condensing=config.enable_matrix_condensing,
+                chunk_leaves=config.streaming_chunk_leaves)
+        elif config.engine == "vectorized":
+            streamer = VectorizedLeafStreamer(
+                matrix_a, matrix_b, multipliers,
+                condensing=config.enable_matrix_condensing)
+        else:
+            streamer = _LeafStreamer(
+                matrix_a, matrix_b, multipliers,
+                condensing=config.enable_matrix_condensing)
         weights = streamer.leaf_weights()
         plan = self._build_plan(weights)
+        if isinstance(streamer, StreamingLeafStreamer):
+            # Tell the lazy streamer which leaves the plan consumes next, so
+            # its generation chunks line up with consumption order.
+            streamer.bind_plan(plan)
         plan_is_pipelined = config.enable_pipelined_merge
 
         stats.num_partial_matrices = streamer.num_leaves

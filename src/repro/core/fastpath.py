@@ -1,0 +1,135 @@
+"""Compiled fast-path kernels for the merge/condensing hot loops.
+
+The streaming backend (and, through shared helpers, the vectorized one)
+funnels its per-block work through the two kernels here:
+
+* :func:`fold_sorted_runs` — duplicate-key folding + exact-zero elimination
+  of one sorted stream, the inner loop of every merge round;
+* :func:`row_offsets` — the offset-within-row of every stored CSR element,
+  the quantity matrix condensing groups by.
+
+Each kernel has two implementations.  The numpy one is the reference and
+always available; when :mod:`numba` is importable the jitted variant is
+installed instead (``HAVE_NUMBA`` records which one is live).  The numba
+loops replicate the numpy kernels' arithmetic exactly — ``fold`` accumulates
+each run left to right, the same association ``np.add.reduceat`` uses — so
+switching implementations never changes a bit of output; the differential
+harness (``tests/integration/test_engine_equivalence.py``) holds either way.
+
+The container this repository is developed in does not ship numba, so the
+numpy-blocked path is the one CI exercises; the numba path is gated, not
+required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    HAVE_NUMBA = True
+except ImportError:  # numba is an optional accelerator, never a dependency
+    numba = None
+    HAVE_NUMBA = False
+
+
+# ----------------------------------------------------------------------
+# Duplicate folding + zero elimination
+# ----------------------------------------------------------------------
+def _fold_sorted_runs_numpy(keys: np.ndarray, values: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Fold equal-key runs of a sorted stream and drop exact zeros.
+
+    Same ``np.add.reduceat`` kernel as
+    :meth:`repro.hardware.adder.AdderSlice.fold` (so the float sums are
+    bit-identical to the scalar backend), with the surviving keys gathered
+    once after the zero mask.  Returns ``(out_keys, out_values, num_runs)``
+    — the run count is what the adder's addition counter derives from.
+    """
+    if not len(keys):
+        return keys.copy(), values.copy(), 0
+    run_starts = np.empty(len(keys), dtype=bool)
+    run_starts[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=run_starts[1:])
+    num_runs = int(np.count_nonzero(run_starts))
+    if num_runs == len(keys):
+        # All keys distinct: nothing folds, only zeros could drop.
+        keep = values != 0.0
+        if keep.all():
+            return keys, values, num_runs
+        return keys[keep], values[keep], num_runs
+    starts = np.flatnonzero(run_starts)
+    folded_vals = np.add.reduceat(values, starts)
+    keep = folded_vals != 0.0
+    return keys[starts[keep]], folded_vals[keep], num_runs
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    @numba.njit(cache=True)
+    def _fold_sorted_runs_jit(keys, values):
+        n = len(keys)
+        out_keys = np.empty(n, dtype=keys.dtype)
+        out_vals = np.empty(n, dtype=values.dtype)
+        num_runs = 0
+        out = 0
+        i = 0
+        while i < n:
+            key = keys[i]
+            acc = values[i]
+            i += 1
+            # Left-to-right accumulation: the association np.add.reduceat
+            # (and the scalar AdderSlice) applies, so the IEEE-754 sums
+            # match the numpy kernel exactly.
+            while i < n and keys[i] == key:
+                acc += values[i]
+                i += 1
+            num_runs += 1
+            if acc != 0.0:
+                out_keys[out] = key
+                out_vals[out] = acc
+                out += 1
+        return out_keys[:out], out_vals[:out], num_runs
+
+    def fold_sorted_runs(keys: np.ndarray, values: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray, int]:
+        out_keys, out_vals, num_runs = _fold_sorted_runs_jit(keys, values)
+        return out_keys, out_vals, int(num_runs)
+
+    fold_sorted_runs.__doc__ = _fold_sorted_runs_numpy.__doc__
+else:
+    fold_sorted_runs = _fold_sorted_runs_numpy
+
+
+# ----------------------------------------------------------------------
+# Condensing offsets
+# ----------------------------------------------------------------------
+def _row_offsets_numpy(indptr: np.ndarray) -> np.ndarray:
+    """Offset of every stored element within its CSR row.
+
+    Element ``p`` of row-major CSR storage lives in condensed column
+    ``p - indptr[row(p)]``; this is the grouping key of matrix condensing
+    (§II-B) and of the leaf streamers' element grouping.
+    """
+    nnz = int(indptr[-1])
+    row_lengths = np.diff(indptr)
+    return (np.arange(nnz, dtype=np.int64)
+            - np.repeat(indptr[:-1], row_lengths))
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    @numba.njit(cache=True)
+    def _row_offsets_jit(indptr):
+        nnz = indptr[-1]
+        offsets = np.empty(nnz, dtype=np.int64)
+        for row in range(len(indptr) - 1):
+            start = indptr[row]
+            for position in range(start, indptr[row + 1]):
+                offsets[position] = position - start
+        return offsets
+
+    def row_offsets(indptr: np.ndarray) -> np.ndarray:
+        return _row_offsets_jit(np.asarray(indptr, dtype=np.int64))
+
+    row_offsets.__doc__ = _row_offsets_numpy.__doc__
+else:
+    row_offsets = _row_offsets_numpy

@@ -1,0 +1,223 @@
+"""Streaming simulation backend (``SpArchConfig(engine="streaming")``).
+
+The vectorized backend materialises *every* partial product of the multiply
+up front — an ``O(multiplications)`` allocation that is fine for the scaled
+proxies of DESIGN.md §2 but dwarfs the matrices themselves at paper scale
+(10⁵–10⁶ rows, tens of millions of products).  This module bounds the
+working set without changing a single bit of output:
+
+* :class:`StreamingLeafStreamer` defers partial-product generation until the
+  merge plan consumes each leaf, generating ``streaming_chunk_leaves``
+  upcoming leaves per batched numpy pass (the accelerator binds the plan's
+  consumption order via :meth:`StreamingLeafStreamer.bind_plan`).  Product
+  generation is elementwise-independent — each element's products are
+  ``value * B[col, :]`` regardless of batching — so chunked generation is
+  bit-identical to the all-at-once pass.
+* :class:`StreamingMergeTree` folds each merge round block by block instead
+  of sorting the whole concatenation at once: every iteration picks a key
+  *cutoff*, drains all elements ``≤ cutoff`` from every input stream, and
+  sorts/folds only that block (roughly ``streaming_block_elements`` elements
+  per contributing stream).
+
+Why the blocked merge is exact:
+
+* The cutoff is the minimum over active streams of the key ``block``
+  positions ahead (or the stream's last key), and *every* element ``≤
+  cutoff`` is taken from *every* stream via ``searchsorted(side="right")``.
+  Keys in later blocks are therefore strictly greater than every key in
+  this block, so (a) concatenating the per-block outputs reproduces the
+  globally sorted order, and (b) no equal-key run ever straddles a block
+  boundary — the per-block :func:`~repro.core.fastpath.fold_sorted_runs`
+  folds exactly the runs the global fold would, with the same left-to-right
+  association, no carry logic needed.
+* Within a block, the drained slices are concatenated in ascending stream
+  order — the same order the global concatenation uses — so the per-block
+  stable argsort breaks key ties identically to the global stable argsort.
+* Progress is guaranteed: the stream achieving the cutoff advances by at
+  least ``min(block, remaining)`` elements each iteration.
+
+All statistics are unaffected by construction: the tournament accounting is
+computed from stream lengths before any element moves (shared with the
+vectorized tree), and the adder counters accumulated per block sum to the
+global values because runs never straddle blocks.
+
+The differential harness (``tests/integration/test_engine_equivalence.py``)
+pins streaming == vectorized == scalar over all 16 ablation combinations,
+and a hypothesis property test pins invariance under every chunk/block size
+including the extremes (1 and ≥ everything).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastpath import fold_sorted_runs
+from repro.core.huffman import MergePlan
+from repro.core.vectorized import VectorizedLeafStreamer, VectorizedMergeTree
+from repro.formats.csr import CSRMatrix
+from repro.hardware.multiplier_array import MultiplierArray
+
+
+class StreamingLeafStreamer(VectorizedLeafStreamer):
+    """Leaf streamer that generates partial products chunk by chunk.
+
+    Reuses the vectorized streamer's metadata pass (element grouping,
+    product counts, cycle prefix sums — all O(nnz(A))) but skips the bulk
+    product materialisation: products are generated lazily for chunks of
+    ``chunk_leaves`` leaves in merge-plan consumption order, so at most one
+    chunk's products (plus any generated-but-unconsumed leaves of the
+    current chunk) are live at a time.
+
+    Args:
+        matrix_a: left operand in CSR format.
+        matrix_b: right operand in CSR format.
+        multipliers: multiplier array whose counters mirror the scalar model.
+        condensing: whether leaves are condensed or original columns.
+        chunk_leaves: leaves generated per batched numpy pass (≥ 1).
+    """
+
+    def __init__(self, matrix_a: CSRMatrix, matrix_b: CSRMatrix,
+                 multipliers: MultiplierArray, *, condensing: bool,
+                 chunk_leaves: int = 64) -> None:
+        self._chunk_leaves = max(1, int(chunk_leaves))
+        super().__init__(matrix_a, matrix_b, multipliers,
+                         condensing=condensing)
+
+    def _materialise(self) -> None:
+        """Defer product generation: nothing is built until leaves stream."""
+        self._pending: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._consume_order: list[int] | None = None
+        self._order_pos: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def bind_plan(self, plan: MergePlan) -> None:
+        """Learn the order the merge plan will consume leaves in.
+
+        Chunks are formed over this order so each batched generation pass
+        produces exactly the next ``chunk_leaves`` leaves the plan will ask
+        for.  Unbound (or for leaves outside the plan) the streamer falls
+        back to single-leaf generation — still correct, just less batched.
+        """
+        order = [node_id for merge_round in plan.rounds
+                 for node_id in merge_round.input_ids
+                 if node_id < plan.num_leaves]
+        if not plan.rounds and plan.num_leaves == 1:
+            order = [0]
+        self._consume_order = order
+        self._order_pos = {leaf: pos for pos, leaf in enumerate(order)}
+
+    def _generate_chunk(self, leaves: list[int]) -> None:
+        """Generate the partial products of the given leaves in one pass."""
+        starts = self._elem_starts
+        elem_idx = (np.concatenate(
+            [np.arange(starts[leaf], starts[leaf + 1], dtype=np.int64)
+             for leaf in leaves])
+            if leaves else np.empty(0, dtype=np.int64))
+        keys, vals = self._generate_products(elem_idx)
+        counts = [int(self._prod_starts[leaf + 1] - self._prod_starts[leaf])
+                  for leaf in leaves]
+        boundaries = np.cumsum(counts)[:-1] if len(counts) > 1 else []
+        for leaf, key_part, val_part in zip(leaves,
+                                            np.split(keys, boundaries),
+                                            np.split(vals, boundaries)):
+            self._pending[leaf] = (key_part, val_part)
+
+    def leaf_stream(self, leaf: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return one leaf's sorted (key, value) partial-product stream.
+
+        Generates the chunk of upcoming leaves containing this one if it is
+        not pending yet; the returned arrays are popped, so a consumed
+        leaf's products are immediately collectable.
+        """
+        self._record_leaf_counters(leaf)
+        if leaf not in self._pending:
+            if self._consume_order is not None and leaf in self._order_pos:
+                position = self._order_pos[leaf]
+                window = self._consume_order[
+                    position:position + self._chunk_leaves]
+                chunk = [l for l in window if l not in self._pending]
+            else:
+                chunk = [leaf]
+            self._generate_chunk(chunk)
+        return self._pending.pop(leaf)
+
+
+class StreamingMergeTree(VectorizedMergeTree):
+    """Merge tree that sorts and folds each round in bounded blocks.
+
+    Identical tournament accounting and epilogue to the vectorized tree
+    (both are lengths-only); only the functional merge+fold is overridden
+    with the cutoff-blocked equivalent described in the module docstring.
+
+    Args:
+        block_elements: target elements drained per stream per block (≥ 1);
+            the transient sort working set is bounded by roughly
+            ``block_elements × active streams``.
+    """
+
+    def __init__(self, num_layers: int = 6, merger_width: int = 16,
+                 chunk_size: int = 4, fifo_capacity: int = 1024, *,
+                 block_elements: int = 1 << 16) -> None:
+        super().__init__(num_layers=num_layers, merger_width=merger_width,
+                         chunk_size=chunk_size, fifo_capacity=fifo_capacity)
+        self._block_elements = max(1, int(block_elements))
+
+    def _merge_and_fold(self, cleaned: list[tuple[np.ndarray, np.ndarray]]
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        streams = [(keys, vals) for keys, vals in cleaned if len(keys)]
+        if not streams:
+            key_dtype = (np.result_type(*[keys.dtype for keys, _ in cleaned])
+                         if cleaned else np.dtype(np.int64))
+            return np.empty(0, dtype=key_dtype), np.empty(0)
+
+        block = self._block_elements
+        cursors = [0] * len(streams)
+        lengths = [len(keys) for keys, _ in streams]
+        out_key_parts: list[np.ndarray] = []
+        out_val_parts: list[np.ndarray] = []
+        adder_stats = self._adder.stats
+
+        while True:
+            active = [i for i in range(len(streams)) if cursors[i] < lengths[i]]
+            if not active:
+                break
+            # Largest key this block may contain: the smallest "block
+            # positions ahead" key over the active streams.  Every active
+            # stream contributes *all* of its elements ≤ cutoff, so later
+            # blocks hold strictly greater keys only.
+            cutoff = min(
+                int(streams[i][0][min(cursors[i] + block, lengths[i]) - 1])
+                for i in active)
+            part_keys: list[np.ndarray] = []
+            part_vals: list[np.ndarray] = []
+            for i in active:
+                keys, vals = streams[i]
+                start = cursors[i]
+                stop = start + int(np.searchsorted(keys[start:], cutoff,
+                                                   side="right"))
+                if stop > start:
+                    part_keys.append(keys[start:stop])
+                    part_vals.append(vals[start:stop])
+                    cursors[i] = stop
+            if len(part_keys) == 1:
+                block_keys, block_vals = part_keys[0], part_vals[0]
+            else:
+                all_keys = np.concatenate(part_keys)
+                all_vals = np.concatenate(part_vals)
+                order = np.argsort(all_keys, kind="stable")
+                block_keys = all_keys[order]
+                block_vals = all_vals[order]
+            folded_keys, folded_vals, num_runs = fold_sorted_runs(block_keys,
+                                                                  block_vals)
+            adder_stats.elements_processed += len(block_keys)
+            adder_stats.additions += len(block_keys) - num_runs
+            if len(folded_keys):
+                out_key_parts.append(folded_keys)
+                out_val_parts.append(folded_vals)
+
+        if not out_key_parts:
+            key_dtype = np.result_type(*[keys.dtype for keys, _ in streams])
+            return np.empty(0, dtype=key_dtype), np.empty(0)
+        if len(out_key_parts) == 1:
+            return out_key_parts[0], out_val_parts[0]
+        return np.concatenate(out_key_parts), np.concatenate(out_val_parts)

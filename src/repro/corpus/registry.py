@@ -17,6 +17,15 @@ from repro.matrices.rmat import rmat_benchmark_name
 DSE_BENCHMARKS = ("wiki-Vote", "facebook", "email-Enron", "ca-CondMat",
                   "p2p-Gnutella31")
 
+#: Big-suite benchmarks cheap enough to run at the paper-scale rung
+#: routinely (sparsest nnz/row first: patents_main ≈ 2.3, m133-b3 = 4).
+PAPER_SCALE_BENCHMARKS = ("patents_main", "m133-b3")
+
+#: The paper-scale dimension rung: 10⁵ rows, the low end of the regime the
+#: paper reports (10⁵–10⁶).  Scenarios at this rung run with *unscaled*
+#: Table I buffers on the streaming engine.
+PAPER_SCALE_RUNG = 100_000
+
 
 # ----------------------------------------------------------------------
 # Constructor helpers (public: build your own corpora from these)
@@ -114,6 +123,11 @@ CORPORA: tuple[CorpusSpec, ...] = (
         512, (8, 16, 32, 64),
         corpus_id="band-sweep",
         title="Banded FEM-style matrices over a bandwidth ladder",
+    ),
+    suite_ladder(
+        PAPER_SCALE_BENCHMARKS, (PAPER_SCALE_RUNG,),
+        corpus_id="paper-scale",
+        title="Paper-scale (10^5-row) suite rung, unscaled Table I buffers",
     ),
 )
 

@@ -42,6 +42,11 @@ class BaselineEngineAdapter(Engine):
         return getattr(self._baseline, "engine", "scalar")
 
     def using_backend(self, backend: str) -> "BaselineEngineAdapter":
+        # The baselines carry no streaming core: their vectorized path is
+        # already bounded-memory, so a streaming pin runs vectorized (the
+        # two SpArch backends it bridges are proven identical anyway).
+        if backend == "streaming":
+            backend = "vectorized"
         pinned = self._baseline.using_engine(backend)
         if pinned is self._baseline:
             return self

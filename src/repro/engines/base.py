@@ -19,10 +19,12 @@ from dataclasses import dataclass
 from repro.formats.csr import CSRMatrix
 from repro.metrics.report import CostReport
 
-#: The two execution backends every engine understands (the SpArch core
-#: and the baselines both carry a scalar reference loop and a vectorized
-#: fast path, proven identical by the differential harnesses).
-BACKENDS = ("scalar", "vectorized")
+#: The execution backends every engine understands, proven identical by the
+#: differential harnesses: a scalar reference loop, a vectorized fast path,
+#: and (for the SpArch core) the bounded-memory streaming backend used at
+#: paper scale.  Baselines have no streaming core and map "streaming" to
+#: their vectorized path.
+BACKENDS = ("scalar", "vectorized", "streaming")
 
 
 @dataclass

@@ -49,7 +49,7 @@ class SpArchEngine(Engine):
         return self._config.engine
 
     def using_backend(self, backend: str) -> "SpArchEngine":
-        """Return this engine pinned to the scalar/vectorized core."""
+        """Return this engine pinned to the scalar/vectorized/streaming core."""
         if backend == self._config.engine:
             return self
         return SpArchEngine(self._config.replace(engine=backend),
@@ -59,8 +59,9 @@ class SpArchEngine(Engine):
         """Cache identity: the configuration (minus the backend) and the
         energy constants.
 
-        The backend is excluded because both cores are proven to produce
-        identical statistics; the runner re-adds it for forced cross-check
+        The backend fields — engine choice and the streaming chunk sizes —
+        are excluded because all cores are proven to produce identical
+        statistics; the runner re-adds the engine for forced cross-check
         runs, exactly as it always keyed SpArch points.  The energy
         constants are *included* because the memoised report bakes the
         per-module energy in — two engines differing only in their energy
@@ -69,9 +70,11 @@ class SpArchEngine(Engine):
         import dataclasses
 
         from repro.analysis.energy import EnergyModel
+        from repro.core.config import BACKEND_FIELDS
 
         payload = dataclasses.asdict(self._config)
-        payload.pop("engine", None)
+        for field in BACKEND_FIELDS:
+            payload.pop(field, None)
         constants = (self._energy_model or EnergyModel()).constants
         return {"engine": self.name, "config": payload,
                 "energy": dataclasses.asdict(constants)}

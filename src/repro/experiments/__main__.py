@@ -40,7 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="memoise simulation results on disk under DIR "
                              "(e.g. .repro-cache); default: in-memory only")
-    parser.add_argument("--engine", choices=("scalar", "vectorized"),
+    parser.add_argument("--engine",
+                        choices=("scalar", "vectorized", "streaming"),
                         default=None,
                         help="force a simulation backend for every run "
                              "(SpArch and baselines alike)")

@@ -171,6 +171,44 @@ def small_suite(*, max_rows: int = 600, count: int = 5) -> dict[str, CSRMatrix]:
     return load_suite(max_rows=max_rows, names=names)
 
 
+def _scaled_capacity(base: int, scale: float, floor: int) -> int:
+    """One buffer capacity scaled down, floored, and clamped to its base.
+
+    The clamp to ``base`` fixes a latent bug of the unclamped version: with
+    a base capacity *below* the floor (ablation configurations use 8-line
+    buffers), the floor used to silently *enlarge* the buffer.  The final
+    ``max(1, ...)`` guarantees a structurally valid (≥ 1 entry) capacity
+    for any base, so a scaled configuration can never fail
+    :class:`~repro.core.config.SpArchConfig` validation with a
+    zero-capacity buffer.
+    """
+    return max(1, min(base, max(floor, int(round(base * scale)))))
+
+
+def scale_buffer_capacities(config: SpArchConfig, scale: float) -> SpArchConfig:
+    """Scale a configuration's prefetch/look-ahead capacities by ``scale``.
+
+    Args:
+        config: configuration to scale.
+        scale: proxy shrink factor; must satisfy ``0 < scale <= 1``.  A
+            factor above 1 would *grow* the buffers past Table I — always a
+            caller bug (paper-scale runs must use the unscaled
+            configuration instead), so it raises rather than clamping
+            silently.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(
+            f"buffer scale factor must be in (0, 1], got {scale!r}; "
+            "paper-scale runs use the unscaled configuration"
+        )
+    lines = _scaled_capacity(config.prefetch_buffer_lines, scale,
+                             MIN_PREFETCH_LINES)
+    lookahead = _scaled_capacity(config.lookahead_fifo_elements, scale,
+                                 MIN_LOOKAHEAD_ELEMENTS)
+    return config.replace(prefetch_buffer_lines=lines,
+                          lookahead_fifo_elements=lookahead)
+
+
 def scaled_config(name: str, *, max_rows: int = DEFAULT_MAX_ROWS,
                   base_config: SpArchConfig | None = None) -> SpArchConfig:
     """Scale the on-chip buffers down with the benchmark proxy.
@@ -181,8 +219,10 @@ def scaled_config(name: str, *, max_rows: int = DEFAULT_MAX_ROWS,
     would overstate the prefetcher's hit rate (the paper measures 62 %).
     Scaling the buffer capacities by the same factor as the matrix keeps
     the capacity-to-working-set ratio — the quantity the replacement policy
-    actually sees — at the paper's operating point.  DESIGN.md §3 and
-    EXPERIMENTS.md document this.
+    actually sees — at the paper's operating point.  At or beyond the
+    benchmark's original dimension no scaling applies (``scale == 1``) —
+    that is the paper-scale regime, see :func:`paper_scale_config`.
+    DESIGN.md §2 and EXPERIMENTS.md document this.
 
     Args:
         name: benchmark name (used to look up the original dimension).
@@ -192,12 +232,19 @@ def scaled_config(name: str, *, max_rows: int = DEFAULT_MAX_ROWS,
     base_config = base_config or SpArchConfig()
     spec = get_benchmark_spec(name)
     scale = min(1.0, max_rows / spec.num_rows)
-    lines = max(MIN_PREFETCH_LINES,
-                int(round(base_config.prefetch_buffer_lines * scale)))
-    lookahead = max(MIN_LOOKAHEAD_ELEMENTS,
-                    int(round(base_config.lookahead_fifo_elements * scale)))
-    return base_config.replace(prefetch_buffer_lines=lines,
-                               lookahead_fifo_elements=lookahead)
+    return scale_buffer_capacities(base_config, scale)
+
+
+def paper_scale_config(base_config: SpArchConfig | None = None) -> SpArchConfig:
+    """The configuration paper-scale (10⁵+-row) scenarios run under.
+
+    Unscaled Table I buffers — at this dimension the capacity-to-working-set
+    ratio *is* the paper's operating point, so no proxy compensation applies
+    — on the streaming backend, whose working set is bounded per merge
+    round rather than per matrix.
+    """
+    base_config = base_config or SpArchConfig()
+    return base_config.replace(engine="streaming")
 
 
 def load_scaled_suite(*, max_rows: int = DEFAULT_MAX_ROWS,
@@ -216,3 +263,30 @@ def load_scaled_suite(*, max_rows: int = DEFAULT_MAX_ROWS,
                scaled_config(name, max_rows=max_rows, base_config=base_config))
         for name in selected
     }
+
+
+#: Default paper-scale dimension cap (10⁵ rows) and the suite benchmarks
+#: cheap enough to run at it routinely: the smallest-nnz big-suite members
+#: (patents_main averages ~2.3 nnz/row, so the 10⁵-row proxy stays around
+#: half a million partial products; m133-b3 is the denser mid rung).
+PAPER_SCALE_MAX_ROWS = 100_000
+PAPER_SCALE_NAMES = ("patents_main", "m133-b3")
+
+
+def load_paper_scale_suite(*, max_rows: int = PAPER_SCALE_MAX_ROWS,
+                           names: list[str] | None = None,
+                           base_config: SpArchConfig | None = None
+                           ) -> dict[str, tuple[CSRMatrix, SpArchConfig]]:
+    """Load paper-scale proxies with the *unscaled* Table I configuration.
+
+    The counterpart of :func:`load_scaled_suite` for the 10⁵+-row regime:
+    every matrix is paired with :func:`paper_scale_config` (unscaled
+    buffers, streaming backend).
+
+    Returns:
+        ``{name: (matrix, config)}``.
+    """
+    config = paper_scale_config(base_config)
+    selected = list(names) if names is not None else list(PAPER_SCALE_NAMES)
+    return {name: (load_benchmark(name, max_rows=max_rows), config)
+            for name in selected}

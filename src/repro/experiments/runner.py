@@ -52,7 +52,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.baselines.base import BaselineSummary, SpGEMMBaseline
-from repro.core.config import SpArchConfig
+from repro.core.config import BACKEND_FIELDS, SpArchConfig
 from repro.core.stats import SimulationStats
 from repro.engines.adapters import BaselineEngineAdapter
 from repro.engines.base import Engine
@@ -95,15 +95,20 @@ def config_fingerprint(config: SpArchConfig, *,
                        include_engine: bool = False) -> str:
     """Content hash of a SpArch configuration.
 
-    By default the ``engine`` backend is excluded: both backends are proven
+    By default the ``engine`` backend is excluded: the backends are proven
     to produce identical results and statistics, so cached simulation points
     are shared between them.  ``include_engine=True`` keys the entry to the
     backend — used when a backend is *forced*, so a cross-check run really
-    simulates instead of replaying the other backend's cache.
+    simulates instead of replaying the other backend's cache.  The streaming
+    chunk sizes are *always* excluded: they are simulation-host tuning knobs
+    with no effect on any simulated quantity (pinned by a property test),
+    so varying them must never fragment the memo.
     """
     payload = dataclasses.asdict(config)
-    if not include_engine:
-        payload.pop("engine", None)
+    for field in BACKEND_FIELDS:
+        payload.pop(field, None)
+    if include_engine:
+        payload["engine"] = config.engine
     return _identity_fingerprint(payload)
 
 
@@ -200,16 +205,18 @@ class ExperimentRunner:
             the cache in memory only (one process lifetime).
         jobs: worker processes for :meth:`run_engine_many`; ``1`` runs
             in-process.
-        engine: when set, forces the execution *backend* (``"scalar"`` or
-            ``"vectorized"``) for every point — the SpArch core and every
-            baseline alike — with backend-specific cache keys.
+        engine: when set, forces the execution *backend* (``"scalar"``,
+            ``"vectorized"`` or ``"streaming"``) for every point — the
+            SpArch core and every baseline alike — with backend-specific
+            cache keys.
     """
 
     def __init__(self, *, cache_dir: str | os.PathLike | None = None,
                  jobs: int = 1, engine: str | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
-        if engine is not None and engine not in ("scalar", "vectorized"):
+        if engine is not None and engine not in ("scalar", "vectorized",
+                                                 "streaming"):
             raise ValueError(f"unknown engine {engine!r}")
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._jobs = jobs

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.formats.keys import linear_keys
 from repro.utils.validation import check_nonnegative_int
 
 
@@ -92,7 +93,7 @@ class COOMatrix:
         """True when entries are sorted by (row, col) with no duplicates."""
         if self.nnz <= 1:
             return True
-        keys = self.rows * self.shape[1] + self.cols
+        keys = linear_keys(self.rows, self.cols, self.shape[1])
         return bool(np.all(np.diff(keys) > 0))
 
     # ------------------------------------------------------------------
@@ -108,7 +109,7 @@ class COOMatrix:
         """
         if self.nnz == 0:
             return COOMatrix.empty(self.shape)
-        keys = self.rows * self.shape[1] + self.cols
+        keys = linear_keys(self.rows, self.cols, self.shape[1])
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         vals = self.vals[order]

@@ -10,9 +10,12 @@ Three subcommands cover the sweep-as-a-service lifecycle:
 * ``merge --out merged.jsonl SHARD...`` — canonically merge shard stores
   (sorted by cell order, one record per cell; conflicting records of one
   cell — stores written under different parameters — are refused); the
-  merged bytes are independent of shard count and resume history.
+  merged bytes are independent of shard count and resume history.  The
+  merge streams the JSONL line by line (only a coordinate index in
+  memory), so paper-scale million-cell stores merge within bounded memory.
 * ``summarise STORE...`` — print the per-(engine, config) summary table
-  (geomean GFLOP/s, DRAM, runtime, energy) of one or more stores.
+  (geomean GFLOP/s, DRAM, runtime, energy) of one or more stores, also
+  streamed line by line.
 
 ``--list`` (or no arguments) prints the registered sweeps and corpora.
 """
@@ -24,10 +27,10 @@ import sys
 
 from repro.corpus.registry import get_corpus, list_corpora
 from repro.experiments.runner import ExperimentRunner
-from repro.sweeps.driver import run_sweep, summarise_records
+from repro.sweeps.driver import run_sweep, summarise_store_file
 from repro.sweeps.registry import get_sweep, list_sweeps
 from repro.sweeps.spec import enumerate_cells
-from repro.sweeps.store import merge_files, write_records
+from repro.sweeps.store import iter_records, merge_files_to
 
 
 def _parse_shard(value: str) -> tuple[int, int]:
@@ -76,7 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the engine fan-out")
     run.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="share the experiment runner's on-disk memo")
-    run.add_argument("--engine", choices=("scalar", "vectorized"),
+    run.add_argument("--engine",
+                     choices=("scalar", "vectorized", "streaming"),
                      default=None,
                      help="force an execution backend (backend-specific "
                           "fingerprints, as in the experiments CLI)")
@@ -135,22 +139,38 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "merge":
-        records = merge_files(args.stores)
-        write_records(args.out, records)
-        print(f"[merge] {len(records)} records from {len(args.stores)} "
+        # Streaming merge: only the coordinate index is held in memory, so
+        # million-cell shard stores merge without materialising reports.
+        count = merge_files_to(args.stores, args.out)
+        print(f"[merge] {count} records from {len(args.stores)} "
               f"store(s) -> {args.out}")
         return 0
 
-    # "summarise" — one table per sweep (shared stores may hold several).
-    records = merge_files(args.stores)
-    sweep_ids = sorted({record.sweep_id for record in records})
-    for sweep_id in sweep_ids:
-        mine = [record for record in records if record.sweep_id == sweep_id]
-        print(summarise_records(
-            mine,
-            title=f"sweep {sweep_id!r} summary ({len(mine)} cells)"
-        ).render())
-        print()
+    # "summarise" — one table per sweep (shared stores may hold several),
+    # fully streamed: shards merge canonically into a temporary store
+    # (coordinate index only), which is then re-read line by line per
+    # sweep — bounded memory end to end.
+    import os
+    import tempfile
+
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", suffix=".jsonl", prefix="repro-sweep-merge-", delete=False)
+    handle.close()
+    try:
+        merge_files_to(args.stores, handle.name)
+        cells_per_sweep: dict[str, int] = {}
+        for record in iter_records(handle.name):
+            cells_per_sweep[record.sweep_id] = (
+                cells_per_sweep.get(record.sweep_id, 0) + 1)
+        for sweep_id in sorted(cells_per_sweep):
+            print(summarise_store_file(
+                handle.name, sweep_id=sweep_id,
+                title=(f"sweep {sweep_id!r} summary "
+                       f"({cells_per_sweep[sweep_id]} cells)")
+            ).render())
+            print()
+    finally:
+        os.unlink(handle.name)
     return 0
 
 

@@ -370,3 +370,65 @@ def summarise_records(records: list[SweepRecord], *,
                       title: str = "sweep summary") -> Table:
     """Per-(engine, config) summary table of a (merged) result store."""
     return summarise_groups(group_reports(records), title=title)
+
+
+#: Floor applied to per-report GFLOP/s before the log — the same floor
+#: :func:`~repro.experiments.designspace.geomean_gflops` applies, so the
+#: streamed geomean matches the list-based one bit for bit.
+_GEOMEAN_FLOOR = 1e-12
+
+
+def summarise_store_file(path: str | os.PathLike, *,
+                         sweep_id: str | None = None,
+                         title: str = "sweep summary") -> Table:
+    """Streamed per-(engine, config) summary of a store file.
+
+    Produces the same table as ``summarise_records(ResultStore(path)
+    .records)`` but accumulates only per-group scalars (count, summed log
+    GFLOP/s, DRAM bytes, runtime, energy) while reading the JSONL line by
+    line — one record lives at a time, so million-cell stores summarise in
+    bounded memory.  The accumulation order equals the record order, so
+    every float sum matches the list-based path exactly.
+
+    Args:
+        path: the (merged, canonical) store file.
+        sweep_id: summarise only this sweep's records; ``None`` requires
+            the store to hold a single sweep (as
+            :func:`~repro.sweeps.store.require_single_sweep` does).
+    """
+    import math
+
+    from repro.sweeps.store import iter_records
+
+    # acc = [cells, sum(log gflops), dram bytes, runtime, energy]
+    groups: dict[tuple[str, str], list] = {}
+    seen_sweeps: set[str] = set()
+    for record in iter_records(path):
+        if sweep_id is not None and record.sweep_id != sweep_id:
+            continue
+        seen_sweeps.add(record.sweep_id)
+        if len(seen_sweeps) > 1:
+            raise ValueError(
+                f"records span multiple sweeps "
+                f"({', '.join(sorted(seen_sweeps))}); filter by sweep_id "
+                f"before keying or summarising them"
+            )
+        report = record.cost_report()
+        acc = groups.setdefault((record.engine, record.config_label),
+                                [0, 0.0, 0, 0.0, 0.0])
+        acc[0] += 1
+        acc[1] += math.log(max(report.gflops, _GEOMEAN_FLOOR))
+        acc[2] += report.dram_bytes
+        acc[3] += report.runtime_seconds
+        acc[4] += report.energy_joules
+
+    table = Table(
+        title=title,
+        columns=["engine", "config", "cells", "geomean GFLOP/s",
+                 "DRAM [B]", "runtime [s]", "energy [J]"],
+    )
+    for (engine, label), acc in groups.items():
+        cells, log_sum, dram, runtime, energy = acc
+        table.add_row(engine, label, cells, math.exp(log_sum / cells),
+                      dram, runtime, energy)
+    return table

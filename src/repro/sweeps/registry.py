@@ -9,6 +9,8 @@ paper's evaluation grids over the corpus layer:
                    repro.experiments.designspace.fig17_grid)
     engines-suite  every registered engine over the DSE benchmark subset
     rmat-sweep     SpArch vs MKL over the Figure 14-style rMAT grid
+    paper-scale    SpArch (streaming core) over the 10^5-row suite rung
+                   with unscaled Table I buffers
 """
 
 from __future__ import annotations
@@ -47,6 +49,17 @@ SWEEPS: tuple[SweepSpec, ...] = (
         corpus="rmat-grid",
         engines=("sparch", "mkl"),
         configs=(("table1", SpArchConfig()),),
+    ),
+    SweepSpec(
+        "paper-scale",
+        "SpArch streaming core over the 10^5-row suite rung, unscaled "
+        "Table I buffers",
+        corpus="paper-scale",
+        engines=("sparch",),
+        # The backend choice does not enter the cell fingerprint (see
+        # repro.core.config.BACKEND_FIELDS), so these cells share the memo
+        # with any other unscaled-Table-I run of the same scenarios.
+        configs=(("table1-streaming", SpArchConfig(engine="streaming")),),
     ),
 )
 

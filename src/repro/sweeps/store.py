@@ -269,6 +269,110 @@ def records_to_reports(records: list[SweepRecord]) -> dict[str, CostReport]:
 
 
 # ----------------------------------------------------------------------
+# Streaming access (bounded memory for million-cell stores)
+# ----------------------------------------------------------------------
+def iter_records(path: str | os.PathLike):
+    """Yield a store file's valid records one line at a time.
+
+    The streaming counterpart of ``ResultStore(path).records``: invalid
+    lines (blank, torn, other layouts, stale schema) are skipped exactly as
+    the store constructor skips them, but only one record is materialised
+    at a time — summaries and merges of million-cell stores stay within
+    bounded memory.
+
+    Raises:
+        FileNotFoundError: when the file does not exist (unlike
+            :class:`ResultStore`, a streaming reader has no "fresh store"
+            interpretation for a missing file).
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            record = parse_line(line)
+            if record is not None:
+                yield record
+
+
+def _conflict_error(cell: tuple[str, str, str, str]) -> ValueError:
+    """The canonical-merge conflict error (shared by both merge paths)."""
+    return ValueError(
+        f"conflicting records for cell {'|'.join(cell[1:])!r} of sweep "
+        f"{cell[0]!r}: two fingerprints or canonical indices — the inputs "
+        f"were written under different parameters or spec revisions and "
+        f"cannot be merged"
+    )
+
+
+def merge_files_to(paths: list[str | os.PathLike],
+                   out_path: str | os.PathLike) -> int:
+    """Stream shard stores into one canonical store file.
+
+    Byte-identical output to
+    ``write_records(out_path, merge_files(paths))`` — same sort order, same
+    per-cell deduplication, same conflict refusal — but only a
+    *coordinate index* (cell → fingerprint, canonical index, byte range)
+    is ever held in memory.  Pass one: scan every line, keep each cell's
+    first valid record location, refuse conflicting duplicates.  Pass two:
+    revisit the surviving locations in canonical order and re-serialise
+    each record through :meth:`SweepRecord.to_line`.
+
+    Returns:
+        The number of records written.
+
+    Raises:
+        FileNotFoundError: when a named shard store does not exist.
+        ValueError: on conflicting duplicate cells (see
+            :func:`merge_records`) or when a store file changes between
+            the two passes.
+    """
+    # Pass 1: coordinate index only — no report payload is retained.
+    locations: dict[tuple[str, str, str, str],
+                    tuple[int, str, Path, int, int]] = {}
+    for path in paths:
+        path = Path(path)
+        if not path.is_file():
+            raise FileNotFoundError(f"result store not found: {path}")
+        offset = 0
+        with open(path, "rb") as handle:
+            for raw in handle:
+                length = len(raw)
+                record = parse_line(raw.decode("utf-8", errors="replace"))
+                if record is not None:
+                    existing = locations.get(record.cell)
+                    if existing is None:
+                        locations[record.cell] = (record.cell_index,
+                                                  record.key, path, offset,
+                                                  length)
+                    elif existing[:2] != (record.cell_index, record.key):
+                        raise _conflict_error(record.cell)
+                offset += length
+
+    ordered = sorted(locations.items(),
+                     key=lambda item: (item[0][0], item[1][0], item[1][1]))
+
+    # Pass 2: seek back to each surviving line and re-serialise it.
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    handles: dict[Path, object] = {}
+    try:
+        with open(out_path, "w", encoding="utf-8") as sink:
+            for cell, (_, _, path, offset, length) in ordered:
+                handle = handles.get(path)
+                if handle is None:
+                    handle = handles[path] = open(path, "rb")
+                handle.seek(offset)
+                record = parse_line(handle.read(length).decode("utf-8"))
+                if record is None or record.cell != cell:
+                    raise ValueError(
+                        f"result store {path} changed while being merged"
+                    )
+                sink.write(record.to_line())
+    finally:
+        for handle in handles.values():
+            handle.close()
+    return len(ordered)
+
+
+# ----------------------------------------------------------------------
 # Canonical merge
 # ----------------------------------------------------------------------
 def merge_records(records: list[SweepRecord]) -> list[SweepRecord]:
@@ -296,13 +400,7 @@ def merge_records(records: list[SweepRecord]) -> list[SweepRecord]:
             merged[record.cell] = record
         elif (existing.key != record.key
               or existing.cell_index != record.cell_index):
-            raise ValueError(
-                f"conflicting records for cell "
-                f"{'|'.join(record.cell[1:])!r} of sweep "
-                f"{record.sweep_id!r}: two fingerprints or canonical "
-                f"indices — the inputs were written under different "
-                f"parameters or spec revisions and cannot be merged"
-            )
+            raise _conflict_error(record.cell)
     return sorted(merged.values(),
                   key=lambda r: (r.sweep_id, r.cell_index, r.key))
 

@@ -1,0 +1,151 @@
+"""Unit tests for the streaming backend's two building blocks.
+
+The end-to-end contract (streaming == vectorized == scalar) lives in
+``tests/integration/test_engine_equivalence.py`` and the chunk-invariance
+property test; this module exercises the pieces in isolation — the blocked
+merge+fold against the one-shot sort, and the lazy leaf streamer against
+the materialising one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.huffman import huffman_schedule
+from repro.core.streaming import StreamingLeafStreamer, StreamingMergeTree
+from repro.core.vectorized import VectorizedLeafStreamer, VectorizedMergeTree
+from repro.hardware.multiplier_array import MultiplierArray
+from repro.matrices.rmat import RMATConfig, generate_rmat
+from repro.matrices.synthetic import random_matrix
+
+
+def random_sorted_streams(rng, num_streams, max_len=120):
+    """Sorted (key, value) streams with plenty of cross-stream ties."""
+    streams = []
+    for _ in range(num_streams):
+        n = int(rng.integers(0, max_len))
+        keys = np.sort(rng.integers(0, 60, size=n)).astype(np.int64)
+        vals = rng.standard_normal(n)
+        streams.append((keys, vals))
+    return streams
+
+
+class TestStreamingMergeTree:
+    @pytest.mark.parametrize("block", [1, 2, 7, 64, 10**9])
+    def test_blocked_merge_matches_one_shot(self, block):
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            streams = random_sorted_streams(rng, int(rng.integers(1, 9)))
+            reference = VectorizedMergeTree(num_layers=3)
+            blocked = StreamingMergeTree(num_layers=3, block_elements=block)
+            ref_keys, ref_vals = reference.merge([(k.copy(), v.copy())
+                                                  for k, v in streams])
+            got_keys, got_vals = blocked.merge([(k.copy(), v.copy())
+                                                for k, v in streams])
+            np.testing.assert_array_equal(ref_keys, got_keys)
+            np.testing.assert_array_equal(ref_vals, got_vals)
+            assert reference.stats.cycles == blocked.stats.cycles
+            assert (reference.stats.comparator_ops
+                    == blocked.stats.comparator_ops)
+            assert reference.stats.additions == blocked.stats.additions
+            assert (reference.stats.elements_into_root
+                    == blocked.stats.elements_into_root)
+            assert (reference.stats.elements_out
+                    == blocked.stats.elements_out)
+            assert (reference.stats.layer_elements
+                    == blocked.stats.layer_elements)
+
+    def test_tie_break_order_across_streams(self):
+        # Equal keys must fold in ascending stream order (stable global
+        # sort semantics): a block boundary must never split a run.
+        streams = [
+            (np.array([5, 5, 9], dtype=np.int64),
+             np.array([1.0, 2.0, 4.0])),
+            (np.array([5, 9, 9], dtype=np.int64),
+             np.array([8.0, 16.0, 32.0])),
+        ]
+        reference = VectorizedMergeTree(num_layers=2)
+        want = reference.merge([(k.copy(), v.copy()) for k, v in streams])
+        for block in (1, 2, 3, 100):
+            tree = StreamingMergeTree(num_layers=2, block_elements=block)
+            got = tree.merge([(k.copy(), v.copy()) for k, v in streams])
+            np.testing.assert_array_equal(want[0], got[0])
+            np.testing.assert_array_equal(want[1], got[1])
+
+    def test_empty_streams(self):
+        tree = StreamingMergeTree(num_layers=2, block_elements=4)
+        keys, vals = tree.merge([(np.empty(0, np.int64), np.empty(0))])
+        assert len(keys) == 0 and len(vals) == 0
+
+    def test_full_cancellation(self):
+        streams = [
+            (np.array([3], dtype=np.int64), np.array([2.5])),
+            (np.array([3], dtype=np.int64), np.array([-2.5])),
+        ]
+        tree = StreamingMergeTree(num_layers=2, block_elements=1)
+        keys, vals = tree.merge(streams)
+        assert len(keys) == 0
+        assert tree.stats.additions == 1
+
+
+class TestStreamingLeafStreamer:
+    @pytest.mark.parametrize("condensing", [True, False])
+    @pytest.mark.parametrize("chunk", [1, 3, 10**6])
+    def test_leaf_streams_match_vectorized(self, condensing, chunk):
+        matrix = generate_rmat(RMATConfig(num_rows=120, edge_factor=4,
+                                          seed=5))
+        reference = VectorizedLeafStreamer(matrix, matrix,
+                                           MultiplierArray(16),
+                                           condensing=condensing)
+        lazy_mults = MultiplierArray(16)
+        lazy = StreamingLeafStreamer(matrix, matrix, lazy_mults,
+                                     condensing=condensing,
+                                     chunk_leaves=chunk)
+        plan = huffman_schedule([float(w) for w in lazy.leaf_weights()], 8)
+        lazy.bind_plan(plan)
+        assert lazy.num_leaves == reference.num_leaves
+        np.testing.assert_array_equal(lazy.leaf_weights(),
+                                      reference.leaf_weights())
+        # Consume in plan order, as the accelerator does.
+        order = [node_id for merge_round in plan.rounds
+                 for node_id in merge_round.input_ids
+                 if node_id < plan.num_leaves]
+        for leaf in order:
+            want_keys, want_vals = reference.leaf_stream(leaf)
+            got_keys, got_vals = lazy.leaf_stream(leaf)
+            np.testing.assert_array_equal(want_keys, got_keys)
+            np.testing.assert_array_equal(want_vals, got_vals)
+        # The multiplier counters replay identically.
+        ref_stats = reference._multipliers.stats
+        assert lazy_mults.stats.multiplications == ref_stats.multiplications
+        assert lazy_mults.stats.left_elements == ref_stats.left_elements
+        assert lazy_mults.stats.cycles == ref_stats.cycles
+
+    def test_unbound_streamer_falls_back_to_single_leaves(self):
+        matrix = random_matrix(60, 60, 240, seed=2)
+        reference = VectorizedLeafStreamer(matrix, matrix,
+                                           MultiplierArray(16),
+                                           condensing=True)
+        lazy = StreamingLeafStreamer(matrix, matrix, MultiplierArray(16),
+                                     condensing=True, chunk_leaves=4)
+        # No bind_plan: every leaf generates on demand, out of any order.
+        for leaf in reversed(range(lazy.num_leaves)):
+            want = reference.leaf_stream(leaf)
+            got = lazy.leaf_stream(leaf)
+            np.testing.assert_array_equal(want[0], got[0])
+            np.testing.assert_array_equal(want[1], got[1])
+
+    def test_consumed_leaves_are_dropped(self):
+        matrix = random_matrix(80, 80, 320, seed=4)
+        lazy = StreamingLeafStreamer(matrix, matrix, MultiplierArray(16),
+                                     condensing=True, chunk_leaves=2)
+        plan = huffman_schedule([float(w) for w in lazy.leaf_weights()], 4)
+        lazy.bind_plan(plan)
+        order = [node_id for merge_round in plan.rounds
+                 for node_id in merge_round.input_ids
+                 if node_id < plan.num_leaves]
+        for leaf in order:
+            lazy.leaf_stream(leaf)
+            # Popped on consumption: at most chunk-1 generated leaves wait.
+            assert len(lazy._pending) < 2

@@ -25,7 +25,15 @@ from repro.experiments import (
     table2_comparison,
     table3_energy,
 )
-from repro.experiments.common import ExperimentResult, scaled_config, small_suite
+from repro.experiments.common import (
+    ExperimentResult,
+    load_paper_scale_suite,
+    paper_scale_config,
+    scale_buffer_capacities,
+    scaled_config,
+    small_suite,
+)
+from repro.core.config import SpArchConfig
 from repro.experiments.registry import get_experiment, list_experiments
 
 #: Reduced workload shared by the suite-based experiments.
@@ -203,3 +211,49 @@ class TestCommonHelpers:
         # Matrices smaller than the cap keep the full-size buffers.
         full = scaled_config("facebook", max_rows=100_000)
         assert full.prefetch_buffer_lines == 1024
+
+    def test_scale_rejects_growth_factors(self):
+        # Scaling above 1 would grow the buffers past Table I — always a
+        # caller bug (paper scale must use the unscaled configuration).
+        with pytest.raises(ValueError, match="unscaled"):
+            scale_buffer_capacities(SpArchConfig(), 1.5)
+        with pytest.raises(ValueError):
+            scale_buffer_capacities(SpArchConfig(), 0.0)
+        with pytest.raises(ValueError):
+            scale_buffer_capacities(SpArchConfig(), -0.25)
+
+    def test_scale_never_enlarges_small_bases(self):
+        # Regression: the floor used to silently *enlarge* capacities whose
+        # base was already below it (8-line ablation buffers).
+        tiny = SpArchConfig(prefetch_buffer_lines=8,
+                            lookahead_fifo_elements=64)
+        scaled = scale_buffer_capacities(tiny, 0.01)
+        assert scaled.prefetch_buffer_lines == 8
+        assert scaled.lookahead_fifo_elements == 64
+
+    def test_scale_floors_at_one_entry(self):
+        # Regression: extreme shrink factors must yield structurally valid
+        # (>= 1 entry) capacities, never zero.
+        one = SpArchConfig(prefetch_buffer_lines=1,
+                           lookahead_fifo_elements=1)
+        scaled = scale_buffer_capacities(one, 1e-6)
+        assert scaled.prefetch_buffer_lines == 1
+        assert scaled.lookahead_fifo_elements == 1
+
+    def test_paper_scale_config_keeps_table1_buffers(self):
+        config = paper_scale_config()
+        assert config.engine == "streaming"
+        table1 = SpArchConfig()
+        assert config.prefetch_buffer_lines == table1.prefetch_buffer_lines
+        assert (config.lookahead_fifo_elements
+                == table1.lookahead_fifo_elements)
+
+    def test_load_paper_scale_suite_small_proxy(self):
+        # Functional smoke at a tiny dimension; the real 10^5-row rung runs
+        # in benchmarks/test_paper_scale.py.
+        suite = load_paper_scale_suite(max_rows=300)
+        assert set(suite) == {"patents_main", "m133-b3"}
+        for matrix, config in suite.values():
+            assert matrix.shape[0] <= 300
+            assert config.engine == "streaming"
+            assert config.prefetch_buffer_lines == 1024

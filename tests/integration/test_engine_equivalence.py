@@ -1,7 +1,8 @@
-"""Differential harness: the vectorized engine must match the scalar engine.
+"""Differential harness: every engine must match the scalar reference.
 
-The vectorized backend (:mod:`repro.core.vectorized`) is only allowed to be
-*faster* — every functional output and every statistic must be exactly the
+The vectorized backend (:mod:`repro.core.vectorized`) and the streaming
+backend (:mod:`repro.core.streaming`) are only allowed to be *faster* /
+*leaner* — every functional output and every statistic must be exactly the
 output of the scalar reference model.  This module locks that contract down
 over
 
@@ -43,22 +44,24 @@ ABLATION_GRID = list(itertools.product([True, False], repeat=4))
 
 def assert_engines_agree(matrix_a: CSRMatrix, matrix_b: CSRMatrix,
                          config: SpArchConfig) -> None:
-    """Run both engines on ``A · B`` and compare result + statistics."""
+    """Run all three engines on ``A · B`` and compare result + statistics."""
     scalar = SpArch(config.replace(engine="scalar")).multiply(matrix_a, matrix_b)
-    vectorized = SpArch(config.replace(engine="vectorized")).multiply(
-        matrix_a, matrix_b)
+    for engine in ("vectorized", "streaming"):
+        other = SpArch(config.replace(engine=engine)).multiply(
+            matrix_a, matrix_b)
 
-    for field in COMPARED_STATS:
-        assert getattr(scalar.stats, field) == getattr(vectorized.stats, field), \
-            f"stats field {field!r} diverges"
-    assert (scalar.stats.traffic.by_category()
-            == vectorized.stats.traffic.by_category())
+        for field in COMPARED_STATS:
+            assert getattr(scalar.stats, field) == getattr(other.stats, field), \
+                f"stats field {field!r} diverges on engine {engine!r}"
+        assert (scalar.stats.traffic.by_category()
+                == other.stats.traffic.by_category()), engine
 
-    assert scalar.matrix.shape == vectorized.matrix.shape
-    np.testing.assert_array_equal(scalar.matrix.indptr, vectorized.matrix.indptr)
-    np.testing.assert_array_equal(scalar.matrix.indices,
-                                  vectorized.matrix.indices)
-    np.testing.assert_array_equal(scalar.matrix.data, vectorized.matrix.data)
+        assert scalar.matrix.shape == other.matrix.shape
+        np.testing.assert_array_equal(scalar.matrix.indptr,
+                                      other.matrix.indptr)
+        np.testing.assert_array_equal(scalar.matrix.indices,
+                                      other.matrix.indices)
+        np.testing.assert_array_equal(scalar.matrix.data, other.matrix.data)
 
 
 @pytest.fixture(scope="module")
@@ -148,6 +151,47 @@ def test_cancelling_products():
     assert_engines_agree(matrix_a, matrix_b, SpArchConfig())
     assert_engines_agree(matrix_a, matrix_b,
                          SpArchConfig(enable_matrix_condensing=False))
+
+
+@pytest.mark.parametrize(
+    "pipelined,condensing,huffman,prefetcher", ABLATION_GRID,
+    ids=lambda value: "on" if value is True else
+        ("off" if value is False else str(value)))
+def test_streaming_tiny_chunks_all_ablations(grid_matrices, pipelined,
+                                             condensing, huffman, prefetcher):
+    """Streaming with forced multi-chunk execution matches the vectorized
+    engine under every ablation combination.
+
+    Chunk sizes far below the leaf/product counts force many generation
+    chunks and many fold blocks per round — the regime where a carry or
+    tie-break bug would surface.  (The scalar cross-check of the same grid
+    runs in ``test_all_ablation_combinations``.)
+    """
+    config = SpArchConfig(
+        enable_pipelined_merge=pipelined,
+        enable_matrix_condensing=condensing,
+        enable_huffman_scheduler=huffman,
+        enable_row_prefetcher=prefetcher,
+        merge_tree_layers=3,
+        prefetch_buffer_lines=48,
+        prefetch_line_elements=8,
+        lookahead_fifo_elements=256,
+    )
+    matrix = grid_matrices["rmat-400-x8"]
+    reference = SpArch(config.replace(engine="vectorized")).multiply(
+        matrix, matrix)
+    streamed = SpArch(config.replace(
+        engine="streaming", streaming_chunk_leaves=3,
+        streaming_block_elements=97)).multiply(matrix, matrix)
+    for field in COMPARED_STATS:
+        assert (getattr(reference.stats, field)
+                == getattr(streamed.stats, field)), field
+    np.testing.assert_array_equal(reference.matrix.indptr,
+                                  streamed.matrix.indptr)
+    np.testing.assert_array_equal(reference.matrix.indices,
+                                  streamed.matrix.indices)
+    np.testing.assert_array_equal(reference.matrix.data,
+                                  streamed.matrix.data)
 
 
 def test_scalar_engine_validates_unsorted_streams():

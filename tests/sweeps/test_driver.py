@@ -17,7 +17,11 @@ from repro.sweeps import (
     run_sweep,
     shard_cells,
 )
-from repro.sweeps.driver import group_reports, summarise_records
+from repro.sweeps.driver import (
+    group_reports,
+    summarise_records,
+    summarise_store_file,
+)
 from repro.sweeps.store import ResultStore
 
 SMOKE = get_sweep("smoke")
@@ -310,3 +314,33 @@ class TestSummaries:
         assert len(table.rows) == 2
         rendered = table.render()
         assert "sparch" in rendered and "mkl" in rendered
+
+    def test_summarise_store_file_matches_list_path(self, warm_runner,
+                                                    tmp_path):
+        # The streamed single-pass summary must render the exact table the
+        # materialising path produces — same groups, same geomeans.
+        path = tmp_path / "store.jsonl"
+        run_sweep(SMOKE, store=path, runner=warm_runner)
+        store = ResultStore(path)
+        want = summarise_records(merge_records(store.records))
+        got = summarise_store_file(path)
+        assert got.render() == want.render()
+
+    def test_summarise_store_file_filters_by_sweep(self, warm_runner,
+                                                   tmp_path):
+        import dataclasses
+
+        path = tmp_path / "mixed.jsonl"
+        run_sweep(SMOKE, store=path, runner=warm_runner)
+        records = ResultStore(path).records
+        with open(path, "a") as handle:
+            for record in records:
+                handle.write(dataclasses.replace(
+                    record, sweep_id="other").to_line())
+        # Unfiltered: refuse the ambiguous mixture.
+        with pytest.raises(ValueError, match="multiple sweeps"):
+            summarise_store_file(path)
+        # Filtered: one sweep's records only, same table as before the mix.
+        want = summarise_records(merge_records(records))
+        got = summarise_store_file(path, sweep_id=SMOKE.sweep_id)
+        assert got.render() == want.render()

@@ -13,7 +13,9 @@ from repro.sweeps.store import (
     STORE_VERSION,
     ResultStore,
     SweepRecord,
+    iter_records,
     merge_files,
+    merge_files_to,
     merge_records,
     parse_line,
     records_to_reports,
@@ -220,3 +222,60 @@ class TestCanonicalMerge:
         line = make_record(0).to_line()
         assert line.endswith("\n")
         assert json.dumps(json.loads(line), sort_keys=True) + "\n" == line
+
+
+class TestStreamingMerge:
+    """`iter_records` / `merge_files_to`: the bounded-memory paths must be
+    byte-identical to the list-based canonical merge they replace."""
+
+    def test_iter_records_streams_and_skips_garbage(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append(make_record(0))
+        store.append(make_record(1))
+        with open(path, "a") as handle:  # torn tail from a kill
+            handle.write(make_record(2).to_line()[:20])
+        assert [r.cell_index for r in iter_records(path)] == [0, 1]
+
+    def test_merge_files_to_matches_list_merge_bytes(self, tmp_path):
+        shard_a, shard_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        store_a, store_b = ResultStore(shard_a), ResultStore(shard_b)
+        # Interleave cells across shards, out of canonical order, with an
+        # exact duplicate between shards.
+        for index in (4, 0, 2):
+            store_a.append(make_record(index))
+        for index in (3, 1, 2):
+            store_b.append(make_record(index))
+        out = tmp_path / "merged.jsonl"
+        count = merge_files_to([shard_a, shard_b], out)
+        want = merge_files([shard_a, shard_b])
+        assert count == len(want) == 5
+        assert out.read_text() == render_records(want)
+        # Merging the merged store again is the identity.
+        again = tmp_path / "again.jsonl"
+        assert merge_files_to([out], again) == 5
+        assert again.read_text() == out.read_text()
+
+    def test_merge_files_to_refuses_conflicts(self, tmp_path):
+        shard_a, shard_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        ResultStore(shard_a).append(make_record(0, key="scale-150"))
+        ResultStore(shard_b).append(make_record(0, key="scale-full"))
+        with pytest.raises(ValueError, match="conflicting records"):
+            merge_files_to([shard_a, shard_b], tmp_path / "out.jsonl")
+
+    def test_merge_files_to_rejects_missing_stores(self, tmp_path):
+        present = tmp_path / "present.jsonl"
+        ResultStore(present).append(make_record(0))
+        with pytest.raises(FileNotFoundError, match="not found"):
+            merge_files_to([present, tmp_path / "typo.jsonl"],
+                           tmp_path / "out.jsonl")
+
+    def test_merge_files_to_keeps_coinciding_cells(self, tmp_path):
+        shard = tmp_path / "shard.jsonl"
+        store = ResultStore(shard)
+        store.append(make_record(1, key="shared", scenario="s"))
+        store.append(make_record(4, key="shared", scenario="s",
+                                 config_label="alias"))
+        out = tmp_path / "out.jsonl"
+        assert merge_files_to([shard], out) == 2
+        assert [r.cell_index for r in iter_records(out)] == [1, 4]
