@@ -47,8 +47,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 
 from repro.baselines.base import BaselineSummary, SpGEMMBaseline
@@ -197,6 +201,92 @@ def _engine_task(task: tuple[Engine, CSRMatrix, CSRMatrix | None]) -> dict:
     return engine.run(matrix_a, matrix_b).report.to_dict()
 
 
+def _engine_task_to_pipe(task, connection) -> None:
+    """Timeout-mode worker entry point: report outcome through a pipe."""
+    try:
+        connection.send(("ok", _engine_task(task)))
+    except BaseException as exc:  # noqa: BLE001 — relayed, not swallowed
+        try:
+            connection.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        connection.close()
+
+
+def run_tasks_with_timeout(items: list[tuple[str, tuple]], *,
+                           timeout: float, jobs: int = 1
+                           ) -> dict[str, dict | str | None]:
+    """Run engine tasks in killable processes under a wall-clock budget.
+
+    Unlike the :class:`ProcessPoolExecutor` fan-out (whose workers cannot be
+    interrupted mid-task without poisoning the pool), each task here runs in
+    a dedicated process that is ``SIGKILL``-ed the moment its deadline
+    passes — a hung engine costs its own timeout, never the whole batch.
+
+    Args:
+        items: ``(key, (engine, matrix_a, matrix_b))`` pairs; keys must be
+            unique.
+        timeout: per-task wall-clock budget in seconds.
+        jobs: concurrently running task processes.
+
+    Returns:
+        ``{key: payload}`` where the payload is the report dict on success,
+        an error-message string when the engine raised, and ``None`` when
+        the task was killed at its deadline (or its process died).
+    """
+    if timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    context = multiprocessing.get_context()
+    pending = deque(items)
+    active: dict[object, tuple[str, object, float]] = {}  # conn -> state
+    results: dict[str, dict | str | None] = {}
+    try:
+        while pending or active:
+            while pending and len(active) < max(1, jobs):
+                key, task = pending.popleft()
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(target=_engine_task_to_pipe,
+                                          args=(task, sender), daemon=True)
+                process.start()
+                sender.close()
+                active[receiver] = (key, process,
+                                    time.monotonic() + timeout)
+            now = time.monotonic()
+            next_deadline = min(deadline for _, _, deadline
+                                in active.values())
+            ready = _connection_wait(list(active),
+                                     timeout=max(0.0, next_deadline - now))
+            finished = []
+            for receiver in ready:
+                key, process, _ = active[receiver]
+                try:
+                    status, payload = receiver.recv()
+                except (EOFError, OSError):
+                    status, payload = "died", None
+                results[key] = payload if status == "ok" else (
+                    payload if status == "error" else None)
+                finished.append(receiver)
+                process.join()
+            now = time.monotonic()
+            for receiver, (key, process, deadline) in list(active.items()):
+                if receiver in finished:
+                    continue
+                if now >= deadline:
+                    process.kill()
+                    process.join()
+                    results[key] = None
+                    finished.append(receiver)
+            for receiver in finished:
+                receiver.close()
+                del active[receiver]
+    finally:
+        for key, process, _ in active.values():
+            process.kill()
+            process.join()
+    return results
+
+
 class ExperimentRunner:
     """Runs engine points with memoisation and optional process fan-out.
 
@@ -331,8 +421,9 @@ class ExperimentRunner:
         return CostReport.from_dict(payload)
 
     def run_engine_many(self, tasks: list[tuple[Engine | str, CSRMatrix]],
-                        *, keys: list[str] | None = None
-                        ) -> list[CostReport]:
+                        *, keys: list[str] | None = None,
+                        timeout: float | None = None
+                        ) -> list[CostReport | None]:
         """Run many ``A · A`` points, fanning uncached ones out.
 
         Args:
@@ -342,6 +433,14 @@ class ExperimentRunner:
                 with ``tasks`` — grid callers that already fingerprinted
                 every point (the sweeps driver) skip re-hashing each
                 operand's CSR arrays per task.
+            timeout: per-point wall-clock budget in seconds.  With a
+                timeout set, uncached points run in dedicated killable
+                processes (see :func:`run_tasks_with_timeout`) and a point
+                that hangs past its budget — or raises — yields ``None``
+                in the returned list instead of a report: *failed but
+                retryable*, never cached, so a later run re-attempts it.
+                Without a timeout (the default) the returned list never
+                contains ``None`` and engine errors propagate.
         """
         engines = [self._effective_engine(engine) for engine, _ in tasks]
         forced = self._engine is not None
@@ -367,17 +466,32 @@ class ExperimentRunner:
         self.cache_misses += len(missing)
         if missing:
             items = list(missing.items())
-            if self._jobs > 1 and len(items) > 1:
+            if timeout is not None:
+                outcomes = run_tasks_with_timeout(items, timeout=timeout,
+                                                  jobs=self._jobs)
+                for key, payload in outcomes.items():
+                    # Only successful points enter the memo: a timed-out or
+                    # failed point stays uncached so a retry really retries.
+                    if isinstance(payload, dict):
+                        self._cache_store(key, payload, missing_kinds[key])
+            elif self._jobs > 1 and len(items) > 1:
                 with ProcessPoolExecutor(max_workers=self._jobs) as pool:
                     payloads = list(pool.map(_engine_task,
                                              [task for _, task in items]))
             else:
                 payloads = [_engine_task(task) for _, task in items]
-            for (key, _), payload in zip(items, payloads):
-                self._cache_store(key, payload, missing_kinds[key])
+            if timeout is None:
+                for (key, _), payload in zip(items, payloads):
+                    self._cache_store(key, payload, missing_kinds[key])
 
-        return [CostReport.from_dict(self._cache_load(key, kind))
-                for key, kind in zip(keys, kinds)]
+        reports: list[CostReport | None] = []
+        for key, kind in zip(keys, kinds):
+            payload = self._cache_load(key, kind)
+            reports.append(CostReport.from_dict(payload)
+                           if payload is not None else None)
+        if timeout is None:
+            assert all(report is not None for report in reports)
+        return reports
 
     # ------------------------------------------------------------------
     # SpArch views (native SimulationStats out)

@@ -1,0 +1,69 @@
+"""Fault-tolerant distributed sweep fabric.
+
+A coordinator/worker execution layer over :mod:`repro.sweeps`: the
+canonical cell grid becomes a leased work queue — workers acquire cell
+leases with deadlines, heartbeat while computing, and deliver records
+that the coordinator validates, deduplicates and appends to the
+fingerprint-keyed result store.  Expired leases (killed workers, hung
+engines, lost heartbeats) are reclaimed and retried behind a capped
+exponential backoff; a cell that keeps failing is quarantined after
+``max_attempts`` so one poison cell never stalls the sweep.
+
+The contract the chaos harness (:mod:`repro.fabric.chaos`) property-
+tests: whatever the fault schedule, the canonically merged store is
+byte-identical to an uninterrupted single-process run — minus
+quarantined cells, which are reported, never silently missing.
+
+Entry points::
+
+    python -m repro.fabric run smoke --store s.jsonl --workers 2
+    python -m repro.fabric worker --address 127.0.0.1:40123 --worker-id w0
+"""
+
+from repro.fabric.chaos import (
+    CHAOS_POLICY,
+    ChaosOutcome,
+    FaultSchedule,
+    LogicalClock,
+    SCHEDULES,
+    get_schedule,
+    run_chaos,
+)
+from repro.fabric.coordinator import Coordinator, read_sidecar, sidecar_path
+from repro.fabric.fleet import FleetSummary, KillSpec, run_fleet
+from repro.fabric.lease import (
+    Lease,
+    LeasePolicy,
+    LeaseTable,
+    QuarantinedCell,
+)
+from repro.fabric.transport import (
+    connect_coordinator,
+    serve_coordinator,
+)
+from repro.fabric.worker import CellExecutionError, CellExecutor, worker_loop
+
+__all__ = [
+    "CHAOS_POLICY",
+    "CellExecutionError",
+    "CellExecutor",
+    "ChaosOutcome",
+    "Coordinator",
+    "FaultSchedule",
+    "FleetSummary",
+    "KillSpec",
+    "Lease",
+    "LeasePolicy",
+    "LeaseTable",
+    "LogicalClock",
+    "QuarantinedCell",
+    "SCHEDULES",
+    "connect_coordinator",
+    "get_schedule",
+    "read_sidecar",
+    "run_chaos",
+    "run_fleet",
+    "serve_coordinator",
+    "sidecar_path",
+    "worker_loop",
+]

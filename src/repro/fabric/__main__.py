@@ -1,0 +1,128 @@
+"""CLI for the distributed sweep fabric.
+
+``run`` is the supervisor entry point: it serves a coordinator, spawns
+the worker fleet as subprocesses, optionally SIGKILLs some mid-lease
+(chaos smoke tests), and blocks until the sweep finishes::
+
+    python -m repro.fabric run smoke --store smoke.jsonl --workers 2 \\
+        --kill-worker 0@2 --lease-duration 2 --throttle 0.3
+
+``worker`` is what the supervisor spawns (one per worker); it can also
+be started by hand against a long-lived coordinator, with the fleet's
+authkey in ``REPRO_FABRIC_AUTHKEY``::
+
+    python -m repro.fabric worker --address 127.0.0.1:40123 --worker-id w0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import ExperimentRunner
+from repro.fabric.fleet import KillSpec, run_fleet
+from repro.fabric.lease import LeasePolicy
+from repro.fabric.transport import authkey_from_env, connect_coordinator, \
+    parse_address
+from repro.fabric.worker import worker_loop
+from repro.sweeps.registry import list_sweeps
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fabric",
+        description="coordinator/worker fleet for distributed sweeps",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a sweep under a coordinator/worker fleet")
+    run.add_argument("sweep", choices=sorted(list_sweeps()),
+                     help="registered sweep to run")
+    run.add_argument("--store", required=True,
+                     help="JSONL result store path (resumes if present)")
+    run.add_argument("--workers", type=int, default=2,
+                     help="worker subprocess count (default 2)")
+    run.add_argument("--max-rows", type=int, default=None,
+                     help="cap corpus scenario dimensions (smoke runs)")
+    run.add_argument("--lease-duration", type=float, default=30.0,
+                     help="lease lifetime in seconds without a heartbeat")
+    run.add_argument("--max-attempts", type=int, default=3,
+                     help="failures before a cell is quarantined")
+    run.add_argument("--cell-timeout", type=float, default=None,
+                     help="per-cell wall-clock budget inside workers")
+    run.add_argument("--cache-dir", default=None,
+                     help="runner cache directory workers share")
+    run.add_argument("--fsync", action="store_true",
+                     help="fsync the store after each append")
+    run.add_argument("--kill-worker", action="append", default=[],
+                     metavar="WORKER@AFTER",
+                     help="chaos: SIGKILL worker WORKER once AFTER cells "
+                          "are done and it holds a lease (repeatable)")
+    run.add_argument("--throttle", type=float, default=0.0,
+                     help="per-cell pacing sleep inside workers (gives "
+                          "--kill-worker a deterministic mid-lease window)")
+    run.add_argument("--timeout", type=float, default=600.0,
+                     help="hard wall-clock cap on the whole run")
+
+    worker = commands.add_parser(
+        "worker", help="join a fleet as one worker (spawned by `run`)")
+    worker.add_argument("--address", required=True,
+                        help="coordinator HOST:PORT")
+    worker.add_argument("--worker-id", required=True,
+                        help="this worker's id in leases and logs")
+    worker.add_argument("--cache-dir", default=None,
+                        help="runner cache directory")
+    worker.add_argument("--throttle", type=float, default=0.0,
+                        help="pacing sleep before each cell")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after completing this many cells")
+    return parser
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    policy = LeasePolicy(
+        lease_duration=arguments.lease_duration,
+        max_attempts=arguments.max_attempts,
+        cell_timeout=arguments.cell_timeout,
+    )
+    kills = tuple(KillSpec.parse(text) for text in arguments.kill_worker)
+    summary = run_fleet(
+        arguments.sweep,
+        store=arguments.store,
+        workers=arguments.workers,
+        max_rows=arguments.max_rows,
+        policy=policy,
+        kills=kills,
+        throttle=arguments.throttle,
+        cache_dir=arguments.cache_dir,
+        fsync=arguments.fsync,
+        timeout=arguments.timeout,
+    )
+    print(summary.render())
+    return 0
+
+
+def _cmd_worker(arguments: argparse.Namespace) -> int:
+    service = connect_coordinator(parse_address(arguments.address),
+                                  authkey=authkey_from_env())
+    runner = (ExperimentRunner(cache_dir=arguments.cache_dir)
+              if arguments.cache_dir else None)
+    completed = worker_loop(service, arguments.worker_id,
+                            runner=runner,
+                            throttle=arguments.throttle,
+                            max_cells=arguments.max_cells)
+    print(f"[fabric worker {arguments.worker_id}] completed {completed} "
+          f"cells")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "run":
+        return _cmd_run(arguments)
+    return _cmd_worker(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""Deterministic fault injection for the fabric's byte-parity invariant.
+
+Real process kills are a fine smoke test but a poor property test: the
+interesting interleavings (a lease expiring *just* as its result lands,
+two leases on one cell, a torn append under a coordinator restart)
+depend on timing the OS scheduler will not reproduce.  So this harness
+re-runs the whole protocol on a **logical clock**: the coordinator gets
+``clock=LogicalClock()`` instead of ``time.monotonic``, workers become
+in-process state machines advanced one tick per round, and every fault —
+kill-at-Nth-lease, delayed heartbeat, duplicate lease, torn append with
+coordinator restart, poison cell — fires at a scripted, reproducible
+instant.  Same schedule in, same interleaving out, every run.
+
+The property under test: for every :class:`FaultSchedule` and any worker
+count, the store that survives is **byte-identical** (after canonical
+merge) to an uninterrupted single-process ``run_sweep`` — minus any
+deliberately poisoned cells, which must end up *quarantined* and
+reported, never silently missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentRunner
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.lease import LeasePolicy
+from repro.fabric.worker import CellExecutionError, CellExecutor
+from repro.sweeps.spec import SweepSpec
+from repro.sweeps.store import ResultStore, SweepRecord
+
+
+class LogicalClock:
+    """A clock the simulation advances by hand; injected as ``clock=``."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float = 1.0) -> None:
+        self.now += seconds
+
+
+#: Lease policy the chaos rounds run under: short leases so expiry-driven
+#: faults play out in tens of ticks, generous attempts so only *poisoned*
+#: cells (which fail every time) reach quarantine.
+CHAOS_POLICY = LeasePolicy(lease_duration=8.0, max_attempts=6,
+                           backoff_base=1.0, backoff_factor=2.0,
+                           backoff_cap=4.0)
+
+#: Logical ticks one cell's compute takes in the simulation.
+COMPUTE_TICKS = 2
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One scripted fault scenario, fully deterministic.
+
+    Attributes:
+        name: the scenario's id (test parametrisation, logs).
+        kill_holding: ``(worker_slot, nth_acquire)`` pairs — the worker
+            dies the instant it is granted its Nth lease (the mid-lease
+            SIGKILL), leaving the lease to expire; it respawns fresh
+            ``respawn_delay`` ticks later.
+        stall: ``(worker_slot, nth_acquire, extra_ticks)`` — on its Nth
+            lease the worker goes silent (no heartbeats) and delivers its
+            result ``extra_ticks`` late, after the lease has expired and
+            the cell has been re-leased: the delayed-heartbeat /
+            late-duplicate-delivery fault.
+        duplicate_cells: cell indices a phantom worker force-leases *in
+            addition to* the legitimate holder and completes immediately —
+            the duplicate-lease fault; exactly one delivery may append.
+        torn_after_appends: after the Nth store append (cumulative across
+            restarts), the store file's tail is torn mid-record and the
+            coordinator is rebuilt on the same path — the torn-append /
+            coordinator-crash fault.  Requires a file-backed store.
+        poison_cells: cell indices whose execution raises on *every*
+            attempt; they must exhaust ``max_attempts`` and quarantine.
+        respawn_delay: ticks before a killed worker slot revives.
+
+    Faults referencing a worker slot beyond the fleet size are dropped,
+    so every schedule is runnable at any worker count.
+    """
+
+    name: str
+    kill_holding: tuple[tuple[int, int], ...] = ()
+    stall: tuple[tuple[int, int, int], ...] = ()
+    duplicate_cells: tuple[int, ...] = ()
+    torn_after_appends: tuple[int, ...] = ()
+    poison_cells: tuple[int, ...] = ()
+    respawn_delay: int = 3
+
+
+#: The scripted schedules the chaos property tests sweep.  The stall of
+#: 10 ticks deliberately exceeds CHAOS_POLICY.lease_duration, so stalled
+#: leases really expire and the late delivery really is a duplicate.
+SCHEDULES: tuple[FaultSchedule, ...] = (
+    FaultSchedule("clean"),
+    FaultSchedule("kill-first-lease", kill_holding=((0, 1),)),
+    FaultSchedule("kill-third-lease", kill_holding=((0, 3),)),
+    FaultSchedule("kill-two-workers", kill_holding=((0, 1), (1, 2))),
+    FaultSchedule("delayed-heartbeat", stall=((0, 2, 10),)),
+    FaultSchedule("duplicate-lease", duplicate_cells=(2,)),
+    FaultSchedule("torn-append", torn_after_appends=(2,)),
+    FaultSchedule("compound",
+                  kill_holding=((0, 2),),
+                  stall=((1, 1, 10),),
+                  duplicate_cells=(4,),
+                  torn_after_appends=(3,)),
+)
+
+
+def get_schedule(name: str) -> FaultSchedule:
+    for schedule in SCHEDULES:
+        if schedule.name == name:
+            return schedule
+    raise KeyError(f"unknown fault schedule {name!r}; known: "
+                   f"{', '.join(s.name for s in SCHEDULES)}")
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What a chaos run left behind, for the property assertions."""
+
+    schedule: str
+    workers: int
+    rounds: int
+    records: tuple[SweepRecord, ...]
+    quarantined: tuple[dict, ...]
+    stats: dict
+    counts: dict
+
+
+@dataclass
+class _VirtualWorker:
+    """One simulated worker: a state machine advanced each round."""
+
+    slot: int
+    worker_id: str
+    state: str = "idle"  # idle | computing | stalled | dead | exited
+    acquires: int = 0
+    lease_id: str | None = None
+    cell_index: int | None = None
+    finish_at: float = 0.0
+    revive_at: float | None = None
+    incarnation: int = 0
+
+
+def _tear_tail(path: Path) -> None:
+    """Cut the store's last line roughly in half — a torn append.
+
+    Leaves the file ending mid-JSON with no trailing newline, exactly
+    what a crash between ``write()`` starting and finishing would leave
+    on a filesystem without atomic appends.
+    """
+    data = path.read_bytes()
+    body = data.rstrip(b"\n")
+    if not body:
+        return
+    start = body.rfind(b"\n") + 1
+    keep = start + (len(body) - start) // 2
+    path.write_bytes(data[:keep])
+
+
+def run_chaos(spec: SweepSpec, schedule: FaultSchedule, *,
+              workers: int = 2,
+              runner: ExperimentRunner | None = None,
+              store_path=None,
+              policy: LeasePolicy | None = None,
+              max_rows: int | None = None,
+              max_rounds: int = 5000) -> ChaosOutcome:
+    """Run one sweep under one fault schedule on the logical clock.
+
+    Args:
+        spec: the sweep to run (use a small one; every retry really
+            computes unless ``runner`` memoises).
+        schedule: the scripted faults.
+        workers: virtual worker count (faults aimed beyond it drop out).
+        runner: shared runner — pass one across chaos runs so repeated
+            cells replay from the memo instead of re-simulating.
+        store_path: JSONL store file; required for torn-append faults,
+            optional otherwise (``None`` = in-memory store).
+        policy: lease policy; defaults to :data:`CHAOS_POLICY`.
+        max_rows: corpus scale cap.
+        max_rounds: liveness backstop — exceeding it raises, because a
+            correct protocol must terminate under every schedule.
+    """
+    policy = policy or CHAOS_POLICY
+    if schedule.torn_after_appends and store_path is None:
+        raise ValueError(
+            f"schedule {schedule.name!r} tears the store file and needs "
+            f"a file-backed store_path")
+    clock = LogicalClock()
+    coordinator = Coordinator(spec, store=store_path, max_rows=max_rows,
+                              policy=policy, clock=clock)
+    executor = CellExecutor(spec, runner=runner, max_rows=max_rows)
+    poisoned = set(schedule.poison_cells)
+
+    def execute(cell_index: int) -> SweepRecord:
+        if cell_index in poisoned:
+            raise CellExecutionError(
+                f"poison cell {cell_index}: injected engine crash")
+        return executor.execute(cell_index)
+
+    kill_at = {(slot, nth) for slot, nth in schedule.kill_holding
+               if slot < workers}
+    stall_at = {(slot, nth): ticks
+                for slot, nth, ticks in schedule.stall if slot < workers}
+    duplicates_pending = set(schedule.duplicate_cells)
+    torn_pending = sorted(schedule.torn_after_appends)
+    appends_before_restart = 0
+
+    fleet = [_VirtualWorker(slot=index, worker_id=f"v{index}")
+             for index in range(workers)]
+    rounds = 0
+    while not coordinator.finished():
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"chaos schedule {schedule.name!r} with {workers} "
+                f"workers did not terminate within {max_rounds} rounds: "
+                f"{coordinator.snapshot()['counts']}")
+        clock.tick(1.0)
+
+        # Torn-append fault: tear the file tail and restart the
+        # coordinator on the same path.  Every outstanding lease is void
+        # (the new coordinator never issued it); heartbeats on it return
+        # False and completes still land, because complete is cell-keyed.
+        total_appends = appends_before_restart + coordinator.appends
+        while torn_pending and total_appends >= torn_pending[0]:
+            torn_pending.pop(0)
+            _tear_tail(Path(store_path))
+            appends_before_restart = total_appends
+            coordinator = Coordinator(spec, store=store_path,
+                                      max_rows=max_rows, policy=policy,
+                                      clock=clock)
+
+        # Duplicate-lease fault: while the target cell is legitimately
+        # leased, a phantom worker force-leases it too and delivers
+        # immediately — the slower delivery must be dropped as a
+        # duplicate, never appended twice.
+        if duplicates_pending:
+            leased_now = {lease["cell_index"]
+                          for lease in coordinator.snapshot()["leases"]}
+            for cell_index in sorted(duplicates_pending):
+                if cell_index not in leased_now:
+                    continue
+                duplicates_pending.discard(cell_index)
+                lease = coordinator.force_lease("phantom", cell_index)
+                if lease is None:
+                    continue
+                try:
+                    record = execute(cell_index)
+                except CellExecutionError as exc:
+                    coordinator.fail("phantom", lease.lease_id,
+                                     cell_index, str(exc))
+                else:
+                    coordinator.complete("phantom", lease.lease_id,
+                                         asdict(record))
+
+        for worker in fleet:
+            if worker.state == "exited":
+                continue
+            if worker.state == "dead":
+                if (worker.revive_at is not None
+                        and clock.now >= worker.revive_at):
+                    worker.incarnation += 1
+                    worker.worker_id = (f"v{worker.slot}"
+                                        f"r{worker.incarnation}")
+                    worker.state = "idle"
+                    worker.revive_at = None
+                continue
+            if worker.state == "idle":
+                grant = coordinator.acquire(worker.worker_id)
+                if grant["status"] == "done":
+                    worker.state = "exited"
+                    continue
+                if grant["status"] == "wait":
+                    continue
+                worker.acquires += 1
+                worker.lease_id = grant["lease_id"]
+                worker.cell_index = grant["cell_index"]
+                fault_key = (worker.slot, worker.acquires)
+                if fault_key in kill_at:
+                    kill_at.discard(fault_key)
+                    # Dies holding the lease: no fail() call, no
+                    # heartbeat — only expiry gets the cell back.
+                    worker.state = "dead"
+                    worker.revive_at = clock.now + schedule.respawn_delay
+                    worker.lease_id = None
+                    worker.cell_index = None
+                    continue
+                extra = stall_at.pop(fault_key, None)
+                if extra is not None:
+                    worker.state = "stalled"
+                    worker.finish_at = clock.now + COMPUTE_TICKS + extra
+                else:
+                    worker.state = "computing"
+                    worker.finish_at = clock.now + COMPUTE_TICKS
+                continue
+            # computing or stalled
+            if clock.now >= worker.finish_at:
+                try:
+                    record = execute(worker.cell_index)
+                except CellExecutionError as exc:
+                    coordinator.fail(worker.worker_id, worker.lease_id,
+                                     worker.cell_index, str(exc))
+                else:
+                    coordinator.complete(worker.worker_id,
+                                         worker.lease_id,
+                                         asdict(record))
+                worker.state = "idle"
+                worker.lease_id = None
+                worker.cell_index = None
+            elif worker.state == "computing":
+                coordinator.heartbeat(worker.lease_id)
+            # stalled workers stay silent until their late delivery
+
+    snapshot = coordinator.snapshot()
+    if store_path is not None:
+        # Reload from disk: the authoritative surviving bytes (a torn
+        # line parses as not-done and is skipped, like any consumer).
+        records = tuple(ResultStore(store_path).records)
+    else:
+        records = tuple(coordinator.store.records)
+    return ChaosOutcome(
+        schedule=schedule.name,
+        workers=workers,
+        rounds=rounds,
+        records=records,
+        quarantined=tuple(snapshot["quarantined"]),
+        stats=snapshot["stats"],
+        counts=snapshot["counts"],
+    )

@@ -1,0 +1,222 @@
+"""Fleet supervision: spawn worker subprocesses, kill some, finish anyway.
+
+:func:`run_fleet` is the fabric's one-call entry point (and what
+``python -m repro.fabric run`` wraps): serve a coordinator on an
+ephemeral localhost port, spawn N ``python -m repro.fabric worker``
+subprocesses against it, and poll the coordinator until every cell is
+done or quarantined.  Polling is not passive — each ``snapshot`` drives
+lease expiry, so a SIGKILLed worker's lease is reclaimed and retried
+even while every surviving worker sits deep in a long simulation.
+
+The supervisor doubles as the *process-level* chaos injector:
+:class:`KillSpec` (``"WORKER@AFTER"`` on the CLI) SIGKILLs a given
+worker once the sweep has at least ``AFTER`` cells done *and* that
+worker holds a lease — the mid-lease kill the CI ``fabric-chaos`` job
+exercises.  If the whole fleet dies before the sweep finishes, a fresh
+worker is respawned so the run always terminates.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.lease import LeasePolicy
+from repro.fabric.transport import (
+    AUTHKEY_ENV,
+    authkey_to_env,
+    generate_authkey,
+    serve_coordinator,
+)
+from repro.sweeps.registry import get_sweep
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Kill worker ``worker_index`` once ``after_cells`` cells are done
+    (and it holds a lease — a guaranteed mid-lease kill)."""
+
+    worker_index: int
+    after_cells: int
+
+    @classmethod
+    def parse(cls, text: str) -> "KillSpec":
+        """Parse the CLI form ``WORKER@AFTER``, e.g. ``0@2``."""
+        worker, separator, after = text.partition("@")
+        if not separator:
+            raise ValueError(
+                f"expected WORKER@AFTER_CELLS (e.g. '0@2'), got {text!r}")
+        return cls(int(worker), int(after))
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Outcome of one :func:`run_fleet` invocation."""
+
+    sweep_id: str
+    workers: int
+    counts: dict
+    quarantined: tuple[dict, ...]
+    kills_fired: int
+    respawns: int
+    reclaimed: int
+    duplicates_dropped: int
+
+    def render(self) -> str:
+        line = (f"[fabric {self.sweep_id}] {self.workers} workers: "
+                f"{self.counts.get('done', 0)} done, "
+                f"{len(self.quarantined)} quarantined, "
+                f"{self.kills_fired} killed, {self.respawns} respawned, "
+                f"{self.reclaimed} leases reclaimed, "
+                f"{self.duplicates_dropped} duplicates dropped")
+        for cell in self.quarantined:
+            line += (f"\n  quarantined cell {cell['cell_index']} after "
+                     f"{cell['attempts']} attempts: {cell['error']}")
+        return line
+
+
+def _worker_command(address: tuple[str, int], worker_id: str, *,
+                    cache_dir: str | os.PathLike | None,
+                    throttle: float) -> list[str]:
+    command = [sys.executable, "-m", "repro.fabric", "worker",
+               "--address", f"{address[0]}:{address[1]}",
+               "--worker-id", worker_id]
+    if cache_dir is not None:
+        command += ["--cache-dir", os.fspath(cache_dir)]
+    if throttle > 0:
+        command += ["--throttle", str(throttle)]
+    return command
+
+
+def _worker_environment(authkey: bytes) -> dict[str, str]:
+    """The subprocess environment: authkey plus an import path to us.
+
+    The fleet may be driven from a checkout without an installed
+    package, so the directory containing ``repro`` is prepended to
+    ``PYTHONPATH`` explicitly.
+    """
+    environment = dict(os.environ)
+    environment[AUTHKEY_ENV] = authkey_to_env(authkey)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (package_root if not existing
+                                 else package_root + os.pathsep + existing)
+    return environment
+
+
+def run_fleet(sweep_id: str, *,
+              store: str | os.PathLike | None,
+              workers: int = 2,
+              max_rows: int | None = None,
+              policy: LeasePolicy | None = None,
+              kills: tuple[KillSpec, ...] = (),
+              throttle: float = 0.0,
+              cache_dir: str | os.PathLike | None = None,
+              fsync: bool = False,
+              poll_interval: float = 0.2,
+              timeout: float = 600.0) -> FleetSummary:
+    """Run a sweep to completion under a coordinator/worker fleet.
+
+    Args:
+        sweep_id: registry sweep to run.
+        store: store file path (the coordinator is the only writer).
+        workers: initial worker subprocess count.
+        max_rows: corpus scale cap (smoke runs).
+        policy: lease policy; defaults tuned for interactive sweeps.
+        kills: scripted mid-lease SIGKILLs (chaos).
+        throttle: per-cell pacing sleep inside workers — gives scripted
+            kills a deterministic mid-lease window on fast sweeps.
+        cache_dir: runner cache directory workers share (a killed
+            worker's completed simulations replay instead of re-running).
+        fsync: fsync the store after each append.
+        poll_interval: supervisor poll period.
+        timeout: hard wall-clock cap on the whole run.
+
+    Raises:
+        TimeoutError: the fleet failed to finish within ``timeout``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    spec = get_sweep(sweep_id)
+    coordinator = Coordinator(spec, store=store, max_rows=max_rows,
+                              policy=policy, fsync=fsync)
+    authkey = generate_authkey()
+    handle = serve_coordinator(coordinator, authkey=authkey)
+    environment = _worker_environment(authkey)
+
+    spawned = 0
+
+    def spawn() -> subprocess.Popen:
+        nonlocal spawned
+        worker_id = f"w{spawned}"
+        spawned += 1
+        return subprocess.Popen(
+            _worker_command(handle.address, worker_id,
+                            cache_dir=cache_dir, throttle=throttle),
+            env=environment)
+
+    processes: dict[int, subprocess.Popen] = {}
+    kills_fired = 0
+    respawns = 0
+    try:
+        processes = {index: spawn() for index in range(workers)}
+        pending_kills = list(kills)
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = coordinator.snapshot()  # also reclaims leases
+            if snapshot["finished"]:
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"fabric run of {sweep_id!r} did not finish within "
+                    f"{timeout}s: {snapshot['counts']}")
+            holders = {lease["worker_id"]
+                       for lease in snapshot["leases"]}
+            for kill in list(pending_kills):
+                process = processes.get(kill.worker_index)
+                if (process is not None and process.poll() is None
+                        and snapshot["counts"]["done"] >= kill.after_cells
+                        and f"w{kill.worker_index}" in holders):
+                    process.kill()
+                    process.wait()
+                    kills_fired += 1
+                    pending_kills.remove(kill)
+            alive = any(process.poll() is None
+                        for process in processes.values())
+            if not alive:
+                # Whole fleet gone but cells remain: respawn one fresh
+                # worker so the run always terminates.
+                processes[len(processes)] = spawn()
+                respawns += 1
+            time.sleep(poll_interval)
+        for process in processes.values():
+            if process.poll() is None:
+                try:  # workers exit on their next acquire -> "done"
+                    process.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+    finally:
+        for process in processes.values():
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        handle.stop()
+
+    snapshot = coordinator.snapshot()
+    return FleetSummary(
+        sweep_id=sweep_id,
+        workers=workers,
+        counts=snapshot["counts"],
+        quarantined=tuple(snapshot["quarantined"]),
+        kills_fired=kills_fired,
+        respawns=respawns,
+        reclaimed=snapshot["stats"]["reclaimed"],
+        duplicates_dropped=snapshot["stats"]["duplicates_dropped"],
+    )

@@ -1,0 +1,322 @@
+"""The lease table: per-cell state machine behind the fabric coordinator.
+
+A sweep grid becomes a *leased work queue*: every cell is ``pending``
+until a worker acquires a **lease** on it (a grant with a deadline),
+``leased`` while some worker heartbeats on it, ``done`` once a result
+lands, and — after :attr:`LeasePolicy.max_attempts` failures —
+``quarantined``, so one pathological cell degrades the sweep gracefully
+instead of stalling it.
+
+The table is a pure data structure: no I/O, no threads, and **no wall
+clock of its own** — every method takes ``now`` explicitly, which is what
+lets the chaos harness drive the whole protocol on a deterministic
+logical clock and lets the coordinator use ``time.monotonic``.
+
+Failure handling is uniform: an *expired* lease (worker killed, hung
+engine, lost heartbeat) and an *explicit* failure (worker reported an
+engine error) both count one attempt against the cell and reschedule it
+``pending`` behind a capped exponential backoff.  The backoff is
+deterministic — no jitter — because the byte-parity chaos property needs
+reproducible schedules; at fabric scale the coordinator serialises grants
+anyway, so jitter would buy nothing.
+
+Late results are accepted: a worker whose lease expired (or whose cell
+was even quarantined meanwhile) may still deliver a valid, deterministic
+record.  :meth:`LeaseTable.complete` is therefore keyed by *cell*, not by
+lease — the first result wins, every later one is reported as a dropped
+duplicate.  This is exactly what makes duplicate-lease and
+delayed-heartbeat fault schedules byte-safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+#: Cell lifecycle states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+STATES = (PENDING, LEASED, DONE, QUARANTINED)
+
+
+@dataclass(frozen=True)
+class LeasePolicy:
+    """The knobs of the lease/heartbeat/retry protocol.
+
+    Attributes:
+        lease_duration: seconds a lease lives without a heartbeat; each
+            heartbeat extends the deadline by this much.
+        max_attempts: failures (expiries + explicit errors) after which a
+            cell is quarantined instead of retried.
+        backoff_base: backoff before the first retry, in seconds.
+        backoff_factor: multiplier per further attempt.
+        backoff_cap: upper bound on any single backoff.
+        cell_timeout: optional per-cell wall-clock budget *workers* apply
+            when executing (see ``ExperimentRunner.run_engine_many``); a
+            cell that exceeds it fails retryable under this same policy.
+    """
+
+    lease_duration: float = 30.0
+    max_attempts: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    cell_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.lease_duration <= 0:
+            raise ValueError(
+                f"lease_duration must be positive, got {self.lease_duration}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(
+                f"cell_timeout must be positive, got {self.cell_timeout}")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """How often workers should heartbeat: a quarter of the lease."""
+        return max(self.lease_duration / 4.0, 0.05)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: a worker's claim on a cell, with a deadline."""
+
+    lease_id: str
+    worker_id: str
+    cell_index: int
+    deadline: float
+
+
+@dataclass
+class _CellEntry:
+    """Mutable per-cell bookkeeping."""
+
+    index: int
+    status: str = PENDING
+    attempts: int = 0
+    not_before: float = 0.0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """A poisoned cell's post-mortem, as reported in snapshots/sidecars."""
+
+    cell_index: int
+    attempts: int
+    error: str
+
+
+class LeaseTable:
+    """Lease bookkeeping over a set of cell indices.
+
+    Args:
+        cell_indices: the grid's canonical cell indices.
+        policy: lease/retry policy.
+        done: cells already recorded (a resumed store) — born ``done``.
+    """
+
+    def __init__(self, cell_indices, *, policy: LeasePolicy,
+                 done=()) -> None:
+        self._policy = policy
+        self._entries = {index: _CellEntry(index)
+                         for index in sorted(cell_indices)}
+        for index in done:
+            self._entries[index].status = DONE
+        self._leases: dict[str, Lease] = {}
+        self._by_cell: dict[int, set[str]] = {}
+        self._ids = itertools.count(1)
+        #: Expired leases reclaimed so far (observability).
+        self.reclaimed = 0
+        #: Results dropped because their cell was already done.
+        self.duplicates_dropped = 0
+        #: Explicit failures reported by workers.
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> LeasePolicy:
+        return self._policy
+
+    @property
+    def finished(self) -> bool:
+        """Every cell either done or quarantined — nothing left to run."""
+        return all(entry.status in (DONE, QUARANTINED)
+                   for entry in self._entries.values())
+
+    def counts(self) -> dict[str, int]:
+        """Cells per state (``leased`` counts cells, not leases)."""
+        totals = {state: 0 for state in STATES}
+        for entry in self._entries.values():
+            totals[entry.status] += 1
+        return totals
+
+    def active_leases(self) -> list[Lease]:
+        """The currently outstanding leases (a copy)."""
+        return list(self._leases.values())
+
+    def quarantined(self) -> list[QuarantinedCell]:
+        """Post-mortems of every quarantined cell, by cell index."""
+        return [QuarantinedCell(entry.index, entry.attempts,
+                                entry.error or "")
+                for entry in self._entries.values()
+                if entry.status == QUARANTINED]
+
+    # ------------------------------------------------------------------
+    def acquire(self, worker_id: str, now: float, *,
+                cell_index: int | None = None) -> Lease | None:
+        """Grant a lease on the lowest eligible pending cell.
+
+        Eligible means ``pending`` with its backoff gate (``not_before``)
+        behind ``now``.  Returns ``None`` when nothing is currently
+        grantable (all cells leased, backing off, done or quarantined) —
+        callers consult :meth:`next_event` for how long to wait.
+
+        ``cell_index`` forces a lease on that specific cell even when it
+        is already leased — the **duplicate-lease** fault the chaos
+        harness injects; the normal path never passes it.
+        """
+        if cell_index is None:
+            entry = next((entry for entry in self._entries.values()
+                          if entry.status == PENDING
+                          and entry.not_before <= now), None)
+        else:
+            entry = self._entries[cell_index]
+            if entry.status in (DONE, QUARANTINED):
+                return None
+        if entry is None:
+            return None
+        lease = Lease(f"L{next(self._ids)}", worker_id, entry.index,
+                      now + self._policy.lease_duration)
+        self._leases[lease.lease_id] = lease
+        self._by_cell.setdefault(entry.index, set()).add(lease.lease_id)
+        entry.status = LEASED
+        return lease
+
+    def heartbeat(self, lease_id: str, now: float) -> bool:
+        """Extend a live lease's deadline; ``False`` if it is gone.
+
+        A ``False`` return tells the worker its lease was reclaimed (it
+        heartbeat too late); it may still deliver its result — late
+        completion is accepted per :meth:`complete` — but should not count
+        on exclusivity.
+        """
+        lease = self._leases.get(lease_id)
+        if lease is None or lease.deadline <= now:
+            return False
+        self._leases[lease_id] = Lease(
+            lease.lease_id, lease.worker_id, lease.cell_index,
+            now + self._policy.lease_duration)
+        return True
+
+    def expire(self, now: float) -> list[Lease]:
+        """Reclaim every lease whose deadline has passed.
+
+        Each reclaimed lease counts one failure against its cell (unless
+        another live lease still covers it — the duplicate-lease case):
+        retry behind backoff, or quarantine past ``max_attempts``.
+        """
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline <= now]
+        for lease in expired:
+            self._release(lease.lease_id)
+            entry = self._entries[lease.cell_index]
+            self.reclaimed += 1
+            if entry.status == LEASED and not self._by_cell.get(
+                    lease.cell_index):
+                self._fail(entry, now,
+                           f"lease {lease.lease_id} expired (worker "
+                           f"{lease.worker_id} lost or hung)")
+        return expired
+
+    def complete(self, cell_index: int, now: float) -> bool:
+        """Record a result's arrival for a cell; ``True`` if it is fresh.
+
+        Keyed by cell, not lease: late results (expired lease, restarted
+        coordinator, duplicate grant) are still accepted — the engines are
+        deterministic, so any result for a cell is *the* result.  Returns
+        ``False`` (and counts a dropped duplicate) when the cell is
+        already done, in which case the caller must not append the record
+        again.  A quarantined cell completing late is un-quarantined:
+        a valid result beats a post-mortem.
+        """
+        entry = self._entries[cell_index]
+        for lease_id in list(self._by_cell.get(cell_index, ())):
+            self._release(lease_id)
+        if entry.status == DONE:
+            self.duplicates_dropped += 1
+            return False
+        entry.status = DONE
+        entry.error = None
+        return True
+
+    def fail(self, cell_index: int, now: float, error: str) -> str:
+        """Count an explicit worker-reported failure against a cell.
+
+        Returns the cell's resulting status: ``pending`` (retry scheduled
+        behind backoff), ``quarantined`` (attempts exhausted) or ``done``
+        (a racing result landed first — the failure is moot).
+        """
+        entry = self._entries[cell_index]
+        if entry.status == DONE:
+            return DONE
+        for lease_id in list(self._by_cell.get(cell_index, ())):
+            self._release(lease_id)
+        self.failures += 1
+        self._fail(entry, now, error)
+        return entry.status
+
+    def next_event(self, now: float) -> float | None:
+        """Seconds until the next deadline or backoff gate, if any.
+
+        The coordinator turns this into the ``wait`` hint it hands a
+        worker that found nothing grantable.  ``None`` means no event is
+        scheduled (everything done/quarantined, or nothing leased and
+        nothing backing off — the latter cannot happen right after a
+        failed :meth:`acquire`).
+        """
+        horizons = [lease.deadline for lease in self._leases.values()]
+        horizons += [entry.not_before
+                     for entry in self._entries.values()
+                     if entry.status == PENDING and entry.not_before > now]
+        if not horizons:
+            return None
+        return max(0.0, min(horizons) - now)
+
+    # ------------------------------------------------------------------
+    def _release(self, lease_id: str) -> None:
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return
+        holders = self._by_cell.get(lease.cell_index)
+        if holders is not None:
+            holders.discard(lease_id)
+            if not holders:
+                del self._by_cell[lease.cell_index]
+
+    def _fail(self, entry: _CellEntry, now: float, error: str) -> None:
+        entry.attempts += 1
+        entry.error = error
+        if entry.attempts >= self._policy.max_attempts:
+            entry.status = QUARANTINED
+        else:
+            entry.status = PENDING
+            entry.not_before = now + self._policy.backoff(entry.attempts)

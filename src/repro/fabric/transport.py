@@ -1,0 +1,139 @@
+"""Socket transport for the fabric: coordinator RPC over a manager.
+
+Built on :class:`multiprocessing.managers.BaseManager`, which gives us an
+authenticated, pickling RPC channel over a plain TCP socket for free —
+no new dependencies, and worker subprocesses (spawned as ``python -m
+repro.fabric worker``) connect with nothing but ``host:port`` and a
+shared authkey.
+
+The coordinator object itself stays in the serving process; only method
+calls cross the wire.  Exactly the methods a worker may call are
+exposed — the chaos-only ``force_lease`` hook is deliberately *not* in
+:data:`EXPOSED`, so a misbehaving worker cannot inject duplicate leases.
+
+The authkey travels to worker subprocesses via the
+:data:`AUTHKEY_ENV` environment variable (hex-encoded), never argv,
+so it does not leak into process listings.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing.managers import BaseManager
+
+#: RPC methods a worker may call on the coordinator.
+EXPOSED = ("describe", "acquire", "heartbeat", "complete", "fail",
+           "snapshot", "finished")
+
+#: Environment variable carrying the hex-encoded authkey to workers.
+AUTHKEY_ENV = "REPRO_FABRIC_AUTHKEY"
+
+
+def generate_authkey() -> bytes:
+    """A fresh random authkey for one fabric run."""
+    return os.urandom(16)
+
+
+def authkey_to_env(authkey: bytes) -> str:
+    return authkey.hex()
+
+
+def authkey_from_env(environ=None) -> bytes:
+    """Read the fleet's authkey from the environment.
+
+    Raises:
+        RuntimeError: the variable is missing or not valid hex — the
+            worker was started outside a fleet without credentials.
+    """
+    environ = os.environ if environ is None else environ
+    value = environ.get(AUTHKEY_ENV)
+    if not value:
+        raise RuntimeError(
+            f"{AUTHKEY_ENV} is not set; fabric workers are normally "
+            f"spawned by `repro.fabric run`, which provides it")
+    try:
+        return bytes.fromhex(value)
+    except ValueError:
+        raise RuntimeError(f"{AUTHKEY_ENV} is not valid hex") from None
+
+
+class ServerHandle:
+    """A running coordinator server: its address and a stop switch."""
+
+    def __init__(self, server, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+        self.address: tuple[str, int] = server.address
+
+    def stop(self) -> None:
+        """Ask the serve loop to wind down (idempotent, best-effort).
+
+        The listener thread is a daemon either way; stopping just lets
+        tests release the port promptly.
+        """
+        stop_event = getattr(self._server, "stop_event", None)
+        if stop_event is not None:
+            stop_event.set()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_coordinator(coordinator, *,
+                      address: tuple[str, int] = ("127.0.0.1", 0),
+                      authkey: bytes) -> ServerHandle:
+    """Serve a coordinator on a TCP socket from a daemon thread.
+
+    Returns a :class:`ServerHandle` whose ``address`` carries the bound
+    ``(host, port)`` (port 0 binds an ephemeral one).  The coordinator
+    object remains local — its store file handle, sidecar writes and
+    clock all live in this process.
+    """
+
+    class _Server(BaseManager):
+        pass
+
+    _Server.register("get_coordinator", callable=lambda: coordinator,
+                     exposed=EXPOSED)
+    manager = _Server(address=address, authkey=authkey)
+    server = manager.get_server()
+
+    def serve() -> None:
+        try:
+            server.serve_forever()
+        except SystemExit:  # the manager's stop_event path exits the thread
+            pass
+
+    thread = threading.Thread(target=serve, daemon=True,
+                              name="fabric-coordinator")
+    thread.start()
+    return ServerHandle(server, thread)
+
+
+def connect_coordinator(address: tuple[str, int], *, authkey: bytes):
+    """Connect to a served coordinator; returns the RPC proxy.
+
+    The proxy is thread-safe in the way the worker needs: each calling
+    thread gets its own connection, so the heartbeat thread and the main
+    loop never share a socket.
+    """
+
+    class _Client(BaseManager):
+        pass
+
+    _Client.register("get_coordinator", exposed=EXPOSED)
+    manager = _Client(address=tuple(address), authkey=authkey)
+    manager.connect()
+    return manager.get_coordinator()
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``host:port`` (as passed on the worker command line)."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)

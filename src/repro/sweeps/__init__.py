@@ -9,7 +9,9 @@
   executor over :class:`~repro.experiments.runner.ExperimentRunner`.
 * :mod:`repro.sweeps.registry` — registered sweeps (``smoke``,
   ``fig17-dse``, ``engines-suite``, ``rmat-sweep``).
-* ``python -m repro.sweeps`` — the run / merge / summarise CLI.
+* :mod:`repro.sweeps.watch` — live progress view over a growing store
+  (incremental reads; fabric-sidecar aware).
+* ``python -m repro.sweeps`` — the run / merge / summarise / watch CLI.
 """
 
 from repro.sweeps.driver import (
@@ -39,6 +41,7 @@ from repro.sweeps.store import (
     require_single_sweep,
     write_records,
 )
+from repro.sweeps.watch import StoreWatcher, WatchView, watch_store
 
 __all__ = [
     "SweepSpec",
@@ -64,4 +67,7 @@ __all__ = [
     "SWEEPS",
     "list_sweeps",
     "get_sweep",
+    "StoreWatcher",
+    "WatchView",
+    "watch_store",
 ]

@@ -15,7 +15,11 @@ Three subcommands cover the sweep-as-a-service lifecycle:
   memory), so paper-scale million-cell stores merge within bounded memory.
 * ``summarise STORE...`` — print the per-(engine, config) summary table
   (geomean GFLOP/s, DRAM, runtime, energy) of one or more stores, also
-  streamed line by line.
+  streamed line by line; a fabric sidecar's quarantined cells are
+  reported alongside.
+* ``watch STORE`` — live progress view over a growing store (done /
+  pending / failed, rows/sec, ETA) via incremental reads, safe to run
+  next to a shard run or a fabric fleet.
 
 ``--list`` (or no arguments) prints the registered sweeps and corpora.
 """
@@ -84,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="force an execution backend (backend-specific "
                           "fingerprints, as in the experiments CLI)")
+    run.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock budget: a hung engine "
+                          "marks its cell failed-retryable instead of "
+                          "blocking the shard")
 
     merge = commands.add_parser(
         "merge", help="canonically merge shard stores into one")
@@ -97,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "one or more stores")
     summarise.add_argument("stores", nargs="+", metavar="STORE",
                            help="store files to summarise (merged first)")
+
+    watch = commands.add_parser(
+        "watch", help="live progress view over a growing store")
+    watch.add_argument("store", metavar="STORE",
+                       help="store file to watch (may not exist yet)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls (default 2)")
+    watch.add_argument("--iterations", type=int, default=None,
+                       help="stop after N samples even if unfinished "
+                            "(one-shot status checks, CI)")
     return parser
 
 
@@ -130,12 +149,20 @@ def main(argv: list[str] | None = None) -> int:
         summary, store = run_sweep(
             spec, store=args.store, runner=runner,
             shard_index=shard_index, shard_count=shard_count,
-            max_rows=args.max_rows, max_cells=args.max_cells)
+            max_rows=args.max_rows, max_cells=args.max_cells,
+            cell_timeout=args.cell_timeout)
         print(summary.render())
         print(f"[runner] {runner.cache_misses} points computed, "
               f"{runner.cache_hits} reused from cache")
         if store.path is not None:
             print(f"[store] {len(store)} records in {store.path}")
+        return 0
+
+    if args.command == "watch":
+        from repro.sweeps.watch import watch_store
+
+        watch_store(args.store, interval=args.interval,
+                    iterations=args.iterations)
         return 0
 
     if args.command == "merge":
@@ -171,6 +198,21 @@ def main(argv: list[str] | None = None) -> int:
             print()
     finally:
         os.unlink(handle.name)
+
+    # A fabric-run store carries a sidecar with quarantine post-mortems;
+    # a summary that silently omitted poisoned cells would misread as
+    # complete, so report them here.
+    from repro.fabric.coordinator import read_sidecar
+
+    for store_path in args.stores:
+        sidecar = read_sidecar(store_path)
+        if not sidecar or not sidecar.get("quarantined"):
+            continue
+        print(f"[fabric] {store_path}: "
+              f"{len(sidecar['quarantined'])} quarantined cell(s)")
+        for cell in sidecar["quarantined"]:
+            print(f"  cell {cell['cell_index']} after "
+                  f"{cell['attempts']} attempts: {cell['error']}")
     return 0
 
 

@@ -56,6 +56,10 @@ class SweepRunSummary:
             compute once through the runner's memo but each count here).
         replayed: shard cells already recorded in the store — skipped.
         remaining: shard cells left unexecuted by a ``max_cells`` stop.
+        failed: cells that hit the ``cell_timeout`` wall clock (or whose
+            engine raised under it) — *failed but retryable*: no record is
+            appended, so a resumed run re-attempts exactly these cells.
+        failed_cells: the failed cells' ``scenario|engine|config`` ids.
     """
 
     sweep_id: str
@@ -66,14 +70,20 @@ class SweepRunSummary:
     executed: int
     replayed: int
     remaining: int
+    failed: int = 0
+    failed_cells: tuple[str, ...] = ()
 
     def render(self) -> str:
         """One status line, e.g. for the CLI."""
-        return (f"[sweep {self.sweep_id}] shard "
+        line = (f"[sweep {self.sweep_id}] shard "
                 f"{self.shard_index}/{self.shard_count}: "
                 f"{self.cells_shard} of {self.cells_grid} cells, "
                 f"{self.executed} executed, {self.replayed} replayed, "
                 f"{self.remaining} remaining")
+        if self.failed:
+            line += (f", {self.failed} failed-retryable "
+                     f"({', '.join(self.failed_cells)})")
+        return line
 
 
 #: Process-wide fingerprint memo keyed by the frozen scenario recipe.
@@ -199,7 +209,8 @@ def run_sweep(spec: SweepSpec, *,
               shard_index: int = 0, shard_count: int = 1,
               max_rows: int | None = None,
               max_cells: int | None = None,
-              chunk_size: int | None = None
+              chunk_size: int | None = None,
+              cell_timeout: float | None = None
               ) -> tuple[SweepRunSummary, ResultStore]:
     """Execute (this shard of) a sweep, appending results to the store.
 
@@ -219,6 +230,11 @@ def run_sweep(spec: SweepSpec, *,
         chunk_size: cells per execution batch (defaults to the runner's
             job count); records append after each batch, bounding how much
             work a kill can lose.
+        cell_timeout: per-cell wall-clock budget in seconds.  With it set,
+            each uncached cell runs in a killable process and a hung (or
+            crashing) engine marks that cell *failed-retryable* — counted
+            in the summary, no record appended — instead of blocking the
+            shard forever.  ``None`` (default) lets cells run unbounded.
 
     Returns:
         ``(summary, store)`` — the run's counts and the (possibly newly
@@ -279,17 +295,25 @@ def run_sweep(spec: SweepSpec, *,
     last_use = {cell.scenario.name: position
                 for position, (cell, _, _) in enumerate(pending)}
     matrices: dict[str, CSRMatrix] = {}
-    executed = 0
-    while executed < budget:
-        batch = pending[executed:min(executed + chunk, budget)]
+    attempted = 0
+    failed_cells: list[str] = []
+    while attempted < budget:
+        batch = pending[attempted:min(attempted + chunk, budget)]
         for name in {cell.scenario.name for cell, _, _ in batch}:
             if name not in matrices:
                 matrices[name] = corpus.get_scenario(name).build()
         reports = runner.run_engine_many(
             [(engine, matrices[cell.scenario.name])
              for cell, engine, _ in batch],
-            keys=[key for _, _, key in batch])
+            keys=[key for _, _, key in batch],
+            timeout=cell_timeout)
         for (cell, _, key), report in zip(batch, reports):
+            if report is None:
+                # Timed out (or crashed) under cell_timeout: leave the
+                # cell unrecorded so a resume re-attempts it, and carry on
+                # with the rest of the shard.
+                failed_cells.append(cell.cell_id)
+                continue
             store.append(SweepRecord(
                 sweep_id=spec.sweep_id,
                 cell_index=cell.index,
@@ -299,11 +323,11 @@ def run_sweep(spec: SweepSpec, *,
                 key=key,
                 report=report.to_dict(),
             ))
-        executed += len(batch)
+        attempted += len(batch)
         # Free operands whose last pending cell has now run; memory only
         # shrinks as the (scenario-contiguous) pending list drains.
         for name in [name for name, position in last_use.items()
-                     if position < executed]:
+                     if position < attempted]:
             del matrices[name]
             del last_use[name]
 
@@ -313,9 +337,11 @@ def run_sweep(spec: SweepSpec, *,
         shard_count=shard_count,
         cells_grid=len(cells),
         cells_shard=len(mine),
-        executed=executed,
+        executed=attempted - len(failed_cells),
         replayed=replayed,
-        remaining=len(pending) - executed,
+        remaining=len(pending) - attempted,
+        failed=len(failed_cells),
+        failed_cells=tuple(failed_cells),
     )
     return summary, store
 

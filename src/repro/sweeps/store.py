@@ -140,10 +140,16 @@ class ResultStore:
             loaded (that is what makes a sweep resumable).  ``None`` keeps
             the store in memory only — one process lifetime, used by the
             ``sweep`` experiment harness when no ``--store`` is given.
+        fsync: flush each appended record to stable storage before
+            returning.  Off by default (a torn tail already rotates by
+            recomputation); the fabric coordinator turns it on when asked
+            to survive power loss, not just process death.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 fsync: bool = False) -> None:
         self._path = Path(path) if path is not None else None
+        self._fsync = fsync
         self._records: list[SweepRecord] = []
         self._cells: dict[tuple[str, str, str, str], str] = {}
         self._keys: set[str] = set()
@@ -213,6 +219,14 @@ class ResultStore:
         record); distinct cells sharing a fingerprint are all recorded —
         the computation deduplicates in the runner's memo, the grid never
         loses a point.
+
+        The on-disk append is one ``write()`` of the whole record to an
+        ``O_APPEND`` descriptor: concurrent writers (fabric workers, two
+        shard runs sharing a store) each land their record at the end of
+        the file atomically, so records from different processes never
+        interleave *within* a line — the worst a concurrent schedule can
+        produce is duplicate whole records, which loading and merging
+        already deduplicate.
         """
         if record.cell in self._cells:
             return
@@ -221,15 +235,28 @@ class ResultStore:
         self._keys.add(record.key)
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self._path, "a", encoding="utf-8") as handle:
-                if self._needs_newline:
-                    # Terminate the torn line a kill left behind, so it
-                    # stays an isolated (skipped) fragment instead of
-                    # corrupting this record too.
-                    handle.write("\n")
-                    self._needs_newline = False
-                handle.write(record.to_line())
-                handle.flush()
+            data = record.to_line().encode("utf-8")
+            if self._needs_newline:
+                # Terminate the torn line a kill left behind (within the
+                # same atomic write), so it stays an isolated (skipped)
+                # fragment instead of corrupting this record too.
+                data = b"\n" + data
+                self._needs_newline = False
+            descriptor = os.open(self._path,
+                                 os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                                 0o644)
+            try:
+                # One write() call for the whole record: O_APPEND makes it
+                # land atomically at the end of the file.  (Regular-file
+                # writes of record-sized buffers do not split; the loop
+                # merely guarantees completeness if one ever did.)
+                view = memoryview(data)
+                while view:
+                    view = view[os.write(descriptor, view):]
+                if self._fsync:
+                    os.fsync(descriptor)
+            finally:
+                os.close(descriptor)
 
     def reports(self) -> dict[str, CostReport]:
         """Every record's report, keyed by ``scenario|engine|config``.

@@ -1,0 +1,198 @@
+"""Coordinator semantics: resume, validation, dedupe, sidecar, transport.
+
+These tests drive the coordinator directly (and once over the real
+socket transport) with a logical clock, on the 6-cell smoke sweep.  The
+full fault matrix lives in ``test_chaos_property.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.fabric import (
+    CellExecutor,
+    Coordinator,
+    LeasePolicy,
+    LogicalClock,
+    connect_coordinator,
+    read_sidecar,
+    serve_coordinator,
+    sidecar_path,
+    worker_loop,
+)
+from repro.fabric.transport import generate_authkey
+from repro.sweeps.registry import get_sweep
+from repro.sweeps.spec import enumerate_cells
+from repro.sweeps.store import ResultStore
+
+RUNNER = ExperimentRunner()
+SMOKE = get_sweep("smoke")
+POLICY = LeasePolicy(lease_duration=10.0, max_attempts=3)
+
+
+@pytest.fixture()
+def clock():
+    return LogicalClock()
+
+
+@pytest.fixture()
+def executor():
+    return CellExecutor(SMOKE, runner=RUNNER)
+
+
+def make_coordinator(clock, store=None, **kwargs):
+    kwargs.setdefault("policy", POLICY)
+    return Coordinator(SMOKE, store=store, clock=clock, **kwargs)
+
+
+def complete_cell(coordinator, executor, grant, worker="w0"):
+    record = executor.execute(grant["cell_index"])
+    return coordinator.complete(worker, grant["lease_id"],
+                                dataclasses.asdict(record))
+
+
+class TestProtocol:
+    def test_acquire_compute_complete_round_trip(self, clock, executor):
+        coordinator = make_coordinator(clock)
+        grant = coordinator.acquire("w0")
+        assert grant["status"] == "lease"
+        assert grant["cell_index"] == 0
+        outcome = complete_cell(coordinator, executor, grant)
+        assert outcome == {"status": "ok", "fresh": True,
+                           "finished": False}
+        assert len(coordinator.store) == 1
+
+    def test_describe_names_the_grid(self, clock):
+        coordinator = make_coordinator(clock)
+        info = coordinator.describe()
+        assert info["sweep_id"] == "smoke"
+        assert info["total_cells"] == len(enumerate_cells(SMOKE))
+        assert info["policy"]["lease_duration"] == 10.0
+
+    def test_exhausted_queue_says_wait_then_done(self, clock, executor):
+        coordinator = make_coordinator(clock)
+        grants = []
+        while True:
+            grant = coordinator.acquire("w0")
+            if grant["status"] != "lease":
+                break
+            grants.append(grant)
+        assert grant["status"] == "wait"
+        assert grant["seconds"] > 0
+        for grant in grants:
+            complete_cell(coordinator, executor, grant)
+        assert coordinator.acquire("w1") == {"status": "done"}
+        assert coordinator.finished()
+
+    def test_duplicate_delivery_appends_nothing(self, clock, executor):
+        coordinator = make_coordinator(clock)
+        grant = coordinator.acquire("w0")
+        record = dataclasses.asdict(executor.execute(grant["cell_index"]))
+        assert coordinator.complete("w0", grant["lease_id"],
+                                    record)["fresh"] is True
+        late = coordinator.complete("w1", "L999", record)
+        assert late["fresh"] is False
+        assert len(coordinator.store) == 1
+
+    def test_mismatched_record_is_rejected(self, clock, executor):
+        coordinator = make_coordinator(clock)
+        grant = coordinator.acquire("w0")
+        record = dataclasses.asdict(executor.execute(grant["cell_index"]))
+        record["cell_index"] = 5  # wrong grid slot for these coordinates
+        outcome = coordinator.complete("w0", grant["lease_id"], record)
+        assert outcome["status"] == "rejected"
+        assert "canonical grid" in outcome["reason"]
+        assert len(coordinator.store) == 0
+
+    def test_expiry_requeues_and_retry_succeeds(self, clock, executor):
+        coordinator = make_coordinator(clock)
+        grant = coordinator.acquire("w0")
+        clock.tick(POLICY.lease_duration)  # w0 never heartbeats
+        retry = coordinator.acquire("w1")
+        # cell 0 is backing off; w1 gets cell 1 first
+        assert retry["cell_index"] == 1
+        clock.tick(POLICY.backoff_base)
+        retry0 = coordinator.acquire("w2")
+        assert retry0["cell_index"] == 0
+        assert complete_cell(coordinator, executor, retry0,
+                             "w2")["fresh"] is True
+        assert coordinator.snapshot()["stats"]["reclaimed"] == 1
+
+    def test_heartbeat_keeps_a_slow_cell_alive(self, clock):
+        coordinator = make_coordinator(clock)
+        grant = coordinator.acquire("w0")
+        for _ in range(5):
+            clock.tick(POLICY.lease_duration / 2)
+            assert coordinator.heartbeat(grant["lease_id"]) is True
+        assert coordinator.snapshot()["stats"]["reclaimed"] == 0
+
+
+class TestResume:
+    def test_resumes_recorded_cells_as_done(self, clock, executor,
+                                            tmp_path):
+        path = tmp_path / "store.jsonl"
+        coordinator = make_coordinator(clock, store=path)
+        for _ in range(2):
+            complete_cell(coordinator, executor, coordinator.acquire("w0"))
+        resumed = make_coordinator(LogicalClock(), store=path)
+        snapshot = resumed.snapshot()
+        assert snapshot["counts"]["done"] == 2
+        assert resumed.acquire("w0")["cell_index"] == 2
+
+    def test_torn_tail_resumes_as_not_done(self, clock, executor,
+                                           tmp_path):
+        path = tmp_path / "store.jsonl"
+        coordinator = make_coordinator(clock, store=path)
+        for _ in range(2):
+            complete_cell(coordinator, executor, coordinator.acquire("w0"))
+        data = path.read_bytes()
+        path.write_bytes(data[:-20])  # tear the second record
+        resumed = make_coordinator(LogicalClock(), store=path)
+        assert resumed.snapshot()["counts"]["done"] == 1
+        assert resumed.acquire("w0")["cell_index"] == 1
+
+
+class TestSidecar:
+    def test_sidecar_tracks_progress_atomically(self, clock, executor,
+                                                tmp_path):
+        path = tmp_path / "store.jsonl"
+        coordinator = make_coordinator(clock, store=path)
+        sidecar = read_sidecar(path)
+        assert sidecar["counts"]["pending"] == 6
+        complete_cell(coordinator, executor, coordinator.acquire("w0"))
+        sidecar = read_sidecar(path)
+        assert sidecar["counts"]["done"] == 1
+        assert sidecar["stats"]["appends"] == 1
+        # the sidecar is valid JSON at every point (atomic replace)
+        with open(sidecar_path(path), encoding="utf-8") as handle:
+            json.load(handle)
+
+    def test_in_memory_store_writes_no_sidecar(self, clock):
+        make_coordinator(clock)  # must not raise, nothing to write
+
+
+class TestTransport:
+    def test_worker_loop_over_the_socket(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        coordinator = Coordinator(
+            SMOKE, store=path, policy=LeasePolicy(lease_duration=30.0))
+        authkey = generate_authkey()
+        with serve_coordinator(coordinator, authkey=authkey) as handle:
+            service = connect_coordinator(handle.address, authkey=authkey)
+            assert service.describe()["sweep_id"] == "smoke"
+            completed = worker_loop(service, "w0", runner=RUNNER)
+        assert completed == 6
+        assert coordinator.finished()
+        assert len(ResultStore(path)) == 6
+
+    def test_force_lease_is_not_reachable_over_rpc(self):
+        coordinator = Coordinator(SMOKE, policy=POLICY)
+        authkey = generate_authkey()
+        with serve_coordinator(coordinator, authkey=authkey) as handle:
+            service = connect_coordinator(handle.address, authkey=authkey)
+            with pytest.raises(Exception):
+                service.force_lease("rogue", 0)

@@ -1,0 +1,66 @@
+"""The real thing: worker subprocesses over the socket, SIGKILL chaos.
+
+The logical-clock chaos tests pin down the protocol; this file checks the
+operating-system layer around it — process spawning, the manager
+transport, heartbeats from real threads, and supervisor-driven kills —
+on the 6-cell smoke sweep with a shared on-disk runner cache so retried
+cells replay instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.fabric import KillSpec, LeasePolicy, run_fleet
+from repro.sweeps.driver import run_sweep
+from repro.sweeps.registry import get_sweep
+from repro.sweeps.store import ResultStore, merge_records, render_records
+
+SMOKE = get_sweep("smoke")
+
+
+def reference_bytes(cache_dir):
+    _, store = run_sweep(SMOKE,
+                         runner=ExperimentRunner(cache_dir=cache_dir))
+    return render_records(merge_records(list(store.records)))
+
+
+def store_bytes(path):
+    return render_records(merge_records(list(ResultStore(path).records)))
+
+
+def test_kill_spec_parses_the_cli_form():
+    assert KillSpec.parse("0@2") == KillSpec(0, 2)
+    with pytest.raises(ValueError, match="WORKER@AFTER"):
+        KillSpec.parse("nonsense")
+
+
+def test_fleet_completes_the_sweep(tmp_path):
+    cache = tmp_path / "cache"
+    store = tmp_path / "store.jsonl"
+    summary = run_fleet("smoke", store=store, workers=2,
+                        policy=LeasePolicy(lease_duration=10.0),
+                        cache_dir=cache, timeout=120)
+    assert summary.counts["done"] == 6
+    assert summary.quarantined == ()
+    assert store_bytes(store) == reference_bytes(cache)
+
+
+def test_fleet_survives_a_mid_lease_sigkill(tmp_path):
+    cache = tmp_path / "cache"
+    store = tmp_path / "store.jsonl"
+    summary = run_fleet(
+        "smoke", store=store, workers=2,
+        # Short lease so the killed worker's cell comes back quickly;
+        # throttle paces cells so the supervisor reliably catches w0
+        # holding a lease after 2 completions.
+        policy=LeasePolicy(lease_duration=2.0, max_attempts=5),
+        kills=(KillSpec(worker_index=0, after_cells=2),),
+        throttle=0.3, cache_dir=cache, timeout=120)
+    assert summary.kills_fired == 1
+    assert summary.reclaimed >= 1
+    assert summary.counts["done"] == 6
+    assert summary.quarantined == ()
+    assert store_bytes(store) == reference_bytes(cache)
+    assert "1 killed" in summary.render()

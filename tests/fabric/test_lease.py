@@ -1,0 +1,192 @@
+"""The lease table state machine: grants, expiry, backoff, quarantine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.lease import (
+    DONE,
+    Lease,
+    LeasePolicy,
+    LeaseTable,
+    PENDING,
+    QUARANTINED,
+)
+
+POLICY = LeasePolicy(lease_duration=10.0, max_attempts=3,
+                     backoff_base=1.0, backoff_factor=2.0, backoff_cap=4.0)
+
+
+def table(cells=range(4), **kwargs):
+    return LeaseTable(cells, policy=POLICY, **kwargs)
+
+
+class TestPolicy:
+    def test_backoff_is_capped_exponential(self):
+        assert [POLICY.backoff(n) for n in (1, 2, 3, 4, 5)] == \
+            [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lease_duration"):
+            LeasePolicy(lease_duration=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            LeasePolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            LeasePolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="cell_timeout"):
+            LeasePolicy(cell_timeout=-1.0)
+        with pytest.raises(ValueError, match="attempt"):
+            POLICY.backoff(0)
+
+    def test_heartbeat_interval_is_a_lease_fraction(self):
+        assert POLICY.heartbeat_interval == pytest.approx(2.5)
+
+
+class TestGrants:
+    def test_grants_lowest_pending_cell_first(self):
+        queue = table()
+        first = queue.acquire("w0", now=0.0)
+        second = queue.acquire("w1", now=0.0)
+        assert (first.cell_index, second.cell_index) == (0, 1)
+        assert first.deadline == pytest.approx(10.0)
+
+    def test_exhausted_grid_grants_nothing(self):
+        queue = table(cells=[0])
+        queue.acquire("w0", now=0.0)
+        assert queue.acquire("w1", now=0.0) is None
+
+    def test_resumed_cells_are_born_done(self):
+        queue = table(done=[0, 2])
+        assert queue.counts()[DONE] == 2
+        assert queue.acquire("w0", now=0.0).cell_index == 1
+
+    def test_finished_when_all_done_or_quarantined(self):
+        queue = table(cells=[0, 1], done=[1])
+        assert not queue.finished
+        lease = queue.acquire("w0", now=0.0)
+        queue.complete(lease.cell_index, now=1.0)
+        assert queue.finished
+
+
+class TestHeartbeatAndExpiry:
+    def test_heartbeat_extends_the_deadline(self):
+        queue = table()
+        lease = queue.acquire("w0", now=0.0)
+        assert queue.heartbeat(lease.lease_id, now=8.0)
+        assert queue.expire(now=12.0) == []  # extended to 18
+        assert len(queue.expire(now=18.0)) == 1
+
+    def test_expired_lease_is_reclaimed_and_cell_retries(self):
+        queue = table()
+        lease = queue.acquire("w0", now=0.0)
+        [reclaimed] = queue.expire(now=10.0)
+        assert reclaimed.lease_id == lease.lease_id
+        assert queue.reclaimed == 1
+        # backing off: not grantable immediately, grantable after backoff
+        assert queue.acquire("w1", now=10.0, ) is not None  # cell 1
+        counts = queue.counts()
+        assert counts[PENDING] == 3  # cell 0 back among pending
+        assert queue.heartbeat(lease.lease_id, now=10.0) is False
+
+    def test_backoff_gates_the_retry(self):
+        queue = table(cells=[0])
+        queue.acquire("w0", now=0.0)
+        queue.expire(now=10.0)  # first failure -> backoff 1.0
+        assert queue.acquire("w0", now=10.5) is None
+        assert queue.next_event(10.5) == pytest.approx(0.5)
+        assert queue.acquire("w0", now=11.0).cell_index == 0
+
+    def test_repeated_expiry_quarantines_after_max_attempts(self):
+        queue = table(cells=[0])
+        now = 0.0
+        for _ in range(POLICY.max_attempts):
+            lease = queue.acquire("w0", now=now)
+            assert lease is not None
+            queue.expire(lease.deadline)
+            # step past the backoff gate before the next acquire
+            now = lease.deadline + POLICY.backoff_cap
+        assert queue.counts()[QUARANTINED] == 1
+        assert queue.finished
+        [post_mortem] = queue.quarantined()
+        assert post_mortem.cell_index == 0
+        assert post_mortem.attempts == POLICY.max_attempts
+        assert "expired" in post_mortem.error
+
+
+class TestCompletion:
+    def test_complete_is_cell_keyed_and_dedupes(self):
+        queue = table()
+        lease = queue.acquire("w0", now=0.0)
+        assert queue.complete(lease.cell_index, now=1.0) is True
+        assert queue.complete(lease.cell_index, now=2.0) is False
+        assert queue.duplicates_dropped == 1
+
+    def test_late_result_after_expiry_still_lands(self):
+        queue = table(cells=[0])
+        queue.acquire("w0", now=0.0)
+        queue.expire(now=10.0)
+        # The slow worker delivers anyway, before any retry ran.
+        assert queue.complete(0, now=10.5) is True
+        assert queue.finished
+
+    def test_result_beats_quarantine(self):
+        queue = table(cells=[0])
+        for now in (0.0, 20.0, 40.0):
+            queue.acquire("w0", now=now)
+            queue.expire(now=now + 10.0)
+        assert queue.counts()[QUARANTINED] == 1
+        assert queue.complete(0, now=60.0) is True
+        assert queue.counts()[DONE] == 1
+        assert queue.quarantined() == []
+
+    def test_explicit_failures_count_toward_quarantine(self):
+        queue = table(cells=[0])
+        statuses = []
+        for attempt in range(POLICY.max_attempts):
+            now = attempt * 20.0
+            lease = queue.acquire("w0", now=now)
+            statuses.append(queue.fail(lease.cell_index, now + 1.0, "boom"))
+        assert statuses == [PENDING, PENDING, QUARANTINED]
+        assert queue.failures == POLICY.max_attempts
+        [post_mortem] = queue.quarantined()
+        assert post_mortem.error == "boom"
+
+    def test_failure_after_racing_completion_is_moot(self):
+        queue = table(cells=[0])
+        queue.acquire("w0", now=0.0)
+        queue.complete(0, now=1.0)
+        assert queue.fail(0, now=2.0, error="late crash") == DONE
+        assert queue.failures == 0
+
+
+class TestDuplicateLeases:
+    def test_forced_duplicate_lease_coexists(self):
+        queue = table()
+        first = queue.acquire("w0", now=0.0)
+        second = queue.acquire("chaos", now=0.0,
+                               cell_index=first.cell_index)
+        assert second is not None
+        assert second.cell_index == first.cell_index
+        assert len(queue.active_leases()) == 2
+
+    def test_one_duplicate_expiring_does_not_fail_the_cell(self):
+        queue = table()
+        first = queue.acquire("w0", now=0.0)
+        queue.acquire("chaos", now=5.0, cell_index=first.cell_index)
+        queue.expire(now=10.0)  # only the first lease is past deadline
+        assert queue.reclaimed == 1
+        # still covered by the duplicate: no failure counted
+        assert queue.counts()[PENDING] == 3
+        entry_states = queue.counts()
+        assert entry_states["leased"] == 1
+
+    def test_completion_releases_every_duplicate(self):
+        queue = table()
+        first = queue.acquire("w0", now=0.0)
+        queue.acquire("chaos", now=0.0, cell_index=first.cell_index)
+        queue.complete(first.cell_index, now=1.0)
+        assert queue.active_leases() == []
+
+    def test_force_lease_on_done_cell_is_refused(self):
+        queue = table(done=[0])
+        assert queue.acquire("chaos", now=0.0, cell_index=0) is None

@@ -1,0 +1,83 @@
+"""Concurrent writers never interleave bytes within a store record.
+
+`ResultStore.append` writes each record as a single ``write()`` to an
+``O_APPEND`` descriptor, so two processes appending to one store file can
+only ever produce whole, parseable lines — the fabric's workers and two
+shard runs sharing a store rely on exactly this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.metrics.report import SCHEMA_VERSION
+from repro.sweeps.store import ResultStore, SweepRecord, parse_line
+
+#: Records per writer process; large enough that appends from the two
+#: processes genuinely overlap in time.
+RECORDS_PER_WRITER = 150
+
+#: Filler blown up past typical pipe/stdio buffer sizes so a non-atomic
+#: append implementation would actually tear mid-record.
+_FILLER = "x" * 8192
+
+
+def _record(writer: int, index: int) -> SweepRecord:
+    return SweepRecord(
+        sweep_id="concurrency",
+        cell_index=writer * RECORDS_PER_WRITER + index,
+        scenario=f"scenario-{writer}-{index}",
+        engine="sparch",
+        config_label="table1",
+        key=f"key-{writer}-{index}",
+        report={"schema_version": SCHEMA_VERSION, "filler": _FILLER},
+    )
+
+
+def _writer(path, writer: int, barrier) -> None:
+    store = ResultStore(path)
+    barrier.wait()
+    for index in range(RECORDS_PER_WRITER):
+        store.append(_record(writer, index))
+
+
+@pytest.mark.parametrize("fsync", [False, True])
+def test_two_processes_append_without_interleaving(tmp_path, fsync):
+    path = tmp_path / "store.jsonl"
+    # fsync is a durability knob only — exercise both paths for atomicity.
+    ResultStore(path, fsync=fsync).append(_record(99, 0))
+    barrier = multiprocessing.Barrier(2)
+    workers = [
+        multiprocessing.Process(target=_writer, args=(path, writer, barrier))
+        for writer in (0, 1)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+        assert worker.exitcode == 0
+
+    # Every line must parse as a complete record: an interleaved append
+    # would leave at least one line that json-decodes to garbage (and
+    # parse_line returns None for it).
+    lines = path.read_text().splitlines()
+    records = [parse_line(line) for line in lines]
+    assert all(record is not None for record in records)
+
+    # And nothing was lost: both writers' full record sets are present.
+    seen = {(record.sweep_id, record.scenario) for record in records}
+    expected = {("concurrency", f"scenario-{writer}-{index}")
+                for writer in (0, 1) for index in range(RECORDS_PER_WRITER)}
+    expected.add(("concurrency", "scenario-99-0"))
+    assert seen == expected
+
+
+def test_fsync_append_round_trips(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path, fsync=True)
+    store.append(_record(0, 0))
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 1
+    assert reloaded.records[0] == _record(0, 0)

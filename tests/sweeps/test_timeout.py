@@ -1,0 +1,151 @@
+"""Per-cell wall-clock timeouts: hung engines fail retryable, never block.
+
+A deliberately sleeping stub engine stands in for a pathological config
+that hangs the simulator.  With ``timeout``/``cell_timeout`` set, the
+runner kills the cell's process at its deadline and reports ``None`` for
+that point, and ``run_sweep`` marks the cell failed-retryable while the
+rest of the shard completes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engines.base import Engine, EngineRun
+from repro.engines.sparch import SpArchEngine
+from repro.experiments.runner import ExperimentRunner, run_tasks_with_timeout
+from repro.matrices.synthetic import random_matrix
+
+
+class SleepyEngine(Engine):
+    """A baseline-kind engine that sleeps forever (for timeout tests)."""
+
+    name = "sleepy"
+    display_name = "Sleepy"
+    kind = "baseline"
+
+    def __init__(self, sleep_seconds: float = 3600.0) -> None:
+        self.sleep_seconds = sleep_seconds
+
+    def run(self, matrix_a, matrix_b=None) -> EngineRun:
+        time.sleep(self.sleep_seconds)
+        raise AssertionError("unreachable: the sleep should outlive any "
+                             "test timeout")
+
+    def cache_fields(self) -> dict:
+        return {"model": "sleepy", "sleep": self.sleep_seconds}
+
+    def using_backend(self, backend: str) -> "SleepyEngine":
+        return self
+
+    @property
+    def backend(self) -> str:
+        return "scalar"
+
+
+class ExplodingEngine(SleepyEngine):
+    """An engine whose run always raises (a crashing, not hanging, cell)."""
+
+    name = "exploding"
+
+    def run(self, matrix_a, matrix_b=None) -> EngineRun:
+        raise RuntimeError("boom")
+
+
+MATRIX = random_matrix(48, 48, 200, seed=7)
+
+
+class TestRunTasksWithTimeout:
+    def test_hung_task_is_killed_at_the_deadline(self):
+        started = time.monotonic()
+        outcomes = run_tasks_with_timeout(
+            [("hung", (SleepyEngine(), MATRIX, None))], timeout=0.3)
+        assert outcomes == {"hung": None}
+        assert time.monotonic() - started < 30.0  # killed, not slept out
+
+    def test_mixed_batch_completes_around_the_hung_task(self):
+        outcomes = run_tasks_with_timeout(
+            [("hung", (SleepyEngine(), MATRIX, None)),
+             ("good", (SpArchEngine(), MATRIX, None)),
+             ("crash", (ExplodingEngine(), MATRIX, None))],
+            timeout=1.2, jobs=3)
+        assert outcomes["hung"] is None
+        assert isinstance(outcomes["good"], dict)  # a real report payload
+        assert outcomes["good"]["engine"] == "sparch"
+        assert isinstance(outcomes["crash"], str)  # the relayed error
+        assert "boom" in outcomes["crash"]
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="timeout"):
+            run_tasks_with_timeout([], timeout=0.0)
+
+
+class TestRunnerTimeout:
+    def test_run_engine_many_returns_none_for_hung_points(self):
+        runner = ExperimentRunner()
+        reports = runner.run_engine_many(
+            [(SleepyEngine(), MATRIX), (SpArchEngine(), MATRIX)],
+            timeout=1.0)
+        assert reports[0] is None
+        assert reports[1] is not None and reports[1].engine == "sparch"
+
+    def test_failed_points_stay_uncached_and_retry(self):
+        """A timed-out point must not enter the memo: a later attempt
+        really re-executes instead of replaying the failure."""
+        runner = ExperimentRunner()
+        sleepy = SleepyEngine(sleep_seconds=0.4)
+        [report] = runner.run_engine_many([(sleepy, MATRIX)], timeout=0.1)
+        assert report is None
+        assert (runner.cache_misses, runner.cache_hits) == (1, 0)
+        [report] = runner.run_engine_many([(sleepy, MATRIX)], timeout=0.1)
+        assert report is None
+        # A second miss, not a hit: the failure was never memoised.
+        assert (runner.cache_misses, runner.cache_hits) == (2, 0)
+
+    def test_without_timeout_nothing_changes(self):
+        runner = ExperimentRunner()
+        reports = runner.run_engine_many([(SpArchEngine(), MATRIX)])
+        assert all(report is not None for report in reports)
+
+
+class TestSweepCellTimeout:
+    def test_hung_cell_marks_failed_retryable_and_shard_completes(
+            self, tmp_path, monkeypatch):
+        """A sweep whose engine hangs on every cell must still terminate,
+        reporting every cell failed-retryable; a later run with a sane
+        engine picks exactly those cells back up."""
+        from repro.sweeps import get_sweep, run_sweep
+
+        smoke = get_sweep("smoke")
+        runner = ExperimentRunner()
+
+        # Hang only the 'mkl' cells: patch the registry resolution the
+        # driver uses to build engines.
+        import repro.sweeps.driver as driver_module
+
+        real_create = driver_module.create_engine
+
+        def hanging_create(name, config=None):
+            if name == "mkl":
+                return SleepyEngine()
+            return (real_create(name, config=config) if config is not None
+                    else real_create(name))
+
+        monkeypatch.setattr(driver_module, "create_engine", hanging_create)
+        store_path = tmp_path / "store.jsonl"
+        summary, store = run_sweep(smoke, store=store_path, runner=runner,
+                                   cell_timeout=0.5)
+        assert summary.failed == 3  # the three mkl cells hung
+        assert summary.executed == 3  # the sparch cells completed
+        assert all("mkl" in cell for cell in summary.failed_cells)
+        assert "failed-retryable" in summary.render()
+        assert len(store) == 3
+
+        # Resume with the healthy engine: only the failed cells re-run.
+        monkeypatch.setattr(driver_module, "create_engine", real_create)
+        resumed, store = run_sweep(smoke, store=store_path, runner=runner)
+        assert resumed.executed == 3 and resumed.replayed == 3
+        assert resumed.failed == 0
+        assert len(store) == 6
