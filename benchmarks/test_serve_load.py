@@ -1,0 +1,61 @@
+"""Serving throughput benchmark: hot-cache requests per second.
+
+Drives the in-process service through the same ``run_traffic`` helper the
+CLI bench and the serve load tests use: warm the whole smoke population
+once, then replay a Zipf-skewed mix from concurrent client threads and
+record served requests/sec and client-side latency percentiles into
+``BENCH_results.json``.
+
+The threshold is deliberately conservative — a warm request is a memory
+probe plus response assembly, and even modest hardware clears thousands
+per second — and soft-fails under ``REPRO_BENCH_SOFT=1`` like every other
+speed test here.
+"""
+
+from __future__ import annotations
+
+from bench_results import enforce_threshold, record_result
+from repro.experiments.runner import ExperimentRunner
+from repro.serve.__main__ import run_traffic
+from repro.serve.service import ServeOptions, SpGEMMService
+from repro.serve.traffic import TrafficSpec
+
+SPEC = TrafficSpec(corpus="smoke", engines=("sparch", "mkl", "heap"),
+                   skew=1.2, seed=23)
+REQUESTS = 4000
+CLIENTS = 32
+
+#: Floor for hot-cache serving throughput (requests/second).
+MIN_SERVED_RPS = 500.0
+#: Ceiling for the hot-cache client-side p99 (milliseconds).
+MAX_HOT_P99_MS = 100.0
+
+
+def test_served_requests_per_second_hot_cache():
+    service = SpGEMMService(
+        runner=ExperimentRunner(),
+        options=ServeOptions(workers=8, queue_limit=512))
+    client = run_traffic(service.request, SPEC, count=REQUESTS,
+                         clients=CLIENTS, warm=True)
+    assert client["ok"] == REQUESTS  # correctness first, speed second
+
+    throughput = client["throughput_rps"]
+    p99_ms = client["latency"]["p99_ms"]
+    runner_stats = service.stats()["runner"]
+    record_result(
+        "serve_load[hot]",
+        requests=REQUESTS,
+        clients=CLIENTS,
+        throughput_rps=throughput,
+        p50_ms=client["latency"]["p50_ms"],
+        p99_ms=p99_ms,
+        hit_rate=runner_stats["hit_rate"],
+    )
+    if throughput < MIN_SERVED_RPS:
+        enforce_threshold(
+            f"hot-cache serving throughput {throughput:.0f} req/s is below "
+            f"the {MIN_SERVED_RPS:.0f} req/s floor")
+    if p99_ms > MAX_HOT_P99_MS:
+        enforce_threshold(
+            f"hot-cache p99 {p99_ms:.2f} ms exceeds the "
+            f"{MAX_HOT_P99_MS:.0f} ms ceiling")

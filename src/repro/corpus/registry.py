@@ -148,3 +148,35 @@ def get_corpus(corpus_id: str) -> CorpusSpec:
             f"unknown corpus {corpus_id!r}; known corpora: "
             f"{', '.join(list_corpora())}"
         ) from None
+
+
+def resolve_scenario(ref: "str | dict | Scenario") -> Scenario:
+    """Resolve a serve request's scenario reference to a recipe.
+
+    Accepts the three forms a request may carry:
+
+    * ``"corpus/name"`` — a registered scenario by reference, e.g.
+      ``"smoke/wiki-Vote@120"`` (the corpus registry is the namespace);
+    * a :meth:`Scenario.to_dict` payload — an inline recipe for matrices
+      outside every registered corpus;
+    * a :class:`Scenario` instance (in-process callers), returned as-is.
+
+    Raises:
+        ValueError: a malformed reference string or inline payload.
+        KeyError: an unknown corpus id or scenario name.
+    """
+    if isinstance(ref, Scenario):
+        return ref
+    if isinstance(ref, dict):
+        return Scenario.from_dict(ref)
+    if not isinstance(ref, str):
+        raise ValueError(
+            f"scenario reference must be 'corpus/name', a recipe dict or "
+            f"a Scenario, got {type(ref).__name__}"
+        )
+    corpus_id, separator, name = ref.partition("/")
+    if not separator or not corpus_id or not name:
+        raise ValueError(
+            f"scenario reference must look like 'corpus/name', got {ref!r}"
+        )
+    return get_corpus(corpus_id).get_scenario(name)

@@ -21,6 +21,7 @@ The generator families cover the paper's evaluation axes:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.formats.csr import CSRMatrix
@@ -99,6 +100,34 @@ class Scenario:
                              bandwidth=int(params["bandwidth"]),
                              seed=int(params.get("seed", 0)))
 
+    def to_dict(self) -> dict:
+        """The recipe as a JSON-compatible payload (inverse of
+        :meth:`from_dict`) — how serve requests carry inline scenarios."""
+        return {"name": self.name, "family": self.family,
+                "params": self.param_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        """Rebuild a scenario from a :meth:`to_dict` payload.
+
+        Raises:
+            ValueError: missing fields or an unknown family — the same
+                validation :meth:`__post_init__` applies to literals.
+        """
+        try:
+            name = payload["name"]
+            family = payload["family"]
+            params = payload["params"]
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"scenario payload needs name/family/params, got "
+                f"{payload!r}"
+            ) from exc
+        if not isinstance(params, dict):
+            raise ValueError(f"scenario params must be a dict, got "
+                             f"{type(params).__name__}")
+        return cls(str(name), str(family), tuple(params.items()))
+
     def scaled(self, max_rows: int) -> "Scenario":
         """Return this scenario with its dimension capped at ``max_rows``.
 
@@ -170,3 +199,34 @@ class CorpusSpec:
         """Materialise every scenario, keyed by name (canonical order)."""
         return {scenario.name: scenario.build()
                 for scenario in self.scenarios}
+
+
+#: Scenarios build deterministically from their parameters, so a recipe's
+#: operand fingerprint never changes — memoising it by recipe lets sweep
+#: resumes and cached serve requests skip matrix generation entirely for
+#: scenarios this process has hashed before.
+_FINGERPRINT_MEMO: dict[Scenario, str] = {}
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """The scenario's operand fingerprint, memoised by recipe.
+
+    This is the content address a scenario-recipe request resolves to: the
+    :func:`~repro.experiments.runner.matrix_fingerprint` of the matrix the
+    recipe builds.  A cold scenario is built transiently just to hash; the
+    matrix is dropped immediately (execution materialises operands when —
+    and only when — a point actually runs).  Safe to call from concurrent
+    service threads; a race on a cold recipe at worst hashes it twice.
+    """
+    with _FINGERPRINT_LOCK:
+        fingerprint = _FINGERPRINT_MEMO.get(scenario)
+    if fingerprint is None:
+        # Imported lazily: the runner module pulls in the engine layers,
+        # which corpus declarations must not depend on at import time.
+        from repro.experiments.runner import matrix_fingerprint
+
+        fingerprint = matrix_fingerprint(scenario.build())
+        with _FINGERPRINT_LOCK:
+            _FINGERPRINT_MEMO.setdefault(scenario, fingerprint)
+    return fingerprint

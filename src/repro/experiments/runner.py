@@ -64,6 +64,7 @@ from repro.engines.registry import resolve_engine
 from repro.engines.sparch import SpArchEngine
 from repro.formats.csr import CSRMatrix
 from repro.metrics.report import SCHEMA_VERSION, CostReport
+from repro.serve.store import ReportStore
 
 #: Environment variables honoured by :func:`default_runner`.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -308,20 +309,18 @@ class ExperimentRunner:
         if engine is not None and engine not in ("scalar", "vectorized",
                                                  "streaming"):
             raise ValueError(f"unknown engine {engine!r}")
-        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._jobs = jobs
         self._engine = engine
-        self._memory_cache: dict[str, dict] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
-        if self._cache_dir is not None:
-            (self._cache_dir / "sim").mkdir(parents=True, exist_ok=True)
-            (self._cache_dir / "baseline").mkdir(parents=True, exist_ok=True)
+        # The memo itself is the shared, concurrent-safe ReportStore — the
+        # serving layer reads beside this runner's writers, and threaded
+        # callers (each service request runs on its own thread) coalesce
+        # duplicate in-flight points into one execution.
+        self._store = ReportStore(cache_dir=cache_dir)
 
     # ------------------------------------------------------------------
     @property
     def cache_dir(self) -> Path | None:
-        return self._cache_dir
+        return self._store.cache_dir
 
     @property
     def jobs(self) -> int:
@@ -331,37 +330,46 @@ class ExperimentRunner:
     def engine(self) -> str | None:
         return self._engine
 
+    @property
+    def store(self) -> ReportStore:
+        """The shared report store backing this runner's memo."""
+        return self._store
+
+    @property
+    def cache_hits(self) -> int:
+        """Logical cache hits: store hits plus coalesced waits."""
+        return self._store.hits + self._store.coalesced
+
+    @property
+    def cache_misses(self) -> int:
+        """Cache misses — points actually executed (or fanned out)."""
+        return self._store.misses
+
+    def stats(self) -> dict:
+        """Cache hit/miss/latency counters, shared with the serve layer.
+
+        One instrumentation point for every execution path: direct
+        :meth:`run_engine` calls, :meth:`run_engine_many` batches (sweeps,
+        fabric workers) and the service's coalesced requests all count
+        into the same :class:`ReportStore` snapshot.
+        """
+        return self._store.stats()
+
     # ------------------------------------------------------------------
-    def _cache_path(self, key: str, kind: str) -> Path | None:
-        if self._cache_dir is None:
-            return None
-        return self._cache_dir / kind / f"{key}.json"
+    @property
+    def _memory_cache(self) -> dict[str, dict]:
+        """Legacy alias for the store's memory tier (tests share memos)."""
+        return self._store._memory
+
+    @_memory_cache.setter
+    def _memory_cache(self, value: dict[str, dict]) -> None:
+        self._store._memory = value
 
     def _cache_load(self, key: str, kind: str) -> dict | None:
-        payload = self._memory_cache.get(key)
-        if payload is not None:
-            return payload
-        path = self._cache_path(key, kind)
-        if path is None or not path.is_file():
-            return None
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None  # corrupt/concurrent write; recompute
-        self._memory_cache[key] = payload
-        return payload
+        return self._store.load(key, kind)
 
     def _cache_store(self, key: str, payload: dict, kind: str) -> None:
-        self._memory_cache[key] = payload
-        path = self._cache_path(key, kind)
-        if path is None:
-            return
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)  # atomic on POSIX: concurrent writers race safely
-        except OSError:
-            pass  # cache is best-effort
+        self._store.store(key, payload, kind)
 
     @staticmethod
     def _cache_kind(engine: Engine) -> str:
@@ -410,15 +418,43 @@ class ExperimentRunner:
         engine = self._effective_engine(engine)
         key = engine_point_key(engine, matrix_a, matrix_b,
                                include_backend=self._engine is not None)
-        kind = self._cache_kind(engine)
-        payload = self._cache_load(key, kind)
-        if payload is None:
-            self.cache_misses += 1
-            payload = _engine_task((engine, matrix_a, matrix_b))
-            self._cache_store(key, payload, kind)
-        else:
-            self.cache_hits += 1
+        payload, _ = self._store.get_or_compute(
+            key, self._cache_kind(engine),
+            lambda: _engine_task((engine, matrix_a, matrix_b)))
         return CostReport.from_dict(payload)
+
+    def run_engine_keyed(self, engine: Engine | str, *, key: str,
+                         matrix_supplier, setup=None
+                         ) -> tuple[CostReport, str]:
+        """Run one pre-keyed point whose operand may not be materialised.
+
+        The serving path: the request's :meth:`point_key` is computed from
+        the scenario's recipe fingerprint, so a cached point is answered
+        without ever building its operand — ``matrix_supplier`` is only
+        called when this thread actually executes the engine.  Duplicate
+        concurrent calls coalesce into one execution through the store.
+
+        Args:
+            engine: engine instance or registry name.
+            key: this point's :meth:`point_key`.
+            matrix_supplier: zero-argument callable building the operand.
+            setup: optional zero-argument callable run by the computing
+                thread before the engine (the service's debug delay hook).
+
+        Returns:
+            ``(report, outcome)`` with the store outcome — ``"hit"``,
+            ``"coalesced"`` or ``"computed"``.
+        """
+        engine = self._effective_engine(engine)
+
+        def compute() -> dict:
+            if setup is not None:
+                setup()
+            return _engine_task((engine, matrix_supplier(), None))
+
+        payload, outcome = self._store.get_or_compute(
+            key, self._cache_kind(engine), compute)
+        return CostReport.from_dict(payload), outcome
 
     def run_engine_many(self, tasks: list[tuple[Engine | str, CSRMatrix]],
                         *, keys: list[str] | None = None,
@@ -462,8 +498,8 @@ class ExperimentRunner:
                 missing[key] = (engine, matrix, None)
                 missing_kinds[key] = kind
 
-        self.cache_hits += len(keys) - len(missing)
-        self.cache_misses += len(missing)
+        self._store.record_batch(hits=len(keys) - len(missing),
+                                 misses=len(missing))
         if missing:
             items = list(missing.items())
             if timeout is not None:

@@ -1,19 +1,23 @@
-"""Socket transport for the fabric: coordinator RPC over a manager.
+"""Socket transport shared by the fabric and the serving layer.
 
 Built on :class:`multiprocessing.managers.BaseManager`, which gives us an
 authenticated, pickling RPC channel over a plain TCP socket for free —
-no new dependencies, and worker subprocesses (spawned as ``python -m
-repro.fabric worker``) connect with nothing but ``host:port`` and a
+no new dependencies.  Fabric worker subprocesses (spawned as ``python -m
+repro.fabric worker``) and serve clients (``python -m repro.serve
+request``/``bench``) alike connect with nothing but ``host:port`` and a
 shared authkey.
 
-The coordinator object itself stays in the serving process; only method
-calls cross the wire.  Exactly the methods a worker may call are
-exposed — the chaos-only ``force_lease`` hook is deliberately *not* in
-:data:`EXPOSED`, so a misbehaving worker cannot inject duplicate leases.
+The served object itself stays in the serving process; only method calls
+cross the wire, and exactly the methods a client may call are exposed.
+For the fabric coordinator the chaos-only ``force_lease`` hook is
+deliberately *not* in :data:`EXPOSED`, so a misbehaving worker cannot
+inject duplicate leases; the serve layer likewise keeps its shutdown path
+off the wire (drains are signal-driven, server-side only).
 
-The authkey travels to worker subprocesses via the
-:data:`AUTHKEY_ENV` environment variable (hex-encoded), never argv,
-so it does not leak into process listings.
+The authkey travels to subprocesses via an environment variable
+(hex-encoded; :data:`AUTHKEY_ENV` for the fabric, the serve CLI's
+``REPRO_SERVE_AUTHKEY`` for the service), never argv, so it does not
+leak into process listings.
 """
 
 from __future__ import annotations
@@ -39,23 +43,24 @@ def authkey_to_env(authkey: bytes) -> str:
     return authkey.hex()
 
 
-def authkey_from_env(environ=None) -> bytes:
-    """Read the fleet's authkey from the environment.
+def authkey_from_env(environ=None, *, variable: str = AUTHKEY_ENV) -> bytes:
+    """Read a fleet's or service's authkey from the environment.
 
     Raises:
         RuntimeError: the variable is missing or not valid hex — the
-            worker was started outside a fleet without credentials.
+            process was started outside its fleet/service without
+            credentials.
     """
     environ = os.environ if environ is None else environ
-    value = environ.get(AUTHKEY_ENV)
+    value = environ.get(variable)
     if not value:
         raise RuntimeError(
-            f"{AUTHKEY_ENV} is not set; fabric workers are normally "
-            f"spawned by `repro.fabric run`, which provides it")
+            f"{variable} is not set; it carries the shared authkey and is "
+            f"normally provided by the process that started the server")
     try:
         return bytes.fromhex(value)
     except ValueError:
-        raise RuntimeError(f"{AUTHKEY_ENV} is not valid hex") from None
+        raise RuntimeError(f"{variable} is not valid hex") from None
 
 
 class ServerHandle:
@@ -83,22 +88,24 @@ class ServerHandle:
         self.stop()
 
 
-def serve_coordinator(coordinator, *,
-                      address: tuple[str, int] = ("127.0.0.1", 0),
-                      authkey: bytes) -> ServerHandle:
-    """Serve a coordinator on a TCP socket from a daemon thread.
+def serve_object(obj, *, authkey: bytes, exposed: tuple[str, ...],
+                 address: tuple[str, int] = ("127.0.0.1", 0),
+                 typeid: str = "get_service",
+                 thread_name: str = "transport-server") -> ServerHandle:
+    """Serve any object on a TCP socket from a daemon thread.
 
     Returns a :class:`ServerHandle` whose ``address`` carries the bound
-    ``(host, port)`` (port 0 binds an ephemeral one).  The coordinator
-    object remains local — its store file handle, sidecar writes and
-    clock all live in this process.
+    ``(host, port)`` (port 0 binds an ephemeral one).  The object remains
+    local — file handles, locks and clocks all live in this process; each
+    client connection is handled on its own server thread, so a blocking
+    method (a serve request waiting on a worker slot) stalls only its
+    caller.
     """
 
     class _Server(BaseManager):
         pass
 
-    _Server.register("get_coordinator", callable=lambda: coordinator,
-                     exposed=EXPOSED)
+    _Server.register(typeid, callable=lambda: obj, exposed=tuple(exposed))
     manager = _Server(address=address, authkey=authkey)
     server = manager.get_server()
 
@@ -108,27 +115,43 @@ def serve_coordinator(coordinator, *,
         except SystemExit:  # the manager's stop_event path exits the thread
             pass
 
-    thread = threading.Thread(target=serve, daemon=True,
-                              name="fabric-coordinator")
+    thread = threading.Thread(target=serve, daemon=True, name=thread_name)
     thread.start()
     return ServerHandle(server, thread)
 
 
-def connect_coordinator(address: tuple[str, int], *, authkey: bytes):
-    """Connect to a served coordinator; returns the RPC proxy.
+def connect_object(address: tuple[str, int], *, authkey: bytes,
+                   exposed: tuple[str, ...], typeid: str = "get_service"):
+    """Connect to a served object; returns the RPC proxy.
 
-    The proxy is thread-safe in the way the worker needs: each calling
-    thread gets its own connection, so the heartbeat thread and the main
-    loop never share a socket.
+    The proxy is thread-safe in the way multi-threaded clients need: each
+    calling thread gets its own connection, so (for a fabric worker) the
+    heartbeat thread and the main loop — or (for a bench client) every
+    traffic thread — never share a socket.
     """
 
     class _Client(BaseManager):
         pass
 
-    _Client.register("get_coordinator", exposed=EXPOSED)
+    _Client.register(typeid, exposed=tuple(exposed))
     manager = _Client(address=tuple(address), authkey=authkey)
     manager.connect()
-    return manager.get_coordinator()
+    return getattr(manager, typeid)()
+
+
+def serve_coordinator(coordinator, *,
+                      address: tuple[str, int] = ("127.0.0.1", 0),
+                      authkey: bytes) -> ServerHandle:
+    """Serve a fabric coordinator (see :func:`serve_object`)."""
+    return serve_object(coordinator, address=address, authkey=authkey,
+                        exposed=EXPOSED, typeid="get_coordinator",
+                        thread_name="fabric-coordinator")
+
+
+def connect_coordinator(address: tuple[str, int], *, authkey: bytes):
+    """Connect to a served coordinator; returns the RPC proxy."""
+    return connect_object(address, authkey=authkey, exposed=EXPOSED,
+                          typeid="get_coordinator")
 
 
 def parse_address(text: str) -> tuple[str, int]:

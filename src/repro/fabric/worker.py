@@ -21,9 +21,10 @@ import dataclasses
 import threading
 import time
 
+from repro.corpus.spec import scenario_fingerprint
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
-from repro.sweeps.driver import _cell_engine, _scenario_fingerprint
+from repro.sweeps.driver import _cell_engine
 from repro.sweeps.registry import get_sweep
 from repro.sweeps.spec import SweepCell, SweepSpec, enumerate_cells
 from repro.sweeps.store import SweepRecord
@@ -78,7 +79,7 @@ class CellExecutor:
         cell = self._cells[cell_index]
         engine = _cell_engine(cell, self._engines)
         scenario = self._corpus.get_scenario(cell.scenario.name)
-        fingerprint = _scenario_fingerprint(scenario)
+        fingerprint = scenario_fingerprint(scenario)
         key = self._runner.point_key(engine, None,
                                      fingerprint_a=fingerprint)
         if self._matrix[0] != scenario.name:

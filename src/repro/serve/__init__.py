@@ -1,0 +1,47 @@
+"""SpGEMM-as-a-service: multi-tenant serving over the engine registry.
+
+The batch stack (experiments, sweeps, fabric) answers "run this grid";
+``repro.serve`` answers *traffic*: a long-lived service that accepts
+``{engine, scenario, config}`` requests, routes them through a bounded
+worker pool with admission control and backpressure, and answers repeat
+requests straight from the shared :class:`~repro.serve.store.ReportStore`
+— the runner's memo promoted to a concurrent-safe, instrumented result
+store with request coalescing.
+
+Modules:
+
+* :mod:`repro.serve.store` — the shared report store (also used by
+  :class:`~repro.experiments.runner.ExperimentRunner` internally).
+* :mod:`repro.serve.service` — :class:`SpGEMMService`: admission
+  control, coalesced execution, metrics, graceful drain.
+* :mod:`repro.serve.traffic` — deterministic Zipf-skewed synthetic
+  traffic over registered corpus scenarios.
+* ``python -m repro.serve`` — ``serve`` / ``request`` / ``bench`` CLI.
+
+``ReportStore`` is imported eagerly (it has no dependency on the engine
+layers); the service and traffic symbols resolve lazily so that
+``repro.experiments.runner`` can import the store without pulling the
+service stack — which imports the runner — back in.
+"""
+
+from __future__ import annotations
+
+from repro.serve.store import ReportStore
+
+__all__ = ["ReportStore", "SpGEMMService", "ServeOptions", "TrafficSpec"]
+
+#: Lazily resolved exports: symbol -> defining submodule.
+_LAZY = {
+    "SpGEMMService": "repro.serve.service",
+    "ServeOptions": "repro.serve.service",
+    "TrafficSpec": "repro.serve.traffic",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,316 @@
+"""CLI for the SpGEMM service: serve, request, and bench.
+
+``serve`` starts the long-lived service on an authenticated TCP socket
+(the fabric's transport).  The authkey comes from ``REPRO_SERVE_AUTHKEY``
+when set (so a supervisor can share it with clients), otherwise a fresh
+one is generated and printed.  SIGTERM/SIGINT trigger a graceful drain:
+in-flight requests finish, new ones are rejected with the 503 payload,
+and the final metrics snapshot is flushed to ``--metrics-out``::
+
+    REPRO_SERVE_AUTHKEY=$(python -c 'import os; print(os.urandom(16).hex())')
+    export REPRO_SERVE_AUTHKEY
+    python -m repro.serve serve --workers 4 --metrics-out SERVE_metrics.json
+
+``request`` fires one request from another process::
+
+    python -m repro.serve request --address 127.0.0.1:40123 \\
+        --engine sparch --scenario smoke/wiki-Vote@120
+
+``bench`` drives a Zipf-skewed synthetic traffic mix — against a served
+address, or ``--inline`` against an in-process service (no socket, the
+reduced-scale load smoke CI runs) — and reports client-side latency
+percentiles, throughput and the server's stats snapshot::
+
+    python -m repro.serve bench --inline --corpus smoke --requests 2000 \\
+        --clients 16 --skew 1.2 --out SERVE_metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentRunner
+from repro.fabric.transport import authkey_from_env, authkey_to_env, \
+    connect_object, generate_authkey, parse_address, serve_object
+from repro.serve import traffic as traffic_mod
+from repro.serve.service import EXPOSED_SERVICE, SERVE_AUTHKEY_ENV, \
+    ServeOptions, SpGEMMService, _latency_summary
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="SpGEMM-as-a-service over the engine registry",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the service on an authenticated TCP socket")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0: ephemeral)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="bounded worker-pool width (default 4)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="cold requests allowed to wait for a worker "
+                            "before 503 rejection (default 64)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared on-disk report store (serves results "
+                            "any sweep/experiment wrote there)")
+    serve.add_argument("--metrics-out", default=None,
+                       help="flush the final stats snapshot here on drain")
+    serve.add_argument("--address-file", default=None,
+                       help="write the bound HOST:PORT here once listening "
+                            "(lets scripts discover an ephemeral port)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight requests on "
+                            "shutdown (default 30)")
+    serve.add_argument("--debug-delay", action="store_true",
+                       help="honour request 'delay' fields (test/chaos aid)")
+
+    request = commands.add_parser(
+        "request", help="fire one request at a served address")
+    request.add_argument("--address", required=True,
+                         help="service HOST:PORT")
+    request.add_argument("--engine", required=True,
+                         help="engine registry name (sparch, mkl, ...)")
+    request.add_argument("--scenario", required=True,
+                         help="scenario reference, corpus/name "
+                              "(e.g. smoke/wiki-Vote@120)")
+    request.add_argument("--config", action="append", default=[],
+                         metavar="FIELD=VALUE",
+                         help="SpArchConfig override (repeatable; values "
+                              "parsed as JSON, falling back to strings)")
+    request.add_argument("--full", action="store_true",
+                         help="include the full cost report in the output")
+
+    bench = commands.add_parser(
+        "bench", help="drive Zipf-skewed synthetic traffic and measure")
+    target = bench.add_mutually_exclusive_group(required=True)
+    target.add_argument("--address", default=None,
+                        help="bench a served HOST:PORT over the socket")
+    target.add_argument("--inline", action="store_true",
+                        help="bench an in-process service (no socket)")
+    bench.add_argument("--corpus", default="smoke",
+                       help="corpus registry id (default smoke)")
+    bench.add_argument("--engines", default="sparch,mkl,heap",
+                       help="comma-separated engine names "
+                            "(default sparch,mkl,heap)")
+    bench.add_argument("--requests", type=int, default=1000,
+                       help="requests to fire (default 1000)")
+    bench.add_argument("--clients", type=int, default=16,
+                       help="concurrent client threads (default 16)")
+    bench.add_argument("--skew", type=float, default=1.1,
+                       help="Zipf exponent of the traffic mix (default 1.1)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="traffic RNG seed (default 0)")
+    bench.add_argument("--max-rows", type=int, default=None,
+                       help="cap corpus scenario dimensions (smoke runs)")
+    bench.add_argument("--no-warm", action="store_true",
+                       help="skip priming every population point first "
+                            "(measures the cold mix)")
+    bench.add_argument("--out", default=None,
+                       help="write the combined metrics JSON here")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="inline mode: service worker-pool width")
+    bench.add_argument("--queue-limit", type=int, default=256,
+                       help="inline mode: service queue limit")
+    bench.add_argument("--cache-dir", default=None,
+                       help="inline mode: service report-store directory")
+    return parser
+
+
+def _authkey() -> tuple[bytes, bool]:
+    """The service authkey from the environment, or a fresh one."""
+    if os.environ.get(SERVE_AUTHKEY_ENV):
+        return authkey_from_env(variable=SERVE_AUTHKEY_ENV), False
+    return generate_authkey(), True
+
+
+def _connect(address: str):
+    return connect_object(
+        parse_address(address),
+        authkey=authkey_from_env(variable=SERVE_AUTHKEY_ENV),
+        exposed=EXPOSED_SERVICE)
+
+
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    service = SpGEMMService(runner=runner, options=ServeOptions(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        debug_delay=args.debug_delay,
+        metrics_path=args.metrics_out,
+    ))
+    authkey, generated = _authkey()
+    if generated:
+        print(f"[serve] {SERVE_AUTHKEY_ENV}={authkey_to_env(authkey)}")
+    handle = serve_object(service, address=(args.host, args.port),
+                          authkey=authkey, exposed=EXPOSED_SERVICE,
+                          thread_name="serve-listener")
+    host, port = handle.address
+    print(f"[serve] listening on {host}:{port}", flush=True)
+    if args.address_file:
+        Path(args.address_file).write_text(f"{host}:{port}\n")
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+
+    print("[serve] draining in-flight requests ...", flush=True)
+    snapshot = service.shutdown(timeout=args.drain_timeout)
+    handle.stop()
+    facts = snapshot["service"]
+    print(f"[serve] drained={facts['drained']} "
+          f"requests={facts['requests']} ok={facts['ok']} "
+          f"rejected={facts['rejected']} errors={facts['errors']}")
+    if args.metrics_out:
+        print(f"[serve] metrics flushed to {args.metrics_out}")
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    overrides = {}
+    for text in args.config:
+        field, separator, value = text.partition("=")
+        if not separator or not field:
+            raise SystemExit(f"--config expects FIELD=VALUE, got {text!r}")
+        try:
+            overrides[field] = json.loads(value)
+        except ValueError:
+            overrides[field] = value
+    payload: dict = {"engine": args.engine, "scenario": args.scenario}
+    if overrides:
+        payload["config"] = overrides
+    if args.full:
+        payload["full_report"] = True
+    response = _connect(args.address).request(payload)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("status") == "ok" else 1
+
+
+# ----------------------------------------------------------------------
+def run_traffic(request_fn, spec: traffic_mod.TrafficSpec, *, count: int,
+                clients: int, warm: bool = True,
+                clock=time.perf_counter) -> dict:
+    """Fire a traffic mix through ``request_fn`` and measure client-side.
+
+    Shared by ``bench`` and the load tests: warms every population point
+    once (unless ``warm`` is false), then replays the spec's first
+    ``count`` requests from ``clients`` concurrent threads, timing each
+    round trip.
+
+    Returns a JSON-ready summary: status/outcome counts, throughput and a
+    latency percentile block.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be positive, got {clients}")
+    requests = traffic_mod.generate(spec, count)
+    warmed = 0
+    if warm:
+        for payload in spec.population():
+            response = request_fn(payload)
+            if response.get("status") != "ok":
+                raise RuntimeError(
+                    f"warm-up request failed: {response}")
+            warmed += 1
+
+    statuses: Counter[str] = Counter()
+    outcomes: Counter[str] = Counter()
+    latencies: list[float] = []
+    tally = threading.Lock()
+
+    def fire(payload: dict) -> None:
+        started = clock()
+        response = request_fn(payload)
+        elapsed = clock() - started
+        with tally:
+            statuses[response.get("status", "error")] += 1
+            if "outcome" in response:
+                outcomes[response["outcome"]] += 1
+            latencies.append(elapsed)
+
+    started = clock()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        list(pool.map(fire, requests))
+    wall = clock() - started
+
+    served = statuses.get("ok", 0)
+    return {
+        "requests": count,
+        "clients": clients,
+        "warmed": warmed,
+        "wall_seconds": wall,
+        "throughput_rps": count / wall if wall > 0 else 0.0,
+        "statuses": dict(statuses),
+        "outcomes": dict(outcomes),
+        "ok": served,
+        "latency": _latency_summary(sorted(latencies)),
+        "traffic": {
+            "corpus": spec.corpus,
+            "engines": list(spec.engines),
+            "skew": spec.skew,
+            "seed": spec.seed,
+            "max_rows": spec.max_rows,
+        },
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = traffic_mod.TrafficSpec(
+        corpus=args.corpus,
+        engines=tuple(name.strip() for name in args.engines.split(",")
+                      if name.strip()),
+        skew=args.skew,
+        seed=args.seed,
+        max_rows=args.max_rows,
+    )
+    if args.inline:
+        service = SpGEMMService(
+            runner=ExperimentRunner(cache_dir=args.cache_dir),
+            options=ServeOptions(workers=args.workers,
+                                 queue_limit=args.queue_limit))
+        request_fn, stats_fn = service.request, service.stats
+    else:
+        proxy = _connect(args.address)
+        request_fn, stats_fn = proxy.request, proxy.stats
+
+    client = run_traffic(request_fn, spec, count=args.requests,
+                         clients=args.clients, warm=not args.no_warm)
+    combined = {"schema": 1, "client": client, "server": stats_fn()}
+    latency = client["latency"]
+    runner_stats = combined["server"]["runner"]
+    print(f"[bench] {client['requests']} requests x {client['clients']} "
+          f"clients: {client['throughput_rps']:.0f} req/s, "
+          f"p50 {latency['p50_ms']:.2f} ms, p99 {latency['p99_ms']:.2f} ms, "
+          f"store hit rate {runner_stats['hit_rate'] * 100:.1f}%")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(combined, indent=2, sort_keys=True) + "\n")
+        print(f"[bench] metrics written to {args.out}")
+    return 0 if client["ok"] == client["requests"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "serve":
+        return _cmd_serve(arguments)
+    if arguments.command == "request":
+        return _cmd_request(arguments)
+    return _cmd_bench(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Deterministic Zipf-skewed synthetic traffic over registered corpora.
+
+Real SpGEMM serving traffic is heavily repeat-skewed — a few hot
+(matrix, engine) points dominate while a long tail of cold points trickles
+in — which is exactly the regime the shared result store and request
+coalescing are built for.  :class:`TrafficSpec` models that as a Zipf
+distribution over a *ranked population*: the cross product of a registered
+corpus's scenarios with a set of engine registry names, in canonical
+(scenario-major, then engine) order, rank 1 being the hottest.
+
+Everything is deterministic per seed: :func:`generate` draws ranks from
+``numpy``'s seeded generator, so two processes with the same spec produce
+the identical request sequence — the property the traffic tests pin, and
+what makes a load test reproducible enough to assert latency and hit-rate
+numbers against.
+
+:func:`empirical_skew` closes the loop: it fits the rank-frequency slope
+of an observed request mix, so a property test can check that generated
+traffic actually exhibits the configured skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.registry import get_corpus
+from repro.engines.registry import get_engine_entry
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One reproducible traffic mix.
+
+    Attributes:
+        corpus: corpus registry id naming the scenario population.
+        engines: engine registry names crossed with the scenarios.
+        skew: Zipf exponent ``s`` — request probability of rank ``r`` is
+            proportional to ``r**-s``; ``0`` is uniform traffic.
+        seed: RNG seed; the request sequence is a pure function of the
+            spec.
+        max_rows: optional corpus scale cap (smoke runs), forwarded into
+            each request's scenario recipe.
+    """
+
+    corpus: str = "smoke"
+    engines: tuple[str, ...] = ("sparch", "mkl", "heap")
+    skew: float = 1.1
+    seed: int = 0
+    max_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.engines:
+            raise ValueError("traffic needs at least one engine")
+        if len(set(self.engines)) != len(self.engines):
+            raise ValueError(f"duplicate engines in {self.engines}")
+        for name in self.engines:
+            get_engine_entry(name)  # raises KeyError for unknown engines
+        get_corpus(self.corpus)  # raises KeyError for unknown corpora
+        if self.skew < 0:
+            raise ValueError(f"skew must be non-negative, got {self.skew}")
+        if self.max_rows is not None and self.max_rows < 1:
+            raise ValueError(
+                f"max_rows must be positive, got {self.max_rows}")
+
+    # ------------------------------------------------------------------
+    def population(self) -> list[dict]:
+        """The ranked request population (rank 1 first).
+
+        Scenario-major over the corpus's canonical order, then engines in
+        spec order.  Scaled scenarios are carried as inline recipes so the
+        server needs no matching ``--max-rows`` convention; full-scale
+        scenarios travel as compact ``"corpus/name"`` references.
+        """
+        corpus = get_corpus(self.corpus).scaled(self.max_rows)
+        requests = []
+        for scenario in corpus.scenarios:
+            for engine in self.engines:
+                if self.max_rows is None:
+                    reference: object = f"{self.corpus}/{scenario.name}"
+                else:
+                    reference = scenario.to_dict()
+                requests.append({"engine": engine, "scenario": reference})
+        return requests
+
+    def weights(self) -> np.ndarray:
+        """Normalised Zipf weights over the population ranks."""
+        return zipf_weights(len(self.population()), self.skew)
+
+
+def zipf_weights(count: int, skew: float) -> np.ndarray:
+    """``P(rank r) ∝ r**-skew`` over ranks ``1..count``, normalised."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** -float(skew)
+    return weights / weights.sum()
+
+
+def generate(spec: TrafficSpec, count: int) -> list[dict]:
+    """The spec's first ``count`` requests — deterministic per seed.
+
+    Each element is a fresh request payload dict (callers may annotate
+    their copy freely).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    population = spec.population()
+    weights = zipf_weights(len(population), spec.skew)
+    rng = np.random.default_rng(spec.seed)
+    ranks = rng.choice(len(population), size=count, p=weights)
+    return [dict(population[rank]) for rank in ranks]
+
+
+def rank_counts(spec: TrafficSpec, requests: list[dict]) -> np.ndarray:
+    """How often each population rank occurs in a request list."""
+    index = {}
+    for rank, payload in enumerate(spec.population()):
+        index[(payload["engine"], _scenario_key(payload["scenario"]))] = rank
+    counts = np.zeros(len(index), dtype=np.int64)
+    for payload in requests:
+        counts[index[(payload["engine"],
+                      _scenario_key(payload["scenario"]))]] += 1
+    return counts
+
+
+def _scenario_key(reference) -> object:
+    """A hashable identity for a request's scenario reference."""
+    if isinstance(reference, dict):
+        return (reference["name"], reference["family"],
+                tuple(sorted(reference["params"].items())))
+    return reference
+
+
+def empirical_skew(counts: np.ndarray) -> float:
+    """Least-squares rank-frequency slope of an observed mix.
+
+    Fits ``log(count) = a - s * log(rank)`` over the ranks that occurred
+    at least once and returns ``s``.  For traffic drawn from
+    :func:`generate`, ``s`` converges on the spec's ``skew`` as the sample
+    grows — the distribution-shape half of the traffic property test.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    ranks = np.arange(1, len(counts) + 1, dtype=np.float64)
+    observed = counts > 0
+    if observed.sum() < 2:
+        raise ValueError(
+            "need at least two observed ranks to fit a slope")
+    x = np.log(ranks[observed])
+    y = np.log(counts[observed])
+    slope = np.polyfit(x, y, 1)[0]
+    return -float(slope)

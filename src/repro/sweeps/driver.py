@@ -27,15 +27,11 @@ import os
 from dataclasses import dataclass
 from itertools import groupby
 
-from repro.corpus.spec import CorpusSpec, Scenario
+from repro.corpus.spec import CorpusSpec, Scenario, scenario_fingerprint
 from repro.engines.base import Engine
 from repro.engines.registry import create_engine
 from repro.experiments.designspace import geomean_gflops
-from repro.experiments.runner import (
-    ExperimentRunner,
-    default_runner,
-    matrix_fingerprint,
-)
+from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.metrics.report import CostReport
 from repro.sweeps.spec import SweepCell, SweepSpec, enumerate_cells, shard_cells
@@ -84,27 +80,6 @@ class SweepRunSummary:
             line += (f", {self.failed} failed-retryable "
                      f"({', '.join(self.failed_cells)})")
         return line
-
-
-#: Process-wide fingerprint memo keyed by the frozen scenario recipe.
-#: Scenarios build deterministically from their parameters, so a recipe's
-#: operand fingerprint never changes — memoising it makes a fully-recorded
-#: (no-op) resume skip matrix generation entirely for scenarios this
-#: process has hashed before.
-_FINGERPRINT_MEMO: dict[Scenario, str] = {}
-
-
-def _scenario_fingerprint(scenario: Scenario) -> str:
-    """The scenario's operand fingerprint, memoised by recipe.
-
-    A cold scenario is built transiently just to hash; the matrix is
-    dropped immediately (execution materialises operands per chunk).
-    """
-    fingerprint = _FINGERPRINT_MEMO.get(scenario)
-    if fingerprint is None:
-        fingerprint = matrix_fingerprint(scenario.build())
-        _FINGERPRINT_MEMO[scenario] = fingerprint
-    return fingerprint
 
 
 def _cell_engine(cell: SweepCell,
@@ -195,7 +170,7 @@ def _expected_record_key(record: SweepRecord, spec: SweepSpec,
                                else create_engine(record.engine))
     fingerprint = fingerprints.get(record.scenario)
     if fingerprint is None:
-        fingerprint = _scenario_fingerprint(scenario)
+        fingerprint = scenario_fingerprint(scenario)
         fingerprints[record.scenario] = fingerprint
     # With a precomputed operand fingerprint the matrix itself is not
     # needed by the key computation (self-product, B = A).
@@ -259,7 +234,7 @@ def run_sweep(spec: SweepSpec, *,
     # is not even rebuilt, so a fully-recorded (no-op) resume touches no
     # matrices at all, and a cold one holds at most one matrix at a time.
     for name, group in groupby(mine, key=lambda cell: cell.scenario.name):
-        fingerprint = _scenario_fingerprint(corpus.get_scenario(name))
+        fingerprint = scenario_fingerprint(corpus.get_scenario(name))
         fingerprints[name] = fingerprint
         for cell in group:
             engine = _cell_engine(cell, engines)

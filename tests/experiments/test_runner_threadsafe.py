@@ -1,0 +1,98 @@
+"""The runner's memo under concurrent threaded callers (satellite 1/2).
+
+The serving layer calls one ``ExperimentRunner`` from many client
+threads; these tests pin the promoted store's guarantees at the runner
+level — no torn counters, no duplicate executions for one key, and a
+``stats()`` snapshot that adds up.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import ExperimentRunner
+from repro.matrices.synthetic import random_matrix
+
+
+def test_concurrent_run_engine_on_one_key_executes_once(monkeypatch):
+    executions = []
+    real_task = runner_mod._engine_task
+
+    def counting_task(task):
+        executions.append(threading.get_ident())
+        return real_task(task)
+
+    monkeypatch.setattr(runner_mod, "_engine_task", counting_task)
+    runner = ExperimentRunner()
+    matrix = random_matrix(96, 96, 600, seed=21)
+    threads = 12
+    barrier = threading.Barrier(threads)
+
+    def call(_):
+        barrier.wait(10)
+        return runner.run_engine("heap", matrix)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        reports = list(pool.map(call, range(threads)))
+
+    assert len(executions) == 1  # one engine execution across 12 threads
+    assert all(report.to_dict() == reports[0].to_dict()
+               for report in reports)
+    assert runner.cache_misses == 1
+    assert runner.cache_hits == threads - 1
+
+
+def test_concurrent_distinct_keys_stay_consistent():
+    runner = ExperimentRunner()
+    matrices = [random_matrix(64, 64, 300, seed=seed) for seed in range(4)]
+    calls_per_matrix = 8
+
+    def call(matrix):
+        return runner.run_engine("heap", matrix)
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        futures = [pool.submit(call, matrix)
+                   for matrix in matrices for _ in range(calls_per_matrix)]
+        for future in futures:
+            future.result(timeout=120)
+
+    stats = runner.stats()
+    total = len(matrices) * calls_per_matrix
+    assert stats["misses"] == len(matrices)
+    assert stats["hits"] + stats["coalesced"] == total - len(matrices)
+    assert stats["entries"] == len(matrices)
+    assert stats["inflight"] == 0
+
+
+def test_stats_exposes_the_store_counters():
+    runner = ExperimentRunner()
+    matrix = random_matrix(64, 64, 300, seed=3)
+    runner.run_engine("heap", matrix)
+    runner.run_engine("heap", matrix)
+    stats = runner.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["compute_seconds"] > 0.0
+    # The legacy properties remain the same counters.
+    assert runner.cache_hits == 1
+    assert runner.cache_misses == 1
+
+
+def test_threaded_callers_share_the_disk_tier(tmp_path):
+    matrix = random_matrix(64, 64, 300, seed=7)
+    first = ExperimentRunner(cache_dir=tmp_path)
+    first.run_engine("heap", matrix)
+    second = ExperimentRunner(cache_dir=tmp_path)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [pool.submit(second.run_engine, "heap", matrix)
+                   for _ in range(8)]
+        for future in futures:
+            future.result(timeout=120)
+
+    stats = second.stats()
+    assert stats["misses"] == 0  # all answered from disk/memory
+    assert stats["hits"] + stats["coalesced"] == 8

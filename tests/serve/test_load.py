@@ -1,0 +1,75 @@
+"""Load tests: thousands of concurrent requests over a Zipf mix.
+
+These drive the real service in-process (no socket) through the same
+``run_traffic`` helper the CLI bench uses, asserting the serving-layer
+contract end to end: every request answered, hot-cache latency within
+budget, and the store's miss count bounded by the population size — the
+system-level face of request coalescing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentRunner
+from repro.serve.__main__ import run_traffic
+from repro.serve.service import ServeOptions, SpGEMMService
+from repro.serve.traffic import TrafficSpec
+
+SPEC = TrafficSpec(corpus="smoke", engines=("sparch", "mkl", "heap"),
+                   skew=1.2, seed=17)
+
+#: Generous wall-clock budget for a hot-cache response (milliseconds).
+#: Warm requests are dictionary lookups; even a loaded CI box clears
+#: this by orders of magnitude.
+HOT_P99_BUDGET_MS = 250.0
+
+
+def make_service(**options) -> SpGEMMService:
+    return SpGEMMService(runner=ExperimentRunner(),
+                         options=ServeOptions(**options))
+
+
+def test_hot_cache_throughput_and_p99_under_thousands_of_requests():
+    service = make_service(workers=8, queue_limit=256)
+    client = run_traffic(service.request, SPEC, count=2000, clients=32,
+                         warm=True)
+    population = len(SPEC.population())
+    assert client["warmed"] == population
+    assert client["ok"] == 2000  # every request answered, none rejected
+    assert client["statuses"] == {"ok": 2000}
+    assert set(client["outcomes"]) == {"hit"}  # hot cache end to end
+    assert client["latency"]["count"] == 2000
+    assert client["latency"]["p99_ms"] < HOT_P99_BUDGET_MS
+    assert client["throughput_rps"] > 0
+
+    snapshot = service.stats()
+    facts = snapshot["service"]
+    assert facts["requests"] == 2000 + population
+    assert facts["ok"] == facts["requests"]
+    assert facts["rejected"] == 0 and facts["errors"] == 0
+    runner_stats = snapshot["runner"]
+    # The warm-up computed each population point exactly once; the load
+    # itself never missed.
+    assert runner_stats["misses"] == population
+    assert runner_stats["hit_rate"] > 0.9
+
+
+def test_cold_burst_coalesces_to_one_execution_per_point():
+    service = make_service(workers=8, queue_limit=2048)
+    client = run_traffic(service.request, SPEC, count=1000, clients=32,
+                         warm=False)
+    assert client["ok"] == 1000
+    runner_stats = service.stats()["runner"]
+    # 1000 concurrent requests over a 9-point population: coalescing and
+    # the shared store bound engine executions by the population size.
+    assert runner_stats["misses"] <= len(SPEC.population())
+    assert runner_stats["hits"] + runner_stats["coalesced"] >= \
+        1000 - len(SPEC.population())
+
+
+def test_zipf_mix_is_reproducible_across_identical_services():
+    first = run_traffic(make_service(workers=8).request, SPEC,
+                        count=500, clients=16)
+    second = run_traffic(make_service(workers=8).request, SPEC,
+                         count=500, clients=16)
+    assert first["outcomes"] == second["outcomes"]
+    assert first["statuses"] == second["statuses"]

@@ -1,0 +1,158 @@
+"""The serve CLI: socket serving, one-shot requests, kill-driven drain."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fabric.transport import connect_object, parse_address
+from repro.serve.__main__ import main
+from repro.serve.service import EXPOSED_SERVICE, SERVE_AUTHKEY_ENV
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+SCENARIO = "smoke/wiki-Vote@120"
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A real ``python -m repro.serve serve`` subprocess, torn down hard."""
+    authkey = os.urandom(16).hex()
+    address_file = tmp_path / "address.txt"
+    metrics_file = tmp_path / "SERVE_metrics.json"
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO_SRC),
+               **{SERVE_AUTHKEY_ENV: authkey})
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "serve",
+         "--workers", "2", "--debug-delay",
+         "--address-file", str(address_file),
+         "--metrics-out", str(metrics_file)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    deadline = time.monotonic() + 30
+    while not address_file.is_file() or not address_file.read_text().strip():
+        if process.poll() is not None:
+            pytest.fail(f"serve exited early:\n{process.stdout.read()}")
+        if time.monotonic() > deadline:
+            process.kill()
+            pytest.fail("serve never wrote its address file")
+        time.sleep(0.05)
+    address = parse_address(address_file.read_text().strip())
+    try:
+        yield process, address, authkey, metrics_file
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=30)
+        process.stdout.close()
+
+
+def connect(address, authkey):
+    return connect_object(address, authkey=bytes.fromhex(authkey),
+                          exposed=EXPOSED_SERVICE)
+
+
+def test_request_subcommand_round_trips(served, capsys, monkeypatch):
+    process, address, authkey, _ = served
+    monkeypatch.setenv(SERVE_AUTHKEY_ENV, authkey)
+    rc = main(["request", "--address", f"{address[0]}:{address[1]}",
+               "--engine", "heap", "--scenario", SCENARIO])
+    out = capsys.readouterr().out
+    response = json.loads(out)
+    assert rc == 0
+    assert response["status"] == "ok"
+    assert response["outcome"] == "computed"
+
+    rc = main(["request", "--address", f"{address[0]}:{address[1]}",
+               "--engine", "sparch", "--scenario", SCENARIO,
+               "--config", "merge_tree_layers=4", "--full"])
+    response = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert response["status"] == "ok"
+    assert "report" in response
+
+    rc = main(["request", "--address", f"{address[0]}:{address[1]}",
+               "--engine", "no-such-engine", "--scenario", SCENARIO])
+    response = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert response["code"] == 400
+
+
+def test_sigterm_mid_request_drains_and_flushes_metrics(served):
+    process, address, authkey, metrics_file = served
+    proxy = connect(address, authkey)
+    assert proxy.ping() == "pong"
+
+    # Hold one request in flight (the serve subprocess honours the delay
+    # field because the fixture passes --debug-delay), then deliver
+    # SIGTERM while it is still computing.
+    result = {}
+
+    def slow_request():
+        client = connect(address, authkey)  # own connection per thread
+        result["response"] = client.request(
+            {"engine": "heap", "scenario": SCENARIO, "delay": 2.0})
+
+    thread = threading.Thread(target=slow_request)
+    thread.start()
+    deadline = time.monotonic() + 30
+    while proxy.stats()["service"]["inflight"] == 0:
+        assert time.monotonic() < deadline, "request never became in-flight"
+        time.sleep(0.05)
+
+    process.send_signal(signal.SIGTERM)
+    # While draining, new requests are rejected with the 503 payload —
+    # but the already-admitted request is allowed to finish.
+    time.sleep(0.4)
+    rejected = proxy.request({"engine": "heap", "scenario": SCENARIO})
+    assert rejected["status"] == "rejected"
+    assert rejected["code"] == 503
+    assert "draining" in rejected["reason"]
+
+    thread.join(timeout=60)
+    assert result["response"]["status"] == "ok"
+
+    assert process.wait(timeout=60) == 0
+    output = process.stdout.read()
+    assert "draining in-flight requests" in output
+    assert "drained=True" in output
+
+    snapshot = json.loads(metrics_file.read_text())
+    facts = snapshot["service"]
+    assert facts["drained"] is True
+    assert facts["ok"] >= 1
+    assert facts["rejected"] >= 1
+    assert facts["draining"] is True
+    assert snapshot["runner"]["misses"] >= 1
+
+
+def test_bench_inline_writes_combined_metrics(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main(["bench", "--inline", "--corpus", "smoke",
+               "--engines", "heap,mkl", "--requests", "120",
+               "--clients", "8", "--skew", "1.2", "--seed", "5",
+               "--max-rows", "64", "--out", str(out)])
+    printed = capsys.readouterr().out
+    assert rc == 0
+    assert "req/s" in printed and "p99" in printed
+    combined = json.loads(out.read_text())
+    assert combined["schema"] == 1
+    assert combined["client"]["ok"] == 120
+    assert combined["client"]["requests"] == 120
+    assert combined["server"]["service"]["ok"] == \
+        120 + combined["client"]["warmed"]
+    assert combined["server"]["runner"]["hit_rate"] > 0.5
+
+
+def test_bench_rejects_unknown_corpus(tmp_path):
+    with pytest.raises(KeyError):
+        main(["bench", "--inline", "--corpus", "no-such-corpus",
+              "--requests", "10", "--clients", "2"])

@@ -1,0 +1,141 @@
+"""Traffic generator: determinism per seed and the Zipf shape property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.registry import get_corpus
+from repro.serve.traffic import TrafficSpec, empirical_skew, generate, \
+    rank_counts, zipf_weights
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = TrafficSpec()
+        assert spec.corpus == "smoke"
+        assert spec.skew == 1.1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError):
+            TrafficSpec(engines=("no-such-engine",))
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(KeyError):
+            TrafficSpec(corpus="no-such-corpus")
+
+    def test_duplicate_engines_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TrafficSpec(engines=("heap", "heap"))
+
+    def test_empty_engines_rejected(self):
+        with pytest.raises(ValueError, match="at least one engine"):
+            TrafficSpec(engines=())
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError, match="skew"):
+            TrafficSpec(skew=-0.5)
+
+    def test_bad_max_rows_rejected(self):
+        with pytest.raises(ValueError, match="max_rows"):
+            TrafficSpec(max_rows=0)
+
+
+class TestPopulation:
+    def test_scenario_major_engine_minor_order(self):
+        spec = TrafficSpec(engines=("sparch", "heap"))
+        population = spec.population()
+        scenario_names = [
+            scenario.name for scenario in get_corpus("smoke").scenarios]
+        assert len(population) == len(scenario_names) * 2
+        assert [payload["engine"] for payload in population[:2]] == [
+            "sparch", "heap"]
+        assert population[0]["scenario"] == f"smoke/{scenario_names[0]}"
+
+    def test_full_scale_population_uses_string_references(self):
+        for payload in TrafficSpec().population():
+            assert isinstance(payload["scenario"], str)
+            assert payload["scenario"].startswith("smoke/")
+
+    def test_scaled_population_inlines_recipes(self):
+        for payload in TrafficSpec(max_rows=64).population():
+            recipe = payload["scenario"]
+            assert isinstance(recipe, dict)
+            assert set(recipe) == {"name", "family", "params"}
+
+    def test_weights_align_with_population(self):
+        spec = TrafficSpec(skew=1.3)
+        weights = spec.weights()
+        assert len(weights) == len(spec.population())
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestZipfWeights:
+    def test_follow_the_power_law(self):
+        weights = zipf_weights(10, 2.0)
+        assert weights[0] / weights[1] == pytest.approx(4.0)
+        assert weights[0] / weights[3] == pytest.approx(16.0)
+
+    def test_zero_skew_is_uniform(self):
+        assert np.allclose(zipf_weights(5, 0.0), 0.2)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            zipf_weights(0, 1.0)
+
+
+class TestGenerate:
+    def test_deterministic_per_seed(self):
+        spec = TrafficSpec(seed=7)
+        assert generate(spec, 500) == generate(spec, 500)
+
+    def test_prefix_stable_across_counts(self):
+        spec = TrafficSpec(seed=7)
+        assert generate(spec, 400)[:200] == generate(spec, 200)
+
+    def test_different_seeds_differ(self):
+        assert generate(TrafficSpec(seed=1), 200) != generate(
+            TrafficSpec(seed=2), 200)
+
+    def test_payloads_are_fresh_dicts(self):
+        spec = TrafficSpec(seed=0)
+        first, _ = generate(spec, 2)
+        first["annotated"] = True  # must not leak into the population
+        assert "annotated" not in spec.population()[0]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            generate(TrafficSpec(), -1)
+
+    def test_zero_count_is_empty(self):
+        assert generate(TrafficSpec(), 0) == []
+
+
+class TestShapeProperty:
+    def test_rank_counts_cover_every_request(self):
+        spec = TrafficSpec(seed=3)
+        requests = generate(spec, 1000)
+        counts = rank_counts(spec, requests)
+        assert counts.sum() == 1000
+        assert len(counts) == len(spec.population())
+
+    def test_hot_rank_dominates_under_skew(self):
+        spec = TrafficSpec(seed=5, skew=1.5)
+        counts = rank_counts(spec, generate(spec, 5000))
+        assert counts[0] == counts.max()
+        assert counts[0] > 3 * counts[-1]
+
+    @pytest.mark.parametrize("skew", [0.8, 1.1, 1.5])
+    def test_empirical_skew_recovers_the_configured_exponent(self, skew):
+        spec = TrafficSpec(seed=11, skew=skew)
+        counts = rank_counts(spec, generate(spec, 50_000))
+        assert empirical_skew(counts) == pytest.approx(skew, abs=0.1)
+
+    def test_empirical_skew_needs_two_observed_ranks(self):
+        with pytest.raises(ValueError, match="two observed ranks"):
+            empirical_skew(np.array([100, 0, 0]))
+
+    def test_scaled_traffic_counts_against_inline_recipes(self):
+        spec = TrafficSpec(seed=2, max_rows=64)
+        requests = generate(spec, 300)
+        assert rank_counts(spec, requests).sum() == 300
