@@ -1,0 +1,137 @@
+"""Sweep-store query benchmark: the sidecar index vs the full scan.
+
+Builds a ~10^5-cell synthetic store (``repro.sweeps.synth`` — fully
+valid record lines, same code paths as real sweep output) once per
+module, then measures the two operations the index exists for:
+
+* ``summarise`` — zero-scan SQL aggregation vs the streamed JSONL scan;
+* store open + resume view (``done_cells``) — lazy index-backed open vs
+  the eager parse of every line.
+
+Correctness is asserted first (rendered summaries identical, resume
+views identical); only then are the timings compared.  The index must
+clear a 20x speedup on summarise at this scale — in practice it is
+hundreds of times faster, since the scan parses ~100 MB of JSON and the
+index reads a few thousand aggregated rows.  Timings land in
+``BENCH_results.json`` and soft-fail under ``REPRO_BENCH_SOFT=1``.
+
+``REPRO_QUERY_BENCH_CELLS`` scales the store down for constrained CI
+runners (the CI job uses 20000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from bench_results import enforce_threshold, record_result
+from repro.sweeps.driver import summarise_store_file
+from repro.sweeps.index import drop_index, ensure_index
+from repro.sweeps.store import ResultStore
+from repro.sweeps.synth import write_synthetic_store
+
+CELLS = int(os.environ.get("REPRO_QUERY_BENCH_CELLS", "100000"))
+
+#: Required index-vs-scan speedup for ``summarise`` at CELLS scale.
+MIN_SUMMARISE_SPEEDUP = 20.0
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("query-bench") / "store.jsonl"
+    write_synthetic_store(path, CELLS)
+    return path
+
+
+def timed(operation):
+    start = time.perf_counter()
+    result = operation()
+    return result, time.perf_counter() - start
+
+
+def test_summarise_speedup_indexed_vs_full_scan(store_path):
+    index = ensure_index(store_path)
+    try:
+        # Correctness first: identical rendered tables.
+        indexed_table, indexed_seconds = timed(
+            lambda: index.summarise(title="bench"))
+        scanned_table, scanned_seconds = timed(
+            lambda: summarise_store_file(store_path, title="bench"))
+        assert indexed_table.render() == scanned_table.render()
+
+        # Filtered top-k — the query the scan path cannot serve at all
+        # without a full parse; timed for the record, no threshold.
+        rows, query_seconds = timed(lambda: index.query_cells(
+            where={"engine": "sparch"}, sort="gflops", limit=10))
+        assert len(rows) == 10
+    finally:
+        index.close()
+
+    speedup = scanned_seconds / max(indexed_seconds, 1e-9)
+    record_result(
+        "sweep_query[summarise]",
+        cells=CELLS,
+        store_bytes=os.path.getsize(store_path),
+        scan_seconds=scanned_seconds,
+        index_seconds=indexed_seconds,
+        topk_seconds=query_seconds,
+        speedup=speedup,
+    )
+    if speedup < MIN_SUMMARISE_SPEEDUP:
+        enforce_threshold(
+            f"indexed summarise over {CELLS} cells is only {speedup:.1f}x "
+            f"faster than the full scan ({indexed_seconds * 1e3:.1f} ms vs "
+            f"{scanned_seconds * 1e3:.1f} ms); the floor is "
+            f"{MIN_SUMMARISE_SPEEDUP:.0f}x")
+
+
+def test_store_open_and_resume_lazy_vs_eager(store_path):
+    # Make both sides pay their genuine first-open cost: the lazy path
+    # must not reuse page cache warmed by an earlier eager scan of the
+    # sidecar, so the index is rebuilt fresh before timing.
+    ensure_index(store_path).close()
+
+    def lazy_resume():
+        store = ResultStore(store_path)
+        cells = store.done_cells
+        store.close()
+        return cells
+
+    def eager_resume():
+        return ResultStore(store_path, index=False).done_cells
+
+    lazy_cells, lazy_seconds = timed(lazy_resume)
+    eager_cells, eager_seconds = timed(eager_resume)
+    assert lazy_cells == eager_cells  # identical resume view
+    assert len(lazy_cells) == CELLS
+
+    speedup = eager_seconds / max(lazy_seconds, 1e-9)
+    record_result(
+        "sweep_query[resume]",
+        cells=CELLS,
+        eager_open_seconds=eager_seconds,
+        lazy_open_seconds=lazy_seconds,
+        speedup=speedup,
+    )
+    if lazy_seconds >= eager_seconds:
+        enforce_threshold(
+            f"lazy index-backed open ({lazy_seconds * 1e3:.1f} ms) is not "
+            f"faster than the eager scan ({eager_seconds * 1e3:.1f} ms) "
+            f"over {CELLS} cells")
+
+
+def test_rebuild_cost_is_bounded_by_one_scan(store_path):
+    # Dropping the sidecar is always recoverable; record what the
+    # recovery costs at this scale so regressions are visible.
+    drop_index(store_path)
+    index, rebuild_seconds = timed(lambda: ensure_index(store_path))
+    count = index.count()
+    index.close()
+    assert count == CELLS
+    record_result(
+        "sweep_query[rebuild]",
+        cells=CELLS,
+        rebuild_seconds=rebuild_seconds,
+    )

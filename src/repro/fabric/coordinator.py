@@ -87,10 +87,13 @@ class Coordinator:
         cells = enumerate_cells(spec, max_rows=max_rows)
         self._cells: dict[int, SweepCell] = {cell.index: cell
                                              for cell in cells}
-        done = [record.cell_index
-                for record in store.records
-                if record.sweep_id == spec.sweep_id
-                and self._matches_grid(record)]
+        # Resume from the identities-only view: an index-backed store
+        # answers this from its sqlite sidecar without parsing (or even
+        # reading) the JSONL, so restarting against a huge store is cheap.
+        done = [entry.cell_index
+                for entry in store.cell_entries()
+                if entry.sweep_id == spec.sweep_id
+                and self._matches_grid(entry)]
         self._table = LeaseTable(self._cells, policy=self._policy,
                                  done=done)
         self.appends = 0
@@ -241,7 +244,9 @@ class Coordinator:
         self._table.expire(now)
         return now
 
-    def _matches_grid(self, record: SweepRecord) -> bool:
+    def _matches_grid(self, record) -> bool:
+        """Whether a record (or :class:`~repro.sweeps.store.CellEntry`)
+        sits at its coordinates' canonical grid position."""
         cell = self._cells.get(record.cell_index)
         return (cell is not None
                 and record.scenario == cell.scenario.name

@@ -7,19 +7,39 @@
   keyed by the experiment runner's fingerprint, with canonical merging.
 * :mod:`repro.sweeps.driver` — :func:`run_sweep`, the sharded/resumable
   executor over :class:`~repro.experiments.runner.ExperimentRunner`.
+* :mod:`repro.sweeps.index` — the sqlite sidecar index
+  (:class:`SweepIndex`): one row per cell with byte ranges and
+  denormalised summary scalars, so summaries, filters and resume never
+  re-scan the JSONL; always rebuildable from the JSONL alone.
+* :mod:`repro.sweeps.compact` — :func:`compact_store`, the atomic
+  segment rewrite dropping superseded duplicates and torn tails (merge
+  output stays byte-identical).
+* :mod:`repro.sweeps.synth` — deterministic synthetic stores for
+  benchmarks and CI at paper scale.
 * :mod:`repro.sweeps.registry` — registered sweeps (``smoke``,
   ``fig17-dse``, ``engines-suite``, ``rmat-sweep``).
 * :mod:`repro.sweeps.watch` — live progress view over a growing store
-  (incremental reads; fabric-sidecar aware).
-* ``python -m repro.sweeps`` — the run / merge / summarise / watch CLI.
+  (index tailing with incremental-read fallback; fabric-sidecar aware).
+* ``python -m repro.sweeps`` — the run / merge / summarise / compact /
+  synth / watch CLI.
 """
 
+from repro.sweeps.compact import CompactionStats, compact_store
 from repro.sweeps.driver import (
     SweepRunSummary,
     group_reports,
     run_sweep,
     summarise_groups,
     summarise_records,
+)
+from repro.sweeps.index import (
+    INDEX_VERSION,
+    IndexUnavailable,
+    SweepIndex,
+    drop_index,
+    ensure_index,
+    index_path,
+    open_fresh_index,
 )
 from repro.sweeps.registry import SWEEPS, get_sweep, list_sweeps
 from repro.sweeps.spec import (
@@ -31,6 +51,7 @@ from repro.sweeps.spec import (
 )
 from repro.sweeps.store import (
     STORE_VERSION,
+    CellEntry,
     ResultStore,
     SweepRecord,
     merge_files,
@@ -41,6 +62,7 @@ from repro.sweeps.store import (
     require_single_sweep,
     write_records,
 )
+from repro.sweeps.synth import synthetic_record, write_synthetic_store
 from repro.sweeps.watch import StoreWatcher, WatchView, watch_store
 
 __all__ = [
@@ -51,6 +73,7 @@ __all__ = [
     "shard_cells",
     "ResultStore",
     "SweepRecord",
+    "CellEntry",
     "STORE_VERSION",
     "parse_line",
     "merge_records",
@@ -59,6 +82,17 @@ __all__ = [
     "render_records",
     "require_single_sweep",
     "write_records",
+    "SweepIndex",
+    "IndexUnavailable",
+    "INDEX_VERSION",
+    "index_path",
+    "ensure_index",
+    "open_fresh_index",
+    "drop_index",
+    "CompactionStats",
+    "compact_store",
+    "write_synthetic_store",
+    "synthetic_record",
     "run_sweep",
     "SweepRunSummary",
     "group_reports",

@@ -14,12 +14,23 @@ Three subcommands cover the sweep-as-a-service lifecycle:
   merge streams the JSONL line by line (only a coordinate index in
   memory), so paper-scale million-cell stores merge within bounded memory.
 * ``summarise STORE...`` — print the per-(engine, config) summary table
-  (geomean GFLOP/s, DRAM, runtime, energy) of one or more stores, also
-  streamed line by line; a fabric sidecar's quarantined cells are
-  reported alongside.
+  (geomean GFLOP/s, DRAM, runtime, energy) of one or more stores; a
+  fabric sidecar's quarantined cells are reported alongside.  Served
+  from the sqlite sidecar index when one is current (zero JSONL bytes
+  read), built on the spot otherwise, and streamed line by line as a
+  last resort.  ``--where engine=sparch,scenario=NAME --top K --sort
+  METRIC`` switches to a per-cell listing — equality filters plus top-k
+  over any recorded metric, answered entirely from the index.
 * ``watch STORE`` — live progress view over a growing store (done /
-  pending / failed, rows/sec, ETA) via incremental reads, safe to run
-  next to a shard run or a fabric fleet.
+  pending / failed, rows/sec, ETA); tails the sidecar index when it is
+  current, incremental byte reads otherwise — safe to run next to a
+  shard run or a fabric fleet.
+* ``compact STORE...`` — rewrite a store segment atomically, dropping
+  superseded duplicate records and torn tails; the canonical merge of
+  the compacted store is byte-identical to the uncompacted one.
+* ``synth STORE --cells N`` — write a deterministic synthetic store
+  (valid records, optional crash debris with ``--dirty``) for
+  benchmarks and CI at scales real sweeps take hours to produce.
 
 ``--list`` (or no arguments) prints the registered sweeps and corpora.
 """
@@ -32,9 +43,13 @@ import sys
 from repro.corpus.registry import get_corpus, list_corpora
 from repro.experiments.runner import ExperimentRunner
 from repro.sweeps.driver import run_sweep, summarise_store_file
+from repro.sweeps.index import METRIC_COLUMNS
 from repro.sweeps.registry import get_sweep, list_sweeps
 from repro.sweeps.spec import enumerate_cells
 from repro.sweeps.store import iter_records, merge_files_to
+
+#: CLI-friendly aliases for ``--where`` filter columns.
+_WHERE_ALIASES = {"config": "config_label", "sweep": "sweep_id"}
 
 
 def _parse_shard(value: str) -> tuple[int, int]:
@@ -51,6 +66,20 @@ def _parse_shard(value: str) -> tuple[int, int]:
             f"shard index must satisfy 0 <= i < n, got {value!r}"
         )
     return shard_index, shard_count
+
+
+def _parse_where(value: str) -> dict[str, str]:
+    """Parse ``k=v[,k=v...]`` filter clauses into a column→value dict."""
+    filters: dict[str, str] = {}
+    for clause in value.split(","):
+        if "=" not in clause:
+            raise argparse.ArgumentTypeError(
+                f"expected --where clauses as column=value, got {clause!r}"
+            )
+        column, _, filter_value = clause.partition("=")
+        column = column.strip()
+        filters[_WHERE_ALIASES.get(column, column)] = filter_value.strip()
+    return filters
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +135,48 @@ def build_parser() -> argparse.ArgumentParser:
                           "one or more stores")
     summarise.add_argument("stores", nargs="+", metavar="STORE",
                            help="store files to summarise (merged first)")
+    summarise.add_argument("--where", type=_parse_where, default=None,
+                           metavar="K=V[,K=V...]",
+                           help="list individual cells matching equality "
+                                "filters (engine=..., scenario=..., "
+                                "config=..., sweep=...) instead of the "
+                                "grouped summary")
+    summarise.add_argument("--top", type=int, default=None, metavar="K",
+                           help="list only the K best cells by --sort "
+                                "(implies the per-cell listing)")
+    summarise.add_argument("--sort", choices=METRIC_COLUMNS,
+                           default="gflops", metavar="METRIC",
+                           help="metric ordering the per-cell listing "
+                                f"({', '.join(METRIC_COLUMNS)}; "
+                                "default gflops)")
+
+    compact = commands.add_parser(
+        "compact", help="rewrite a store atomically, dropping superseded "
+                        "duplicates and torn tails (merge output stays "
+                        "byte-identical)")
+    compact.add_argument("stores", nargs="+", metavar="STORE",
+                         help="store files to compact in place")
+    compact.add_argument("--no-fsync", action="store_true",
+                         help="skip flushing the rewritten segment to "
+                              "stable storage before the atomic rename")
+
+    synth = commands.add_parser(
+        "synth", help="write a deterministic synthetic store (benchmarks "
+                      "and CI at paper scale)")
+    synth.add_argument("store", metavar="PATH",
+                       help="store file to write (overwritten)")
+    synth.add_argument("--cells", type=int, default=1000,
+                       help="grid cells to record (default 1000)")
+    synth.add_argument("--seed", type=int, default=0,
+                       help="metric-generator seed (same seed, "
+                            "byte-identical store)")
+    synth.add_argument("--sweep-id", default=None,
+                       help="sweep id stamped on the records")
+    synth.add_argument("--dirty", action="store_true",
+                       help="append superseded duplicates and a torn tail "
+                            "(compaction-test input)")
+    synth.add_argument("--no-index", action="store_true",
+                       help="skip building the sqlite sidecar index")
 
     watch = commands.add_parser(
         "watch", help="live progress view over a growing store")
@@ -173,31 +244,120 @@ def main(argv: list[str] | None = None) -> int:
               f"store(s) -> {args.out}")
         return 0
 
-    # "summarise" — one table per sweep (shared stores may hold several),
-    # fully streamed: shards merge canonically into a temporary store
-    # (coordinate index only), which is then re-read line by line per
-    # sweep — bounded memory end to end.
+    if args.command == "compact":
+        from repro.sweeps.compact import compact_store
+
+        for store_path in args.stores:
+            print(compact_store(store_path,
+                                fsync=not args.no_fsync).render())
+        return 0
+
+    if args.command == "synth":
+        from repro.sweeps.synth import DEFAULT_SWEEP_ID, write_synthetic_store
+
+        num_bytes = write_synthetic_store(
+            args.store, args.cells,
+            sweep_id=args.sweep_id or DEFAULT_SWEEP_ID, seed=args.seed,
+            dirty=args.dirty, index=not args.no_index)
+        print(f"[synth] {args.cells} cells ({num_bytes} bytes) -> "
+              f"{args.store}")
+        return 0
+
+    # "summarise" — served from the sqlite sidecar index whenever sqlite
+    # is usable: a single store with a current index answers without
+    # reading a JSONL byte; anything else (stale index, several shards)
+    # pays one scan to merge/build, then queries the index.  When sqlite
+    # itself is unavailable, the old fully-streamed path still answers.
     import os
     import tempfile
 
-    handle = tempfile.NamedTemporaryFile(
-        mode="w", suffix=".jsonl", prefix="repro-sweep-merge-", delete=False)
-    handle.close()
-    try:
-        merge_files_to(args.stores, handle.name)
-        cells_per_sweep: dict[str, int] = {}
-        for record in iter_records(handle.name):
-            cells_per_sweep[record.sweep_id] = (
-                cells_per_sweep.get(record.sweep_id, 0) + 1)
-        for sweep_id in sorted(cells_per_sweep):
-            print(summarise_store_file(
-                handle.name, sweep_id=sweep_id,
-                title=(f"sweep {sweep_id!r} summary "
-                       f"({cells_per_sweep[sweep_id]} cells)")
-            ).render())
+    from repro.sweeps.index import (
+        IndexUnavailable,
+        cells_table,
+        ensure_index,
+        open_fresh_index,
+    )
+
+    for store_path in args.stores:
+        if not os.path.isfile(store_path):
+            raise FileNotFoundError(
+                f"result store not found: {store_path}")
+    listing = args.where is not None or args.top is not None
+
+    def _summarise_indexed(store_index) -> None:
+        if listing:
+            rows = store_index.query_cells(where=args.where,
+                                           sort=args.sort, limit=args.top)
+            clauses = " and ".join(f"{column}={value}" for column, value
+                                   in (args.where or {}).items())
+            title = f"top {len(rows)} cells by {args.sort}"
+            if clauses:
+                title += f" where {clauses}"
+            print(cells_table(rows, title=title).render())
             print()
-    finally:
-        os.unlink(handle.name)
+            return
+        counts = store_index.sweep_counts()
+        for sweep_id in sorted(counts):
+            print(store_index.summarise(
+                sweep_id=sweep_id,
+                title=(f"sweep {sweep_id!r} summary "
+                       f"({counts[sweep_id]} cells)")).render())
+            print()
+
+    store_index = None
+    if len(args.stores) == 1:
+        store_index = open_fresh_index(args.stores[0])
+        if store_index is None:
+            try:
+                store_index = ensure_index(args.stores[0])
+            except IndexUnavailable:
+                store_index = None
+    if store_index is not None:
+        try:
+            _summarise_indexed(store_index)
+        finally:
+            store_index.close()
+    else:
+        # Several shards (or no usable single-store index): merge
+        # canonically into a temporary store first, as before.
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", prefix="repro-sweep-merge-",
+            delete=False)
+        handle.close()
+        try:
+            merge_files_to(args.stores, handle.name)
+            try:
+                store_index = ensure_index(handle.name)
+            except IndexUnavailable:
+                store_index = None
+            if store_index is not None:
+                try:
+                    _summarise_indexed(store_index)
+                finally:
+                    store_index.close()
+            elif listing:
+                raise RuntimeError(
+                    "--where/--top/--sort need the sqlite sidecar index, "
+                    "which is unavailable on this system")
+            else:
+                # Fully streamed fallback: one table per sweep, line by
+                # line, bounded memory end to end.
+                cells_per_sweep: dict[str, int] = {}
+                for record in iter_records(handle.name):
+                    cells_per_sweep[record.sweep_id] = (
+                        cells_per_sweep.get(record.sweep_id, 0) + 1)
+                for sweep_id in sorted(cells_per_sweep):
+                    print(summarise_store_file(
+                        handle.name, sweep_id=sweep_id,
+                        title=(f"sweep {sweep_id!r} summary "
+                               f"({cells_per_sweep[sweep_id]} cells)")
+                    ).render())
+                    print()
+        finally:
+            from repro.sweeps.index import drop_index
+
+            drop_index(handle.name)
+            os.unlink(handle.name)
 
     # A fabric-run store carries a sidecar with quarantine post-mortems;
     # a summary that silently omitted poisoned cells would misread as

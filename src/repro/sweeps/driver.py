@@ -35,7 +35,12 @@ from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.formats.csr import CSRMatrix
 from repro.metrics.report import CostReport
 from repro.sweeps.spec import SweepCell, SweepSpec, enumerate_cells, shard_cells
-from repro.sweeps.store import ResultStore, SweepRecord, records_to_reports
+from repro.sweeps.store import (
+    CellEntry,
+    ResultStore,
+    SweepRecord,
+    records_to_reports,
+)
 from repro.utils.reporting import Table
 
 
@@ -115,8 +120,12 @@ def _check_store_consistency(spec: SweepSpec, corpus: CorpusSpec,
     byte-identical merge contract rests on.  Records of *other* sweeps are
     ignored: stores may legitimately be shared, each sweep owning its own
     cells.
+
+    Works from :meth:`~repro.sweeps.store.ResultStore.cell_entries` — the
+    identities-only view — so resuming against an index-backed store never
+    hydrates a single report payload.
     """
-    for record in store.records:
+    for record in store.cell_entries():
         if record.sweep_id != spec.sweep_id:
             continue
         if indices.get(record.cell) != record.cell_index:
@@ -145,7 +154,7 @@ def _check_store_consistency(spec: SweepSpec, corpus: CorpusSpec,
             )
 
 
-def _expected_record_key(record: SweepRecord, spec: SweepSpec,
+def _expected_record_key(record: "SweepRecord | CellEntry", spec: SweepSpec,
                          corpus: CorpusSpec, runner: ExperimentRunner,
                          engines: dict[tuple[str, str], Engine],
                          fingerprints: dict[str, str]) -> str | None:

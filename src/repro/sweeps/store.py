@@ -32,6 +32,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.metrics.report import SCHEMA_VERSION, CostReport
 from repro.sweeps.spec import cell_key
@@ -95,6 +96,33 @@ class SweepRecord:
         return CostReport.from_dict(self.report)
 
 
+class CellEntry(NamedTuple):
+    """One recorded cell's *identity*: coordinates plus runner fingerprint.
+
+    The lightweight view resume and grid-consistency checks work from —
+    everything a :class:`SweepRecord` knows except the report payload, so
+    index-backed stores can answer "which cells are done, under which
+    key?" without hydrating a single report from the JSONL.
+    """
+
+    sweep_id: str
+    scenario: str
+    engine: str
+    config_label: str
+    key: str
+    cell_index: int
+
+    @property
+    def cell(self) -> tuple[str, str, str, str]:
+        """The cell identity tuple, as :attr:`SweepRecord.cell` shapes it."""
+        return (self.sweep_id, self.scenario, self.engine, self.config_label)
+
+    @property
+    def report_key(self) -> str:
+        """The cell's report key, ``scenario|engine|config``."""
+        return cell_key(self.scenario, self.engine, self.config_label)
+
+
 def parse_line(line: str) -> SweepRecord | None:
     """Parse one store line; ``None`` marks it *not done* (recompute).
 
@@ -144,45 +172,138 @@ class ResultStore:
             returning.  Off by default (a torn tail already rotates by
             recomputation); the fabric coordinator turns it on when asked
             to survive power loss, not just process death.
+        index: maintain the sqlite sidecar index
+            (:mod:`repro.sweeps.index`) alongside the file.  On by
+            default for file-backed stores: when an up-to-date sidecar is
+            present the store opens *lazily* — cell identities come from
+            the index and report payloads hydrate on demand from their
+            recorded (offset, length) byte ranges, so opening a
+            million-cell store for resume no longer parses every line.
+            The index is derived data: if it is missing it is rebuilt
+            (one scan, amortised over every later open), and if sqlite is
+            unavailable the store silently falls back to the eager
+            JSONL-scanning behaviour — the JSONL alone is always enough.
     """
 
     def __init__(self, path: str | os.PathLike | None = None, *,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, index: bool = True) -> None:
         self._path = Path(path) if path is not None else None
         self._fsync = fsync
-        self._records: list[SweepRecord] = []
-        self._cells: dict[tuple[str, str, str, str], str] = {}
+        self._records: list[SweepRecord] | None = []
+        self._cells: dict[tuple[str, str, str, str],
+                          tuple[str, int]] = {}
         self._keys: set[str] = set()
         self._needs_newline = False
-        if self._path is not None and self._path.is_file():
-            text = self._path.read_text()
-            # A kill mid-append leaves a torn final line with no newline;
-            # the first append after resume must not glue its record onto
-            # that fragment (which would silently corrupt *both* lines).
-            self._needs_newline = bool(text) and not text.endswith("\n")
-            for line in text.splitlines():
-                record = parse_line(line)
-                if record is None:
-                    continue
-                existing = self._cells.get(record.cell)
-                if existing is None:
-                    self._records.append(record)
-                    self._cells[record.cell] = (record.key,
-                                                record.cell_index)
-                    self._keys.add(record.key)
-                elif existing != (record.key, record.cell_index):
-                    # Two fingerprints (or canonical indices) for one cell
-                    # in a single file: the file concatenates stores
-                    # written under different parameters or spec
-                    # revisions.  A legitimate store can never contain
-                    # this (the driver refuses cross-parameter appends),
-                    # so fail loudly rather than silently keep one side.
-                    raise ValueError(
-                        f"store {self._path} holds conflicting records "
-                        f"for cell {'|'.join(record.cell[1:])!r} of sweep "
-                        f"{record.cell[0]!r} — it mixes results written "
-                        f"under different parameters or spec revisions"
-                    )
+        self._index = None
+        if self._path is None:
+            return
+        if index:
+            self._index = self._open_index()
+        if self._path.is_file():
+            if self._index is not None:
+                # Lazy open: identities from the (just refreshed) index;
+                # payloads hydrate on demand via their byte ranges.
+                self._records = None
+                for entry in self._index.cell_entries():
+                    self._cells[entry.cell] = (entry.key, entry.cell_index)
+                    self._keys.add(entry.key)
+                self._needs_newline = self._tail_unterminated()
+            else:
+                self._load_eager()
+
+    def _open_index(self):
+        """Open and refresh the sidecar; ``None`` when sqlite can't."""
+        from repro.sweeps.index import IndexUnavailable, SweepIndex
+
+        try:
+            store_index = SweepIndex(self._path)
+        except IndexUnavailable:
+            return None
+        try:
+            store_index.refresh()
+        except IndexUnavailable:
+            store_index.close()
+            return None
+        except BaseException:
+            # A conflicting (mixed) store is refused exactly as the eager
+            # loader refuses it — don't leak the connection on the way out.
+            store_index.close()
+            raise
+        return store_index
+
+    def _tail_unterminated(self) -> bool:
+        """Whether the file ends without a newline (torn/in-flight tail).
+
+        A kill mid-append leaves a torn final line with no newline; the
+        first append after resume must not glue its record onto that
+        fragment (which would silently corrupt *both* lines).
+        """
+        try:
+            size = os.path.getsize(self._path)
+            if size == 0:
+                return False
+            with open(self._path, "rb") as handle:
+                handle.seek(size - 1)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    def _load_eager(self) -> None:
+        """Parse the whole JSONL into memory (the index-free path)."""
+        self._records = []
+        self._cells = {}
+        self._keys = set()
+        self._needs_newline = False
+        if self._path is None or not self._path.is_file():
+            return
+        text = self._path.read_text()
+        self._needs_newline = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            record = parse_line(line)
+            if record is None:
+                continue
+            existing = self._cells.get(record.cell)
+            if existing is None:
+                self._records.append(record)
+                self._cells[record.cell] = (record.key,
+                                            record.cell_index)
+                self._keys.add(record.key)
+            elif existing != (record.key, record.cell_index):
+                # Two fingerprints (or canonical indices) for one cell
+                # in a single file: the file concatenates stores
+                # written under different parameters or spec
+                # revisions.  A legitimate store can never contain
+                # this (the driver refuses cross-parameter appends),
+                # so fail loudly rather than silently keep one side.
+                raise ValueError(
+                    f"store {self._path} holds conflicting records "
+                    f"for cell {'|'.join(record.cell[1:])!r} of sweep "
+                    f"{record.cell[0]!r} — it mixes results written "
+                    f"under different parameters or spec revisions"
+                )
+
+    def _disable_index(self) -> None:
+        if self._index is not None:
+            self._index.close()
+            self._index = None
+
+    def _hydrate(self) -> None:
+        """Materialise ``_records``: by byte range if indexed, else scan."""
+        if self._index is not None:
+            from repro.sweeps.index import IndexUnavailable, iter_hydrated
+
+            try:
+                self._records = list(iter_hydrated(self._path, self._index))
+                return
+            except (IndexUnavailable, OSError, ValueError):
+                # The store changed underneath the index (or sqlite gave
+                # out): distrust the sidecar, trust the JSONL.
+                self._disable_index()
+        self._load_eager()
+
+    def close(self) -> None:
+        """Release the sidecar index connection (appends keep working)."""
+        self._disable_index()
 
     # ------------------------------------------------------------------
     @property
@@ -190,9 +311,26 @@ class ResultStore:
         return self._path
 
     @property
+    def index(self):
+        """The live :class:`~repro.sweeps.index.SweepIndex`, if any."""
+        return self._index
+
+    @property
     def records(self) -> list[SweepRecord]:
         """The loaded/appended records, in arrival order (a copy)."""
+        if self._records is None:
+            self._hydrate()
         return list(self._records)
+
+    def cell_entries(self) -> list[CellEntry]:
+        """Every recorded cell's identity, in arrival order.
+
+        The resume-path view: on an index-backed store this never reads
+        the JSONL, so restarting against a huge store is O(cells already
+        known) in sqlite, not a full re-parse.
+        """
+        return [CellEntry(*cell, key, cell_index)
+                for cell, (key, cell_index) in self._cells.items()]
 
     @property
     def done_cells(self) -> set[tuple[str, str, str, str]]:
@@ -205,7 +343,7 @@ class ResultStore:
         return set(self._keys)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._cells)
 
     def __contains__(self, key: str) -> bool:
         """Whether any recorded cell carries this runner fingerprint."""
@@ -230,12 +368,14 @@ class ResultStore:
         """
         if record.cell in self._cells:
             return
-        self._records.append(record)
+        if self._records is not None:
+            self._records.append(record)
         self._cells[record.cell] = (record.key, record.cell_index)
         self._keys.add(record.key)
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
-            data = record.to_line().encode("utf-8")
+            line = record.to_line().encode("utf-8")
+            data = line
             if self._needs_newline:
                 # Terminate the torn line a kill left behind (within the
                 # same atomic write), so it stays an isolated (skipped)
@@ -253,10 +393,27 @@ class ResultStore:
                 view = memoryview(data)
                 while view:
                     view = view[os.write(descriptor, view):]
+                # Where the record landed: the descriptor position after
+                # an O_APPEND write is exact even with concurrent
+                # writers, which a pre-write size probe would not be.
+                end = os.lseek(descriptor, 0, os.SEEK_CUR)
                 if self._fsync:
                     os.fsync(descriptor)
             finally:
                 os.close(descriptor)
+            if self._index is not None:
+                from repro.sweeps.index import IndexUnavailable
+
+                try:
+                    # length excludes the trailing newline, matching what
+                    # hydration reads back through parse_line.
+                    self._index.note_append(record, end - len(line),
+                                            len(line) - 1)
+                except IndexUnavailable:
+                    # The record is safe in the JSONL (the source of
+                    # truth); run on without the sidecar rather than
+                    # failing a sweep over a sqlite hiccup.
+                    self._disable_index()
 
     def reports(self) -> dict[str, CostReport]:
         """Every record's report, keyed by ``scenario|engine|config``.
@@ -264,7 +421,7 @@ class ResultStore:
         Raises ``ValueError`` for stores shared by several sweeps — filter
         :attr:`records` by ``sweep_id`` first.
         """
-        return records_to_reports(self._records)
+        return records_to_reports(self.records)
 
 
 def require_single_sweep(records: list[SweepRecord]) -> None:

@@ -1,0 +1,357 @@
+"""The sqlite sidecar index: incremental maintenance, the freshness
+protocol (high-water mark, head hash, generation), zero-scan queries,
+and the lazy index-backed ``ResultStore`` open."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.metrics.report import SCHEMA_VERSION
+from repro.sweeps.driver import summarise_store_file
+from repro.sweeps.index import (
+    SweepIndex,
+    drop_index,
+    ensure_index,
+    index_path,
+    open_fresh_index,
+    summary_columns,
+)
+from repro.sweeps.store import ResultStore, SweepRecord
+from repro.sweeps.synth import synthetic_record, write_synthetic_store
+
+
+def build_store(path, cells, **kwargs):
+    store = ResultStore(path, **kwargs)
+    for position in range(cells):
+        store.append(synthetic_record(position))
+    return store
+
+
+class TestIncrementalMaintenance:
+    def test_appends_index_as_they_land(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = build_store(path, 7)
+        assert store.index is not None
+        assert store.index.count() == 7
+        assert store.index.high_water == os.path.getsize(path)
+        store.close()
+
+    def test_incremental_rows_equal_a_from_scratch_rebuild(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = build_store(path, 9)
+        incremental = store.index.dump_rows()
+        store.index.rebuild()
+        assert store.index.dump_rows() == incremental
+        store.close()
+
+    def test_catch_up_ingests_only_the_tail(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 4).close()
+        # A writer without index maintenance extends the file...
+        no_index = ResultStore(path, index=False)
+        no_index.append(synthetic_record(4))
+        # ...and the next open catches up from the old high-water mark.
+        store = ResultStore(path)
+        assert len(store) == 5
+        assert store.index.count() == 5
+        assert store.index.high_water == os.path.getsize(path)
+        store.close()
+
+    def test_concurrent_unindexed_writer_gap_is_ingested_on_append(
+            self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        indexed = build_store(path, 2)
+        other = ResultStore(path, index=False)
+        other.append(synthetic_record(2))  # lands above the indexed hwm
+        indexed.append(synthetic_record(3))  # gap-ingests record 2 first
+        assert indexed.index.count() == 4
+        assert {entry.cell_index
+                for entry in indexed.index.cell_entries()} == {0, 1, 2, 3}
+        indexed.close()
+
+    def test_torn_tail_stays_below_the_high_water_mark(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 3).close()
+        fragment = synthetic_record(3).to_line()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(fragment[:len(fragment) // 2])
+        index = ensure_index(path)
+        assert index.count() == 3
+        assert index.high_water < os.path.getsize(path)
+        assert index.is_fresh()  # fully indexed in the record sense
+        index.close()
+
+    def test_unterminated_valid_final_line_is_indexed(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 2).close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-1])  # strip only the final newline
+        drop_index(path)
+        store = ResultStore(path)
+        assert len(store) == 2
+        assert store.index.high_water == os.path.getsize(path)
+        store.close()
+
+
+class TestFreshnessProtocol:
+    def test_truncated_store_triggers_a_rebuild(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 5).close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:2]))
+        store = ResultStore(path)
+        assert len(store) == 2
+        assert [record.cell_index for record in store.records] == [0, 1]
+        store.close()
+
+    def test_rewritten_head_triggers_a_rebuild(self, tmp_path):
+        # Same size, same line count — only the head hash can tell the
+        # file was rewritten underneath the index.
+        path = tmp_path / "store.jsonl"
+        build_store(path, 6).close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(reversed(lines)))
+        store = ResultStore(path)
+        assert [record.cell_index for record in store.records] == [
+            5, 4, 3, 2, 1, 0]
+        store.close()
+
+    def test_open_fresh_index_refuses_stale_sidecars(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 3).close()
+        assert open_fresh_index(path) is not None
+        ResultStore(path, index=False).append(synthetic_record(3))
+        assert open_fresh_index(path) is None  # new line is unindexed
+        index = ensure_index(path)  # ...but ensure_index catches up
+        assert index.count() == 4
+        index.close()
+        assert open_fresh_index(path) is not None
+
+    def test_dropping_the_sidecar_is_always_recoverable(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = build_store(path, 6)
+        reference = store.records
+        store.close()
+        drop_index(path)
+        assert not os.path.exists(index_path(path))
+        reopened = ResultStore(path)
+        assert reopened.records == reference
+        assert reopened.index.count() == 6
+        reopened.close()
+
+    def test_store_survives_an_unusable_sidecar_location(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 3, index=False).close()
+        os.mkdir(index_path(path))  # block sqlite from creating the db
+        store = ResultStore(path)
+        assert store.index is None  # silently degraded
+        assert len(store) == 3
+        store.append(synthetic_record(3))
+        assert len(ResultStore(path, index=False)) == 4
+        store.close()
+
+
+class TestLazyStoreOpen:
+    def test_lazy_open_defers_hydration(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 5).close()
+        store = ResultStore(path)
+        assert store._records is None  # nothing parsed yet
+        assert len(store) == 5
+        assert len(store.done_cells) == 5
+        assert store._records is None  # resume surface stays lazy
+        store.close()
+
+    def test_hydrated_records_equal_the_eager_scan(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 8).close()
+        lazy, eager = ResultStore(path), ResultStore(path, index=False)
+        assert lazy.records == eager.records
+        assert lazy.reports().keys() == eager.reports().keys()
+        lazy.close()
+
+    def test_cell_entries_agree_between_lazy_and_eager(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        build_store(path, 6).close()
+        lazy, eager = ResultStore(path), ResultStore(path, index=False)
+        assert lazy.cell_entries() == eager.cell_entries()
+        entry = lazy.cell_entries()[0]
+        assert entry.cell == ("synth-sweep", "synth/000000", "sparch",
+                              "table1")
+        assert entry.report_key == "synth/000000|sparch|table1"
+        lazy.close()
+
+    def test_conflicting_concatenated_file_is_refused_lazily_too(
+            self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        record = synthetic_record(0)
+        conflicting = SweepRecord(
+            sweep_id=record.sweep_id, cell_index=record.cell_index,
+            scenario=record.scenario, engine=record.engine,
+            config_label=record.config_label, key="other-fingerprint",
+            report=record.report)
+        path.write_text(record.to_line() + conflicting.to_line())
+        with pytest.raises(ValueError, match="conflicting records"):
+            ResultStore(path)
+
+    def test_stale_schema_lines_rotate_out(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = synthetic_record(0)
+        stale = dict(good.report, schema_version=SCHEMA_VERSION - 1)
+        stale_record = SweepRecord(
+            sweep_id=good.sweep_id, cell_index=1, scenario="synth/000000",
+            engine="mkl", config_label="-", key="stale",
+            report=stale)
+        path.write_text(good.to_line() + stale_record.to_line())
+        store = ResultStore(path)
+        assert len(store) == 1  # the stale line reads as not-done
+        store.close()
+
+
+class TestZeroScanQueries:
+    def test_summarise_matches_the_streamed_scan(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        write_synthetic_store(path, 400)
+        index = ensure_index(path)
+        assert (index.summarise(title="T").render()
+                == summarise_store_file(path, title="T").render())
+        assert (index.summarise(sweep_id="synth-sweep", title="T").render()
+                == summarise_store_file(path, sweep_id="synth-sweep",
+                                        title="T").render())
+        index.close()
+
+    def test_summarise_refuses_multi_sweep_without_a_filter(self,
+                                                            tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append(synthetic_record(0, sweep_id="sweep-a"))
+        store.append(synthetic_record(1, sweep_id="sweep-b"))
+        with pytest.raises(ValueError, match="span multiple sweeps"):
+            store.index.summarise()
+        assert store.index.summarise(sweep_id="sweep-a").rows
+        store.close()
+
+    def test_query_cells_filters_sorts_and_limits(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        write_synthetic_store(path, 200)
+        index = ensure_index(path)
+        rows = index.query_cells(where={"engine": "sparch",
+                                        "config_label": "table1"},
+                                 sort="gflops", limit=5)
+        assert len(rows) == 5
+        assert all(row["engine"] == "sparch" for row in rows)
+        gflops = [row["gflops"] for row in rows]
+        assert gflops == sorted(gflops, reverse=True)
+        # the top-1 really is the global maximum for that column
+        everything = index.query_cells(where={"engine": "sparch",
+                                              "config_label": "table1"},
+                                       sort="gflops")
+        assert rows[0] == everything[0]
+        assert len(everything) == 50
+        index.close()
+
+    def test_query_cells_rejects_unknown_columns(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        write_synthetic_store(path, 8)
+        index = ensure_index(path)
+        with pytest.raises(ValueError, match="unknown sort metric"):
+            index.query_cells(sort="nope")
+        with pytest.raises(ValueError, match="unknown filter column"):
+            index.query_cells(where={"nope": "x"})
+        with pytest.raises(ValueError, match="non-negative"):
+            index.query_cells(limit=-1)
+        index.close()
+
+    def test_traffic_totals_by_category(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        write_synthetic_store(path, 40)
+        index = ensure_index(path)
+        totals = index.traffic_totals()
+        expected: dict[str, int] = {}
+        for record in ResultStore(path, index=False).records:
+            for category, num_bytes in record.report["traffic"].items():
+                expected[category] = expected.get(category, 0) + num_bytes
+        assert totals == expected
+        index.close()
+
+    def test_sweep_counts(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        for position in range(3):
+            store.append(synthetic_record(position, sweep_id="sweep-a"))
+        store.append(synthetic_record(3, sweep_id="sweep-b"))
+        assert store.index.sweep_counts() == {"sweep-a": 3, "sweep-b": 1}
+        store.close()
+
+
+class TestSummaryColumns:
+    def test_mirrors_the_cost_report_formulas(self):
+        record = synthetic_record(5)
+        report = record.cost_report()
+        columns = summary_columns(record.report)
+        assert columns["gflops"] == report.gflops
+        assert columns["dram_bytes"] == report.dram_bytes
+        assert columns["cycles"] == report.cycles
+        assert columns["energy_joules"] == report.energy_joules
+
+    def test_tolerates_arbitrary_report_payloads(self):
+        # Concurrent-append stress records carry filler payloads that are
+        # not CostReports; indexing must not choke on them.
+        columns = summary_columns({"schema_version": SCHEMA_VERSION,
+                                   "filler": "x" * 64})
+        assert columns["gflops"] == 0.0
+        assert columns["dram_bytes"] == 0
+        assert columns["runtime_seconds"] == 0.0
+
+
+class TestWatcherIndexTailing:
+    def test_poll_serves_from_the_index(self, tmp_path):
+        from repro.sweeps.watch import StoreWatcher
+
+        path = tmp_path / "store.jsonl"
+        store = build_store(path, 3)
+        watcher = StoreWatcher(path)
+        assert len(watcher.poll()) == 3
+        assert watcher._index is not None  # the index path was taken
+        store.append(synthetic_record(3))
+        fresh = watcher.poll()
+        assert [record.cell_index for record in fresh] == [3]
+        assert watcher.poll() == []
+        store.close()
+        watcher.close()
+
+    def test_compaction_generation_bump_does_not_double_count(
+            self, tmp_path):
+        from repro.sweeps.compact import compact_store
+        from repro.sweeps.watch import StoreWatcher
+
+        path = tmp_path / "store.jsonl"
+        store = build_store(path, 4)
+        store.close()
+        watcher = StoreWatcher(path)
+        assert len(watcher.poll()) == 4
+        compact_store(path, fsync=False)  # rowids + offsets reassigned
+        assert watcher.poll() == []
+        assert watcher.records_seen == 4
+        store = ResultStore(path)
+        store.append(synthetic_record(4))
+        assert [record.cell_index
+                for record in watcher.poll()] == [4]
+        store.close()
+        watcher.close()
+
+    def test_stale_index_falls_back_to_byte_tailing(self, tmp_path):
+        from repro.sweeps.watch import StoreWatcher
+
+        path = tmp_path / "store.jsonl"
+        build_store(path, 2).close()
+        watcher = StoreWatcher(path)
+        assert len(watcher.poll()) == 2
+        # an unindexed writer appends: the sidecar is now stale, but the
+        # byte path still surfaces the record
+        ResultStore(path, index=False).append(synthetic_record(2))
+        assert len(watcher.poll()) == 1
+        assert watcher.records_seen == 3
+        watcher.close()
