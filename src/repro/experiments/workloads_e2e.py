@@ -60,6 +60,10 @@ DEFAULT_NAMES = ["wiki-Vote", "ca-CondMat", "p2p-Gnutella31"]
 SWEEP_PARAMS: dict[str, dict] = {
     "mcl": {"max_iterations": 4},
     "khop": {"k": 3},
+    "pagerank": {"max_iterations": 8},
+    "amg_vcycle": {"max_levels": 3},
+    "gnn_sample": {"layers": 2},
+    "serve_mix": {"batch": 4},
 }
 
 

@@ -11,8 +11,18 @@ into:
 * :mod:`repro.workloads.ops` — the host-op vocabulary (mask, normalise,
   inflate, prune, transpose, aggregation, ...), extensible via
   :func:`~repro.workloads.ops.register_host_op`.
-* :mod:`repro.workloads.library` — the five registered pipelines:
-  triangles, mcl, khop, galerkin, cosine.
+* :mod:`repro.workloads.compiler` — the workload compiler: declarative
+  graph specs (JSON/YAML stage graphs or the tiny expression language)
+  parsed into a typed IR, shape/sparsity-checked with stage-named
+  diagnostics, scheduled deterministically, optionally host-op-fused, and
+  lowered onto the same pipeline builder.
+* :mod:`repro.workloads.graphs` — every registered workload's compiled
+  spec (the original five re-expressed, plus pagerank, gnn_sample,
+  amg_vcycle, tri_enum and serve_mix).
+* :mod:`repro.workloads.library` — the original five hand-written build
+  programs, kept as the compiled specs' byte-parity reference.
+* :mod:`repro.workloads.probes` — annotation and loop-stop probes
+  compiled specs record workload-level scalars with.
 * :mod:`repro.workloads.registry` — frozen specs, id lookup and
   :func:`~repro.workloads.registry.run_workload`.
 
@@ -21,8 +31,18 @@ workloads, and ``python -m repro.experiments workloads`` for the end-to-end
 SpArch-vs-baselines comparison sweep.
 """
 
+from repro.workloads.compiler import (
+    CompiledWorkload,
+    SpecError,
+    compile_expression,
+    compile_graph,
+    compile_workload,
+    load_spec,
+)
+from repro.workloads.graphs import compiled_workload
 from repro.workloads.ops import (
     HOST_OPS,
+    apply_host_op,
     get_host_op,
     register_host_op,
     triangles_from_masked,
@@ -49,17 +69,25 @@ __all__ = [
     "SPGEMM_KIND",
     "HOST_OPS",
     "BaselineExecutor",
+    "CompiledWorkload",
     "EngineExecutor",
     "PipelineBuilder",
     "SpArchExecutor",
+    "SpecError",
     "StageExecutor",
     "StageResult",
     "WorkloadResult",
     "WorkloadSpec",
     "WORKLOADS",
+    "apply_host_op",
+    "compile_expression",
+    "compile_graph",
+    "compile_workload",
+    "compiled_workload",
     "get_host_op",
     "get_workload",
     "list_workloads",
+    "load_spec",
     "register_host_op",
     "run_workload",
     "triangles_from_masked",

@@ -1,21 +1,42 @@
 """Command-line runner: ``python -m repro.workloads <id> [...]``.
 
-Runs registered workload pipelines one-off on a benchmark-suite proxy and
-prints the per-stage cost table — the quick way to inspect a pipeline.
-``--list`` prints the registered workload ids; unknown ids raise the same
-helpful error as the experiment registry.  The full SpArch-vs-baselines
-comparison sweep lives in ``python -m repro.experiments workloads``.
+Runs registered workload pipelines one-off on a benchmark-suite proxy (or
+a corpus scenario) and prints the per-stage cost table — the quick way to
+inspect a pipeline.  ``--list`` prints the registered workload ids;
+unknown ids raise the same helpful error as the experiment registry.
+
+Compiler-era switches:
+
+* ``--engine {scalar,vectorized,streaming}`` picks the simulation backend
+  variant (``SpArchConfig(engine=...)``);
+* ``--via {compiled,build}`` selects the declarative spec executor or the
+  legacy hand-written build program (byte-identical where both exist);
+* ``--fuse`` collapses adjacent host ops into fused stages;
+* ``--json OUT`` writes every run's canonical result payload (the golden
+  byte-parity encoding, host wall-times included) to one merged file;
+* ``--verify-compiled`` exits non-zero if any registered workload lacks a
+  compiled spec — the CI smoke job's first gate.
+
+The full SpArch-vs-baselines comparison sweep lives in
+``python -m repro.experiments workloads``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.runner import ExperimentRunner
 from repro.matrices.suite import load_benchmark
 from repro.utils.reporting import Table
-from repro.workloads.registry import get_workload, list_workloads, run_workload
+from repro.workloads.compiler import result_payload
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    list_workloads,
+    run_workload,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,10 +49,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload ids to run (e.g. mcl khop), or 'all'")
     parser.add_argument("--list", action="store_true",
                         help="list the registered workloads and exit")
+    parser.add_argument("--verify-compiled", action="store_true",
+                        help="check every registered workload has a compiled "
+                             "spec and exit (non-zero on a gap)")
     parser.add_argument("--matrix", default="ca-CondMat",
                         help="benchmark-suite matrix to run on")
+    parser.add_argument("--scenario", default=None, metavar="CORPUS/NAME",
+                        help="run on a corpus scenario (e.g. "
+                             "'smoke/wiki-Vote@120') instead of --matrix")
     parser.add_argument("--max-rows", type=int, default=600,
                         help="proxy dimension cap for the matrix")
+    parser.add_argument("--engine", default=None,
+                        choices=["scalar", "vectorized", "streaming"],
+                        help="simulation backend variant "
+                             "(SpArchConfig(engine=...))")
+    parser.add_argument("--via", default="compiled",
+                        choices=["compiled", "build"],
+                        help="run the compiled declarative spec (default) or "
+                             "the legacy hand-written build program")
+    parser.add_argument("--fuse", action="store_true",
+                        help="fuse adjacent host ops into single stages "
+                             "(compiled path only)")
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write the runs' canonical result payloads "
+                             "(host wall-times included) to OUT")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="memoise per-stage simulations on disk under DIR")
     return parser
@@ -43,9 +84,33 @@ def _print_listing() -> None:
         print(f"{workload_id:>10}  {spec.title}")
 
 
+def _verify_compiled() -> int:
+    """Exit code 0 iff every registered workload carries a compiled spec."""
+    missing = [spec.workload_id for spec in WORKLOADS
+               if spec.compiled is None]
+    if missing:
+        print("workloads without a compiled spec: " + ", ".join(missing),
+              file=sys.stderr)
+        return 1
+    print(f"all {len(WORKLOADS)} registered workloads carry a compiled spec")
+    return 0
+
+
+def _load_matrix(args: argparse.Namespace):
+    """Resolve ``--scenario corpus/name`` or ``--matrix`` to (label, CSR)."""
+    if args.scenario is not None:
+        from repro.corpus.registry import resolve_scenario
+
+        scenario = resolve_scenario(args.scenario)
+        return args.scenario, scenario.build()
+    return args.matrix, load_benchmark(args.matrix, max_rows=args.max_rows)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.verify_compiled:
+        return _verify_compiled()
     if args.list or not args.workloads:
         _print_listing()
         return 0
@@ -54,24 +119,32 @@ def main(argv: list[str] | None = None) -> int:
     if requested == ["all"]:
         requested = list_workloads()
 
-    matrix = load_benchmark(args.matrix, max_rows=args.max_rows)
+    label, matrix = _load_matrix(args)
+    config = None
+    if args.engine is not None:
+        from repro.core.config import SpArchConfig
+
+        config = SpArchConfig(engine=args.engine)
     runner = ExperimentRunner(cache_dir=args.cache_dir)
+    payloads = []
     for workload_id in requested:
         spec = get_workload(workload_id)
-        result = run_workload(workload_id, matrix, runner=runner)
+        result = run_workload(workload_id, matrix, runner=runner,
+                              config=config, via=args.via, fuse=args.fuse)
         table = Table(
-            title=f"{spec.title} — {args.matrix} ({matrix.shape[0]} rows), "
+            title=f"{spec.title} — {label} ({matrix.shape[0]} rows), "
                   f"backend {result.backend}",
             columns=["stage", "kind", "inputs", "nnz", "cycles",
-                     "runtime [s]", "DRAM [B]", "energy [J]"],
+                     "runtime [s]", "host [s]", "DRAM [B]", "energy [J]"],
         )
         for stage in result.stages:
             table.add_row(stage.name, stage.kind, "+".join(stage.inputs),
                           stage.output_nnz, stage.cycles,
-                          stage.runtime_seconds, stage.dram_bytes,
-                          stage.energy_joules)
+                          stage.runtime_seconds, stage.host_seconds,
+                          stage.dram_bytes, stage.energy_joules)
         table.add_row("TOTAL", "", "", "", result.total_cycles,
-                      result.total_runtime_seconds, result.total_dram_bytes,
+                      result.total_runtime_seconds,
+                      result.total_host_seconds, result.total_dram_bytes,
                       result.total_energy_joules)
         print(table.render())
         if result.annotations:
@@ -79,10 +152,25 @@ def main(argv: list[str] | None = None) -> int:
                               for key, value in result.annotations.items())
             print(f"annotations: {notes}")
         print()
+        if args.json is not None:
+            payloads.append(result_payload(result, host_seconds=True))
     hits, misses = runner.cache_hits, runner.cache_misses
     if hits or misses:
         print(f"[runner] {misses} stage simulations computed, "
               f"{hits} reused from cache")
+    if args.json is not None:
+        merged = {
+            "matrix": label,
+            "engine": args.engine or "vectorized",
+            "via": args.via,
+            "fused": args.fuse,
+            "results": payloads,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[json] wrote {len(payloads)} result payload(s) to "
+              f"{args.json}")
     return 0
 
 

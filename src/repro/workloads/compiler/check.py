@@ -1,0 +1,547 @@
+"""Shape and sparsity checking of compiled workload graphs.
+
+The checker walks the scheduled nodes once, propagating a symbolic
+*value table* — for every named value a pair of dimension symbols plus a
+set of structure flags — and rejects ill-formed graphs with stage-named
+diagnostics **before any engine runs**.
+
+Dimension symbols
+=================
+
+Input dimensions are *rigid*: they stand for whatever the caller passes,
+so two different rigid symbols never unify — ``A·A`` on an input not
+declared ``square`` is a compile-time error, not a runtime scipy crash.
+Dimensions produced by size-changing ops (``aggregation``'s coarse side,
+``seed_blocks``'s block count) are *flexible*: they unify with anything,
+because their size is a function of parameters the checker does not
+evaluate.  Unification is a union-find over symbols; a clash of two rigid
+roots is a shape error naming both ends.
+
+Structure flags
+===============
+
+The sparsity half of the checker tracks a small flag lattice per value —
+``nonnegative``, ``binary``, ``symmetric`` — seeded by input ``assume``
+declarations, produced and preserved per op (``simple_graph`` produces all
+three, ``spgemm`` preserves nonnegativity, ...).  Ops with domain
+requirements declare them: ``inflate`` rejects a possibly-negative operand
+at compile time, because the element-wise power of a negative value under
+a fractional inflation exponent is NaN by the time the engine would see
+it.
+
+Rejected spec classes (each with a ``stage '<name>':`` diagnostic):
+
+1. references to values nothing defines (and dependency cycles — caught
+   by the scheduler before the checker runs);
+2. unknown host ops / probes / stop probes, and host-op arity or
+   parameter-name mismatches (checked against the registered function's
+   signature);
+3. SpGEMM inner-dimension mismatches, non-square chain operands, loops
+   whose carried value changes shape, and conditional stages whose two
+   arms disagree in shape;
+4. domain violations: an op requiring a nonnegative operand fed a
+   possibly-negative value;
+5. undeclared parameter references (stages, counts, tolerances) and
+   duplicate value definitions.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.workloads.compiler.ir import (
+    AnnotateIR,
+    ChainIR,
+    CounterRef,
+    FusedStageIR,
+    GatherRef,
+    GraphSpec,
+    LoopIR,
+    NodeIR,
+    ParamRef,
+    RepeatIR,
+    SpecError,
+    StageIR,
+    SPGEMM_OP,
+)
+from repro.workloads.compiler.schedule import node_label, schedule_nodes
+from repro.workloads.ops import HOST_OPS
+from repro.workloads.probes import PROBES, STOP_PROBES
+
+__all__ = ["OpRule", "OP_RULES", "ValueInfo", "check_graph"]
+
+#: Structure flags the checker tracks.
+FLAGS = ("nonnegative", "binary", "symmetric")
+
+
+class OpRule:
+    """Shape/flag semantics of one host op.
+
+    Attributes:
+        arity: required operand count (``None`` = variadic, at least one).
+        shape: ``"same"`` (first operand's shape), ``"same_all"`` (all
+            operands must share one shape, result keeps it),
+            ``"transpose"`` (swapped dims), ``"narrow"`` (rows kept,
+            flexible column count), ``"fresh_square"`` (flexible square).
+        requires_square: operand 0 must be square.
+        requires: flags every operand must provably carry.
+        produces: flags the result is guaranteed to carry.
+        preserves: flags kept iff *all* operands carry them.
+    """
+
+    def __init__(self, *, arity: int | None = 1, shape: str = "same",
+                 requires_square: bool = False,
+                 requires: tuple[str, ...] = (),
+                 produces: tuple[str, ...] = (),
+                 preserves: tuple[str, ...] = ()) -> None:
+        self.arity = arity
+        self.shape = shape
+        self.requires_square = requires_square
+        self.requires = requires
+        self.produces = produces
+        self.preserves = preserves
+
+
+#: Shape/flag rules for the built-in host-op vocabulary.  Ops registered
+#: by downstream users without a rule here default to ``OpRule(arity=None,
+#: shape="fresh")`` — any operands, unconstrained result.
+OP_RULES: dict[str, OpRule] = {
+    "mask": OpRule(arity=2, shape="same_all",
+                   preserves=("nonnegative", "binary", "symmetric")),
+    "normalize_columns": OpRule(preserves=("nonnegative",)),
+    "normalize_rows": OpRule(preserves=("nonnegative",)),
+    "inflate": OpRule(requires=("nonnegative",),
+                      preserves=("nonnegative",)),
+    "prune": OpRule(preserves=("nonnegative", "binary")),
+    "binarize": OpRule(produces=("nonnegative", "binary"),
+                       preserves=("symmetric",)),
+    "transpose": OpRule(shape="transpose",
+                        preserves=("nonnegative", "binary", "symmetric")),
+    "simple_graph": OpRule(requires_square=True,
+                           produces=("nonnegative", "binary", "symmetric")),
+    "mcl_setup": OpRule(requires_square=True, produces=("nonnegative",)),
+    "aggregation": OpRule(shape="narrow",
+                          produces=("nonnegative", "binary")),
+    "tril": OpRule(preserves=("nonnegative", "binary")),
+    "sample_neighbors": OpRule(preserves=("nonnegative", "binary")),
+    "damp": OpRule(arity=2, shape="same_all",
+                   requires=("nonnegative",), preserves=("nonnegative",)),
+    "uniform_column": OpRule(shape="narrow", produces=("nonnegative",)),
+    "extract_block": OpRule(shape="fresh_square", requires_square=True,
+                            preserves=("nonnegative", "binary",
+                                       "symmetric")),
+    "stack_blocks": OpRule(arity=None, shape="fresh_square",
+                           preserves=("nonnegative", "binary")),
+}
+
+_DEFAULT_RULE = OpRule(arity=None, shape="fresh")
+
+
+class ValueInfo:
+    """Symbolic shape (two dimension symbols) and structure flags."""
+
+    __slots__ = ("rows", "cols", "flags")
+
+    def __init__(self, rows: int, cols: int, flags: frozenset[str]) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.flags = flags
+
+
+class _Dims:
+    """Union-find over dimension symbols with rigid/flexible roots."""
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._label: list[str | None] = []  # rigid iff label is not None
+
+    def rigid(self, label: str) -> int:
+        self._parent.append(len(self._parent))
+        self._label.append(label)
+        return len(self._parent) - 1
+
+    def flexible(self) -> int:
+        self._parent.append(len(self._parent))
+        self._label.append(None)
+        return len(self._parent) - 1
+
+    def find(self, symbol: int) -> int:
+        while self._parent[symbol] != symbol:
+            self._parent[symbol] = self._parent[self._parent[symbol]]
+            symbol = self._parent[symbol]
+        return symbol
+
+    def label(self, symbol: int) -> str | None:
+        return self._label[self.find(symbol)]
+
+    def unify(self, left: int, right: int, *, stage: str,
+              context: str) -> None:
+        """Merge two symbols; two distinct rigid roots are a shape error."""
+        root_l, root_r = self.find(left), self.find(right)
+        if root_l == root_r:
+            return
+        label_l, label_r = self._label[root_l], self._label[root_r]
+        if label_l is not None and label_r is not None:
+            raise SpecError(
+                f"shape mismatch — {context}: {label_l} vs {label_r} "
+                "(declare the inputs square, or fix the operand order)",
+                stage=stage)
+        # Keep the rigid root (its label carries the better diagnostic).
+        if label_l is None:
+            root_l, root_r = root_r, root_l
+        self._parent[root_r] = root_l
+
+    def same(self, left: int, right: int) -> bool:
+        return self.find(left) == self.find(right)
+
+
+class _Checker:
+    def __init__(self, graph: GraphSpec) -> None:
+        self.graph = graph
+        self.dims = _Dims()
+        self.params = {param.name for param in graph.params}
+        self.values: dict[str, ValueInfo] = {}
+        self.counters: list[str] = []
+
+    # ------------------------------------------------------------------
+    def run(self, order: tuple[int, ...]) -> None:
+        for inp in self.graph.inputs:
+            if inp.square:
+                rows = cols = self.dims.rigid(f"dimension of input "
+                                              f"{inp.name!r}")
+            else:
+                rows = self.dims.rigid(f"rows of input {inp.name!r}")
+                cols = self.dims.rigid(f"columns of input {inp.name!r}")
+            for flag in inp.assume:
+                if flag not in FLAGS:
+                    raise SpecError(
+                        f"input {inp.name!r} assumes unknown flag "
+                        f"{flag!r}; known flags: {', '.join(FLAGS)}")
+            self.values[inp.name] = ValueInfo(rows, cols,
+                                              frozenset(inp.assume))
+        for index in order:
+            self._check_node(self.graph.nodes[index])
+        # The scheduler guarantees the output name is defined; a gather
+        # template is not addressable as a single output value though.
+        if self.graph.output in self.values:
+            return
+        raise SpecError(
+            f"output {self.graph.output!r} is not a single value "
+            "(repeated stages are only addressable through gathers)")
+
+    # ------------------------------------------------------------------
+    def _scalar_ok(self, value, *, stage: str) -> None:
+        if isinstance(value, ParamRef):
+            if value.name not in self.params:
+                raise SpecError(
+                    f"references undeclared parameter {value.name!r}; "
+                    f"declared parameters: "
+                    f"{', '.join(sorted(self.params)) or '(none)'}",
+                    stage=stage)
+        elif isinstance(value, CounterRef):
+            if value.name not in self.counters:
+                raise SpecError(
+                    f"references counter {value.name!r} outside its "
+                    "loop/repeat", stage=stage)
+
+    def _resolve(self, ref, *, stage: str) -> ValueInfo:
+        name = ref.template if isinstance(ref, GatherRef) else ref
+        if isinstance(ref, GatherRef):
+            self._scalar_ok(ref.count, stage=stage)
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SpecError(
+                f"unknown value {name!r}; defined values: "
+                f"{', '.join(sorted(self.values))}", stage=stage) from None
+
+    def _define(self, name: str, info: ValueInfo, *, stage: str) -> None:
+        if name in self.values:
+            raise SpecError(f"value {name!r} is defined more than once",
+                            stage=stage)
+        self.values[name] = info
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: NodeIR) -> None:
+        if isinstance(node, StageIR):
+            self._check_stage(node)
+        elif isinstance(node, FusedStageIR):
+            self._check_fused(node)
+        elif isinstance(node, ChainIR):
+            self._check_chain(node)
+        elif isinstance(node, LoopIR):
+            self._check_loop(node)
+        elif isinstance(node, RepeatIR):
+            self._check_repeat(node)
+        else:
+            self._check_annotate(node)
+
+    # ------------------------------------------------------------------
+    def _apply_op(self, stage: str, op: str,
+                  operands: list[ValueInfo],
+                  params: tuple[tuple[str, object], ...],
+                  variadic: bool) -> ValueInfo:
+        """Shared spgemm/host-op shape+flag application."""
+        if op == SPGEMM_OP:
+            if len(operands) != 2:
+                raise SpecError(
+                    f"spgemm takes exactly 2 operands, got {len(operands)}",
+                    stage=stage)
+            left, right = operands
+            self.dims.unify(left.cols, right.rows, stage=stage,
+                            context="SpGEMM inner dimensions must agree")
+            flags = frozenset({"nonnegative"} & left.flags & right.flags)
+            return ValueInfo(left.rows, right.cols, flags)
+
+        try:
+            fn = HOST_OPS[op]
+        except KeyError:
+            raise SpecError(
+                f"unknown host op {op!r}; registered ops: "
+                f"{', '.join(sorted(HOST_OPS))}", stage=stage) from None
+        rule = OP_RULES.get(op, _DEFAULT_RULE)
+        if rule.arity is not None and not variadic \
+                and len(operands) != rule.arity:
+            raise SpecError(
+                f"host op {op!r} takes {rule.arity} operand(s), got "
+                f"{len(operands)}", stage=stage)
+        if not operands:
+            raise SpecError(f"host op {op!r} needs at least one operand",
+                            stage=stage)
+        if not variadic:
+            self._check_signature(stage, op, fn, len(operands), params)
+        if rule.requires_square:
+            self.dims.unify(operands[0].rows, operands[0].cols, stage=stage,
+                            context=f"host op {op!r} requires a square "
+                                    "operand")
+        for flag in rule.requires:
+            for operand in operands:
+                if flag not in operand.flags:
+                    raise SpecError(
+                        f"host op {op!r} requires a {flag} operand, but "
+                        "the value may not be (declare the input with "
+                        f"assume: ['{flag}'] or produce it with an op "
+                        "that guarantees it)", stage=stage)
+        if rule.shape == "same_all":
+            base = operands[0]
+            for other in operands[1:]:
+                self.dims.unify(base.rows, other.rows, stage=stage,
+                                context=f"host op {op!r} operands must "
+                                        "share a shape")
+                self.dims.unify(base.cols, other.cols, stage=stage,
+                                context=f"host op {op!r} operands must "
+                                        "share a shape")
+        first = operands[0]
+        if rule.shape in ("same", "same_all"):
+            shape = (first.rows, first.cols)
+        elif rule.shape == "transpose":
+            shape = (first.cols, first.rows)
+        elif rule.shape == "narrow":
+            shape = (first.rows, self.dims.flexible())
+        elif rule.shape == "fresh_square":
+            fresh = self.dims.flexible()
+            shape = (fresh, fresh)
+        else:  # "fresh"
+            shape = (self.dims.flexible(), self.dims.flexible())
+        flags = set(rule.produces)
+        for flag in rule.preserves:
+            if all(flag in operand.flags for operand in operands):
+                flags.add(flag)
+        if rule.shape == "transpose" and "symmetric" in first.flags:
+            flags.add("symmetric")
+        return ValueInfo(shape[0], shape[1], frozenset(flags))
+
+    def _check_signature(self, stage: str, op: str, fn, num_operands: int,
+                         params: tuple[tuple[str, object], ...]) -> None:
+        """Bind operands and params against the op's real signature."""
+        placeholders = [object()] * num_operands
+        keywords = {}
+        for key, value in params:
+            self._scalar_ok(value, stage=stage)
+            keywords[key] = value
+        try:
+            inspect.signature(fn).bind(*placeholders, **keywords)
+        except TypeError as exc:
+            raise SpecError(
+                f"host op {op!r} cannot take {num_operands} operand(s) "
+                f"with params ({', '.join(keywords) or 'none'}): {exc}; "
+                f"signature is {op}{inspect.signature(fn)}",
+                stage=stage) from None
+
+    # ------------------------------------------------------------------
+    def _check_stage(self, node: StageIR) -> None:
+        operands = []
+        variadic = False
+        for ref in node.inputs:
+            info = self._resolve(ref, stage=node.name)
+            if isinstance(ref, GatherRef):
+                variadic = True
+            operands.append(info)
+        info = self._apply_op(node.name, node.op, operands, node.params,
+                              variadic)
+        if node.when is not None:
+            if node.when not in self.params:
+                raise SpecError(
+                    f"condition references undeclared parameter "
+                    f"{node.when!r}", stage=node.name)
+            if node.otherwise is None:
+                raise SpecError(
+                    "a conditional stage needs an 'else' value to alias "
+                    "when the condition is false", stage=node.name)
+            other = self._resolve(node.otherwise, stage=node.name)
+            self.dims.unify(info.rows, other.rows, stage=node.name,
+                            context="a conditional stage and its 'else' "
+                                    "value must share a shape")
+            self.dims.unify(info.cols, other.cols, stage=node.name,
+                            context="a conditional stage and its 'else' "
+                                    "value must share a shape")
+            info = ValueInfo(info.rows, info.cols,
+                             info.flags & other.flags)
+        self._define(node.name, info, stage=node.name)
+        if node.bind:
+            self._define(node.bind, info, stage=node.name)
+
+    def _check_fused(self, node: FusedStageIR) -> None:
+        operands = [self._resolve(ref, stage=node.name)
+                    for ref in node.inputs]
+        if not node.steps:
+            raise SpecError("a fused stage needs at least one step",
+                            stage=node.name)
+        info = self._apply_op(node.name, node.steps[0].op, operands,
+                              node.steps[0].params, False)
+        for step in node.steps[1:]:
+            extras = [self._resolve(ref, stage=node.name)
+                      for ref in step.extra_inputs]
+            info = self._apply_op(node.name, step.op, [info] + extras,
+                                  step.params, False)
+        self._define(node.name, info, stage=node.name)
+        if node.bind:
+            self._define(node.bind, info, stage=node.name)
+
+    def _check_chain(self, node: ChainIR) -> None:
+        self._scalar_ok(node.count, stage=node.template)
+        first = self._resolve(node.first, stage=node.template)
+        fixed = self._resolve(node.fixed, stage=node.template)
+        self.dims.unify(fixed.rows, fixed.cols, stage=node.template,
+                        context="a chain's fixed operand must be square "
+                                "for the product to iterate")
+        if node.thread == "left":
+            self.dims.unify(first.cols, fixed.rows, stage=node.template,
+                            context="SpGEMM inner dimensions must agree")
+            shape = (first.rows, fixed.cols)
+        else:
+            self.dims.unify(fixed.cols, first.rows, stage=node.template,
+                            context="SpGEMM inner dimensions must agree")
+            shape = (fixed.rows, first.cols)
+        flags = frozenset({"nonnegative"} & first.flags & fixed.flags)
+        info = ValueInfo(shape[0], shape[1], flags)
+        self._define(node.template, info, stage=node.template)
+        self._define(node.bind, info, stage=node.template)
+
+    def _check_loop(self, node: LoopIR) -> None:
+        label = node_label(node)
+        self._scalar_ok(node.max_iterations, stage=label)
+        init = self._resolve(node.init, stage=label)
+        init_square = self.dims.same(init.rows, init.cols)
+
+        # Two-pass flag fixpoint: assume the carry keeps the init flags,
+        # re-check with the intersection if the body weakens them.
+        assumed = init.flags
+        for _ in range(2):
+            saved_values = dict(self.values)
+            if init_square:
+                rows = cols = self.dims.rigid(
+                    f"dimension of carried value {node.var!r}")
+            else:
+                rows, cols = init.rows, init.cols
+            self.values[node.var] = ValueInfo(rows, cols, assumed)
+            self.counters.append(node.counter)
+            try:
+                for child in node.body:
+                    self._check_node(child)
+                if node.update not in self.values:
+                    raise SpecError(
+                        f"update {node.update!r} names no body value",
+                        stage=label)
+                update = self.values[node.update]
+                if init_square:
+                    self.dims.unify(update.rows, update.cols, stage=label,
+                                    context="the carried value must stay "
+                                            "square across iterations")
+                else:
+                    self.dims.unify(update.rows, rows, stage=label,
+                                    context="the carried value must keep "
+                                            "its shape across iterations")
+                    self.dims.unify(update.cols, cols, stage=label,
+                                    context="the carried value must keep "
+                                            "its shape across iterations")
+            finally:
+                self.counters.pop()
+                self.values = saved_values
+            if update.flags >= assumed:
+                break
+            assumed = assumed & update.flags
+
+        if node.stop is not None:
+            self._scalar_ok(node.stop.tolerance, stage=label)
+            if node.stop.probe not in STOP_PROBES:
+                raise SpecError(
+                    f"unknown stop probe {node.stop.probe!r}; known stop "
+                    f"probes: {', '.join(sorted(STOP_PROBES))}",
+                    stage=label)
+        # Post-loop: the carry's size is iteration-dependent unless the
+        # body provably preserves it; keep it square when it started so.
+        if init_square:
+            final = self.dims.flexible()
+            info = ValueInfo(final, final, assumed & update.flags)
+        else:
+            info = ValueInfo(init.rows, init.cols, assumed & update.flags)
+        self._define(node.var, info, stage=label)
+
+    def _check_repeat(self, node: RepeatIR) -> None:
+        label = node_label(node)
+        self._scalar_ok(node.count, stage=label)
+        self.counters.append(node.counter)
+        try:
+            for child in node.body:
+                self._check_node(child)
+        finally:
+            self.counters.pop()
+
+    def _check_annotate(self, node: AnnotateIR) -> None:
+        label = node_label(node)
+        if node.param is not None:
+            if node.param not in self.params:
+                raise SpecError(
+                    f"annotates undeclared parameter {node.param!r}",
+                    stage=label)
+            return
+        if node.probe is None or node.of is None:
+            raise SpecError("an annotation needs either param= or "
+                            "probe=/of=", stage=label)
+        if node.probe not in PROBES:
+            raise SpecError(
+                f"unknown probe {node.probe!r}; known probes: "
+                f"{', '.join(sorted(PROBES))}", stage=label)
+        for _, value in node.params:
+            self._scalar_ok(value, stage=label)
+        self._resolve(node.of, stage=label)
+
+
+def check_graph(graph: GraphSpec) -> tuple[int, ...]:
+    """Schedule and type-check one graph spec.
+
+    Returns the node execution order (see
+    :func:`~repro.workloads.compiler.schedule.schedule_nodes`).
+
+    Raises:
+        SpecError: any of the rejected spec classes in the module
+            docstring, with a stage-named diagnostic.
+    """
+    if not graph.inputs:
+        raise SpecError("a workload graph needs at least one input")
+    if not graph.output:
+        raise SpecError("a workload graph needs an output value")
+    order = schedule_nodes(graph)
+    _Checker(graph).run(order)
+    return order

@@ -1,0 +1,399 @@
+"""The tiny expression language front end.
+
+A workload can be authored as a short line-oriented program instead of a
+JSON/YAML stage graph.  Each line is one statement::
+
+    workload cosine                  # workload id
+    input A square                   # input declaration (+ assume flags)
+    param threshold = 0.2 above 0    # parameter with default + constraint
+    row_normalized = normalize_rows(A)
+    transposed = row_normalized'     # postfix ' / ᵀ / .T transpose
+    similarity = row_normalized · transposed
+    thresholded = prune(similarity, threshold=threshold)
+    annotate similar_pairs = off_diagonal_pairs(thresholded)
+    output thresholded
+
+Expressions support SpGEMM products (``·`` or ``@``), element-wise masking
+(``⊙`` — lowers to the ``mask`` host op), postfix transpose, matrix powers
+(``A ^ k`` — lowers to a :class:`~repro.workloads.compiler.ir.ChainIR`
+of ``k − 1`` products named ``target[2] … target[k]``), and host ops as
+named calls with keyword parameters.  Bare identifiers in keyword position
+are parameter references.  An assignment may be conditional::
+
+    adjacency = simple_graph(A) when normalize else A
+
+Each statement's target names the stage it defines; nested sub-expressions
+get deterministic generated names (``target.1``, ``target.2``, …) so the
+lowered graph — and therefore the schedule — is a pure function of the
+source text.  Statements lower in source order, which is already
+topological, so the scheduler preserves it verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.workloads.compiler.ir import (
+    AnnotateIR,
+    ChainIR,
+    GraphSpec,
+    InputIR,
+    NodeIR,
+    ParamIR,
+    ParamRef,
+    SpecError,
+    StageIR,
+    SPGEMM_OP,
+)
+
+__all__ = ["parse_expression"]
+
+_TOKEN_RE = re.compile(
+    r"""(?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)  # ASCII only: ᵀ stays an operator
+      | (?P<string>"[^"]*")
+      | (?P<op>\.T|·|⊙|ᵀ|'|@|\^|\(|\)|,|=)
+      | (?P<ws>[ \t]+)
+      | (?P<comment>\#.*)
+    """,
+    re.VERBOSE,
+)
+
+#: Structure flags an ``input`` line may assume.
+_ASSUME_FLAGS = ("nonnegative", "binary", "symmetric")
+
+
+def _tokenize(line: str, line_no: int) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(line):
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            raise SpecError(f"line {line_no}: cannot tokenize "
+                            f"{line[pos:pos + 10]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Line:
+    """One tokenized statement with a cursor."""
+
+    def __init__(self, tokens: list[tuple[str, str]], line_no: int) -> None:
+        self.tokens = tokens
+        self.line_no = line_no
+        self.pos = 0
+
+    def error(self, message: str) -> SpecError:
+        return SpecError(f"line {self.line_no}: {message}")
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise self.error("unexpected end of line")
+        self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == text:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> None:
+        token = self.peek()
+        if token is None or token[1] != text:
+            got = token[1] if token else "end of line"
+            raise self.error(f"expected {text!r}, got {got!r}")
+        self.pos += 1
+
+    def ident(self, what: str) -> str:
+        token = self.peek()
+        if token is None or token[0] != "ident":
+            got = token[1] if token else "end of line"
+            raise self.error(f"expected {what}, got {got!r}")
+        self.pos += 1
+        return token[1]
+
+    def done(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise self.error(f"unexpected trailing {token[1]!r}")
+
+
+def _literal(line: _Line):
+    """One scalar literal: number, true/false, or a quoted string."""
+    kind, text = line.next()
+    if kind == "number":
+        return float(text) if ("." in text or "e" in text.lower()) \
+            else int(text)
+    if kind == "string":
+        return text[1:-1]
+    if kind == "ident" and text in ("true", "false"):
+        return text == "true"
+    raise line.error(f"expected a literal value, got {text!r}")
+
+
+def _scalar(line: _Line):
+    """A scalar argument: a literal or a bare parameter reference."""
+    token = line.peek()
+    if token is not None and token[0] == "ident" \
+            and token[1] not in ("true", "false"):
+        line.pos += 1
+        return ParamRef(token[1])
+    return _literal(line)
+
+
+# ----------------------------------------------------------------------
+# Expression parsing (to a mini-AST) and lowering (to IR nodes)
+# ----------------------------------------------------------------------
+def _parse_expr(line: _Line):
+    left = _parse_pow(line)
+    while True:
+        token = line.peek()
+        if token is None or token[1] not in ("·", "@", "⊙"):
+            return left
+        line.pos += 1
+        right = _parse_pow(line)
+        op = SPGEMM_OP if token[1] in ("·", "@") else "mask"
+        left = ("binary", op, left, right)
+
+
+def _parse_pow(line: _Line):
+    base = _parse_postfix(line)
+    if line.accept("^"):
+        token = line.next()
+        if token[0] == "number":
+            text = token[1]
+            if "." in text or "e" in text.lower():
+                raise line.error("matrix powers need an integer exponent")
+            return ("pow", base, int(text))
+        if token[0] == "ident":
+            return ("pow", base, ParamRef(token[1]))
+        raise line.error(f"expected an exponent, got {token[1]!r}")
+    return base
+
+
+def _parse_postfix(line: _Line):
+    node = _parse_atom(line)
+    while True:
+        token = line.peek()
+        if token is not None and token[1] in ("'", "ᵀ", ".T"):
+            line.pos += 1
+            node = ("transpose", node)
+        else:
+            return node
+
+
+def _parse_atom(line: _Line):
+    if line.accept("("):
+        inner = _parse_expr(line)
+        line.expect(")")
+        return inner
+    name = line.ident("a value name or op call")
+    if not line.accept("("):
+        return ("ref", name)
+    args: list = []
+    kwargs: list[tuple[str, object]] = []
+    if not line.accept(")"):
+        while True:
+            token = line.peek()
+            following = (line.tokens[line.pos + 1]
+                         if line.pos + 1 < len(line.tokens) else None)
+            if token is not None and token[0] == "ident" \
+                    and following is not None and following[1] == "=":
+                key = line.ident("a parameter name")
+                line.expect("=")
+                kwargs.append((key, _scalar(line)))
+            else:
+                if kwargs:
+                    raise line.error("positional operands must come "
+                                     "before keyword parameters")
+                args.append(_parse_expr(line))
+            if line.accept(")"):
+                break
+            line.expect(",")
+    return ("call", name, args, kwargs)
+
+
+class _Lowering:
+    """Lowers one statement's AST, allocating deterministic stage names."""
+
+    def __init__(self, line: _Line, target: str) -> None:
+        self.line = line
+        self.target = target
+        self.counter = 0
+        self.nodes: list[NodeIR] = []
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"{self.target}.{self.counter}"
+
+    def lower(self, ast, name: str | None = None) -> str:
+        kind = ast[0]
+        if kind == "ref":
+            if name is not None:
+                raise self.line.error(
+                    f"{name!r} would merely alias {ast[1]!r}; reference "
+                    f"{ast[1]!r} directly instead")
+            return ast[1]
+        stage = name if name is not None else self.fresh()
+        if kind == "call":
+            _, op, args, kwargs = ast
+            inputs = tuple(self.lower(arg) for arg in args)
+            self.nodes.append(StageIR(stage, op, inputs,
+                                      params=tuple(sorted(kwargs))))
+        elif kind == "binary":
+            _, op, left, right = ast
+            operands = (self.lower(left), self.lower(right))
+            self.nodes.append(StageIR(stage, op, operands))
+        elif kind == "transpose":
+            operand = self.lower(ast[1])
+            self.nodes.append(StageIR(stage, "transpose", (operand,)))
+        else:  # pow
+            _, base, exponent = ast
+            first = self.lower(base)
+            if isinstance(exponent, ParamRef):
+                count = ParamRef(exponent.name, -1)
+            else:
+                if exponent < 2:
+                    raise self.line.error(
+                        f"matrix powers need an exponent of at least 2, "
+                        f"got {exponent}")
+                count = exponent - 1
+            self.nodes.append(ChainIR(
+                template=f"{stage}[{{step}}]", first=first, fixed=first,
+                count=count, bind=stage, start=2))
+        return stage
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def parse_expression(text: str, *, name: str | None = None) -> GraphSpec:
+    """Parse one expression-language program into a :class:`GraphSpec`.
+
+    Args:
+        text: the program (see the module docstring for the grammar).
+        name: workload id fallback when the program has no ``workload``
+            line.
+
+    Raises:
+        SpecError: any syntax error, with the offending line number.
+    """
+    workload = name
+    inputs: list[InputIR] = []
+    params: list[ParamIR] = []
+    nodes: list[NodeIR] = []
+    output: str | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize(raw, line_no)
+        if not tokens:
+            continue
+        line = _Line(tokens, line_no)
+        head = tokens[0][1]
+
+        if head == "workload":
+            line.pos = 1
+            workload = line.ident("a workload id")
+            line.done()
+        elif head == "input":
+            line.pos = 1
+            input_name = line.ident("an input name")
+            square = False
+            assume: list[str] = []
+            while line.peek() is not None:
+                flag = line.ident("an input flag")
+                if flag == "square":
+                    square = True
+                elif flag in _ASSUME_FLAGS:
+                    assume.append(flag)
+                else:
+                    raise line.error(
+                        f"unknown input flag {flag!r}; expected square, "
+                        f"{', '.join(_ASSUME_FLAGS)}")
+            inputs.append(InputIR(input_name, square, tuple(assume)))
+        elif head == "param":
+            line.pos = 1
+            param_name = line.ident("a parameter name")
+            line.expect("=")
+            default = _literal(line)
+            minimum = above = None
+            while line.peek() is not None:
+                bound = line.ident("min or above")
+                if bound == "min":
+                    minimum = _literal(line)
+                elif bound == "above":
+                    above = _literal(line)
+                else:
+                    raise line.error(f"unknown constraint {bound!r}; "
+                                     "expected min or above")
+            params.append(ParamIR(param_name, default, minimum, above))
+        elif head == "annotate":
+            line.pos = 1
+            key = line.ident("an annotation key")
+            line.expect("=")
+            if line.accept("param"):
+                nodes.append(AnnotateIR(key, param=line.ident(
+                    "a parameter name")))
+                line.done()
+                continue
+            probe = line.ident("a probe name")
+            line.expect("(")
+            of = line.ident("a value name")
+            probe_params: list[tuple[str, object]] = []
+            while line.accept(","):
+                param_key = line.ident("a parameter name")
+                line.expect("=")
+                probe_params.append((param_key, _scalar(line)))
+            line.expect(")")
+            line.done()
+            nodes.append(AnnotateIR(key, probe=probe, of=of,
+                                    params=tuple(sorted(probe_params))))
+        elif head == "output":
+            line.pos = 1
+            output = line.ident("a value name")
+            line.done()
+        else:
+            target = line.ident("a stage name")
+            line.expect("=")
+            ast = _parse_expr(line)
+            when = otherwise = None
+            if line.accept("when"):
+                when = line.ident("a parameter name")
+                line.expect("else")
+                otherwise = line.ident("a value name")
+            line.done()
+            lowering = _Lowering(line, target)
+            lowering.lower(ast, name=target)
+            statement_nodes = lowering.nodes
+            if when is not None:
+                final = statement_nodes[-1]
+                if not isinstance(final, StageIR) or final.name != target:
+                    raise line.error("a conditional assignment must lower "
+                                     "to a single stage (powers cannot be "
+                                     "conditional)")
+                statement_nodes[-1] = StageIR(
+                    final.name, final.op, final.inputs, final.params,
+                    when=when, otherwise=otherwise, bind=final.bind)
+            nodes.extend(statement_nodes)
+
+    if workload is None:
+        raise SpecError("the program never names its workload (add a "
+                        "'workload <id>' line)")
+    if output is None:
+        raise SpecError(f"workload {workload!r} never declares its output "
+                        "(add an 'output <value>' line)")
+    if not inputs:
+        inputs = [InputIR("A")]
+    return GraphSpec(name=workload, inputs=tuple(inputs),
+                     params=tuple(params), nodes=tuple(nodes),
+                     output=output)

@@ -1,0 +1,156 @@
+"""Host-op fusion: collapse adjacent host stages into one.
+
+A run of consecutive host stages in which each stage's first operand is
+the previous stage's result — and nothing else consumes the intermediate
+values — executes as one :class:`~repro.workloads.compiler.ir.FusedStageIR`
+instead of materialising a :class:`StageResult` (and a pipeline value) per
+op.  MCL's ``inflate → prune → normalize`` triplet is the canonical win:
+three host stages per iteration become one.
+
+Fusion rules
+============
+
+Two adjacent stages ``S`` then ``T`` fuse iff all of:
+
+* both are host ops (never SpGEMM — accelerator stages must stay visible
+  to the cost model) and neither is conditional (``when``);
+* ``T``'s *first* operand is ``S``'s result (by stage name or bind);
+* ``S``'s result has exactly one consumer in the whole graph — ``T``.
+  Consumers include every node's operands (gathers count by template),
+  conditional ``else`` aliases, loop ``init``/``update`` wiring,
+  annotation probes and the graph output, counted with multiplicity, so
+  ``mask(x, x)`` keeps ``x`` alive.
+
+The fused stage keeps the *last* member's name and bind, so loop updates,
+annotations and the output reference survive fusion untouched.  Fusion
+never changes the functional result — only how many stage records (and
+host-side materialisations) the run produces; the fused graph still
+passes the checker, and stage kinds render as ``fused(inflate+prune+…)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+
+from repro.workloads.compiler.ir import (
+    AnnotateIR,
+    ChainIR,
+    FusedStageIR,
+    FusedStep,
+    GatherRef,
+    GraphSpec,
+    LoopIR,
+    NodeIR,
+    RepeatIR,
+    StageIR,
+    SPGEMM_OP,
+)
+
+__all__ = ["fuse_graph"]
+
+
+def _count_refs(ref, refs: Counter) -> None:
+    refs[ref.template if isinstance(ref, GatherRef) else ref] += 1
+
+
+def _count_node(node: NodeIR, refs: Counter) -> None:
+    if isinstance(node, StageIR):
+        for ref in node.inputs:
+            _count_refs(ref, refs)
+        if node.otherwise is not None:
+            refs[node.otherwise] += 1
+    elif isinstance(node, FusedStageIR):
+        for ref in node.inputs:
+            _count_refs(ref, refs)
+        for step in node.steps:
+            for ref in step.extra_inputs:
+                _count_refs(ref, refs)
+    elif isinstance(node, ChainIR):
+        _count_refs(node.first, refs)
+        _count_refs(node.fixed, refs)
+    elif isinstance(node, LoopIR):
+        _count_refs(node.init, refs)
+        refs[node.update] += 1
+        for child in node.body:
+            _count_node(child, refs)
+    elif isinstance(node, RepeatIR):
+        for child in node.body:
+            _count_node(child, refs)
+    elif isinstance(node, AnnotateIR):
+        if node.of is not None:
+            refs[node.of] += 1
+
+
+def _reference_counts(graph: GraphSpec) -> Counter:
+    refs: Counter = Counter()
+    for node in graph.nodes:
+        _count_node(node, refs)
+    refs[graph.output] += 1
+    return refs
+
+
+def _fusable(node: NodeIR) -> bool:
+    return (isinstance(node, StageIR) and node.op != SPGEMM_OP
+            and node.when is None)
+
+
+def _single_consumer(stage: StageIR, refs: Counter) -> bool:
+    uses = refs[stage.name] + (refs[stage.bind] if stage.bind else 0)
+    return uses == 1
+
+
+def _continues(run: list[StageIR], node: NodeIR, refs: Counter) -> bool:
+    if not _fusable(node) or not node.inputs:
+        return False
+    previous = run[-1]
+    first = node.inputs[0]
+    if isinstance(first, GatherRef) \
+            or first not in (previous.name, previous.bind):
+        return False
+    return _single_consumer(previous, refs)
+
+
+def _emit(run: list[StageIR]) -> NodeIR:
+    if len(run) == 1:
+        return run[0]
+    last = run[-1]
+    steps = [FusedStep(run[0].op, (), run[0].params)]
+    steps.extend(FusedStep(stage.op, stage.inputs[1:], stage.params)
+                 for stage in run[1:])
+    return FusedStageIR(name=last.name, inputs=run[0].inputs,
+                        steps=tuple(steps), bind=last.bind)
+
+
+def _fuse_block(nodes: tuple[NodeIR, ...], refs: Counter
+                ) -> tuple[NodeIR, ...]:
+    fused: list[NodeIR] = []
+    run: list[StageIR] = []
+    for node in nodes:
+        if run and _continues(run, node, refs):
+            run.append(node)  # type: ignore[arg-type]
+            continue
+        if run:
+            fused.append(_emit(run))
+            run = []
+        if _fusable(node):
+            run = [node]  # type: ignore[list-item]
+        elif isinstance(node, LoopIR):
+            fused.append(replace(node, body=_fuse_block(node.body, refs)))
+        elif isinstance(node, RepeatIR):
+            fused.append(replace(node, body=_fuse_block(node.body, refs)))
+        else:
+            fused.append(node)
+    if run:
+        fused.append(_emit(run))
+    return tuple(fused)
+
+
+def fuse_graph(graph: GraphSpec) -> GraphSpec:
+    """Return ``graph`` with every fusable host-op run collapsed.
+
+    Idempotent; a graph with nothing to fuse is returned structurally
+    equal (``fuse_graph(g) == fuse_graph(fuse_graph(g))``).
+    """
+    refs = _reference_counts(graph)
+    return replace(graph, nodes=_fuse_block(graph.nodes, refs))

@@ -1,0 +1,180 @@
+"""Topological scheduling of graph-spec nodes.
+
+Spec authors may declare nodes in any order; the scheduler computes the
+execution order over the *top-level* nodes from their value dependencies
+(loop/repeat bodies are sequential blocks and keep their declared order).
+
+Order guarantee
+===============
+
+The schedule is the unique Kahn topological order that breaks ties by
+declaration index: among all nodes whose dependencies are satisfied, the
+earliest-declared runs first.  Consequences the rest of the stack relies
+on:
+
+* a spec whose declaration order is already topological schedules exactly
+  in declaration order — hand-authored specs read top to bottom;
+* the schedule is a pure function of the spec, so serialising a compiled
+  workload and reloading it reproduces the identical schedule (the
+  round-trip property test pins this);
+* annotation nodes order among themselves by declaration, which keeps the
+  annotation dict's insertion order — and therefore serialised workload
+  payloads — deterministic.
+
+Cycles and dangling references are rejected here with stage-named
+diagnostics before any shape checking runs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.compiler.ir import (
+    AnnotateIR,
+    ChainIR,
+    FusedStageIR,
+    GatherRef,
+    GraphSpec,
+    LoopIR,
+    NodeIR,
+    RepeatIR,
+    SpecError,
+    StageIR,
+)
+
+__all__ = ["node_label", "node_consumes", "node_produces", "schedule_nodes"]
+
+
+def node_label(node: NodeIR) -> str:
+    """A human-readable label for diagnostics."""
+    if isinstance(node, (StageIR, FusedStageIR)):
+        return node.name
+    if isinstance(node, ChainIR):
+        return node.template
+    if isinstance(node, LoopIR):
+        return f"loop[{node.var}]"
+    if isinstance(node, RepeatIR):
+        return f"repeat[{node.counter}]"
+    return f"annotate[{node.key}]"
+
+
+def _ref_names(refs) -> set[str]:
+    names: set[str] = set()
+    for ref in refs:
+        if isinstance(ref, GatherRef):
+            names.add(ref.template)
+        else:
+            names.add(ref)
+    return names
+
+
+def node_produces(node: NodeIR) -> set[str]:
+    """Every value name (or gatherable template) a node defines."""
+    if isinstance(node, (StageIR, FusedStageIR)):
+        produced = {node.name}
+        if node.bind:
+            produced.add(node.bind)
+        return produced
+    if isinstance(node, ChainIR):
+        return {node.template, node.bind}
+    if isinstance(node, LoopIR):
+        return {node.var}
+    if isinstance(node, RepeatIR):
+        produced: set[str] = set()
+        for child in node.body:
+            produced |= node_produces(child)
+        return produced
+    return set()
+
+
+def node_consumes(node: NodeIR) -> set[str]:
+    """Every *external* value name a node consumes.
+
+    For loop/repeat nodes the body's internal definitions (including the
+    loop variable) are subtracted — only references that must resolve at
+    the top level remain.
+    """
+    if isinstance(node, StageIR):
+        consumed = _ref_names(node.inputs)
+        if node.otherwise is not None:
+            consumed.add(node.otherwise)
+        return consumed
+    if isinstance(node, FusedStageIR):
+        consumed = _ref_names(node.inputs)
+        for step in node.steps:
+            consumed |= _ref_names(step.extra_inputs)
+        return consumed
+    if isinstance(node, ChainIR):
+        return _ref_names((node.first, node.fixed))
+    if isinstance(node, AnnotateIR):
+        return {node.of} if node.of is not None else set()
+    # loop / repeat: the body is a sequential block with local definitions
+    local: set[str] = set()
+    consumed = set()
+    if isinstance(node, LoopIR):
+        consumed |= _ref_names((node.init,))
+        local.add(node.var)
+    for child in node.body:
+        consumed |= node_consumes(child) - local
+        local |= node_produces(child)
+    return consumed - local
+
+
+def schedule_nodes(graph: GraphSpec) -> tuple[int, ...]:
+    """Compute the deterministic topological order of ``graph.nodes``.
+
+    Returns node indices in execution order.
+
+    Raises:
+        SpecError: duplicate definitions, a reference that nothing
+            defines, or a dependency cycle — each naming the offending
+            stage(s).
+    """
+    defined: dict[str, int] = {}
+    for name in (inp.name for inp in graph.inputs):
+        if name in defined:
+            raise SpecError(f"duplicate input {name!r}")
+        defined[name] = -1
+    for index, node in enumerate(graph.nodes):
+        for name in sorted(node_produces(node)):
+            if name in defined:
+                raise SpecError(
+                    f"value {name!r} is defined more than once",
+                    stage=node_label(node))
+            defined[name] = index
+
+    # Dangling references fail before the sort so the diagnostic names the
+    # consuming stage rather than reporting a bogus cycle.
+    dependencies: list[set[int]] = []
+    for node in graph.nodes:
+        deps: set[int] = set()
+        for name in sorted(node_consumes(node)):
+            if name not in defined:
+                raise SpecError(
+                    f"unknown value {name!r}; defined values: "
+                    f"{', '.join(sorted(defined))}",
+                    stage=node_label(node))
+            producer = defined[name]
+            if producer >= 0:
+                deps.add(producer)
+        dependencies.append(deps)
+
+    remaining = {index for index in range(len(graph.nodes))}
+    order: list[int] = []
+    satisfied: set[int] = set()
+    while remaining:
+        ready = sorted(index for index in remaining
+                       if dependencies[index] <= satisfied)
+        if not ready:
+            cycle = ", ".join(node_label(graph.nodes[index])
+                              for index in sorted(remaining))
+            raise SpecError(
+                f"dependency cycle among stages: {cycle}")
+        index = ready[0]
+        order.append(index)
+        satisfied.add(index)
+        remaining.remove(index)
+
+    if graph.output and graph.output not in defined:
+        raise SpecError(
+            f"output {graph.output!r} names no input or stage; defined "
+            f"values: {', '.join(sorted(defined))}")
+    return tuple(order)

@@ -21,7 +21,8 @@ The sparse math helpers (:func:`column_normalize`, :func:`inflate`,
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import inspect
+from collections.abc import Callable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -43,15 +44,45 @@ def register_host_op(name: str) -> Callable[[HostOp], HostOp]:
     return decorator
 
 
-def get_host_op(name: str) -> HostOp:
-    """Look up one host op by name; raises ``KeyError`` with suggestions."""
+def get_host_op(name: str, *, stage: str | None = None) -> HostOp:
+    """Look up one host op by name.
+
+    Unknown names raise ``KeyError`` listing the registered vocabulary;
+    when ``stage`` is given the message leads with the failing stage, so
+    pipeline errors point at the exact node.
+    """
     try:
         return HOST_OPS[name]
     except KeyError:
+        context = f"stage {stage!r}: " if stage else ""
         raise KeyError(
-            f"unknown host op {name!r}; known ops: "
+            f"{context}unknown host op {name!r}; known ops: "
             f"{', '.join(sorted(HOST_OPS))}"
         ) from None
+
+
+def apply_host_op(name: str, operands: Sequence[sp.spmatrix],
+                  params: dict | None = None, *,
+                  stage: str | None = None) -> sp.spmatrix:
+    """Apply one registered host op with stage-named diagnostics.
+
+    Operand-count and parameter-name mismatches are caught against the
+    op's signature *before* the call, so a bad stage raises a ``TypeError``
+    naming the stage, the op and its real signature — instead of a bare
+    Python traceback from somewhere inside the op.
+    """
+    fn = get_host_op(name, stage=stage)
+    params = params or {}
+    try:
+        inspect.signature(fn).bind(*operands, **params)
+    except TypeError as exc:
+        context = f"stage {stage!r}: " if stage else ""
+        raise TypeError(
+            f"{context}host op {name!r} cannot take {len(operands)} "
+            f"operand(s) with params ({', '.join(params) or 'none'}): "
+            f"{exc}; signature is {name}{inspect.signature(fn)}"
+        ) from None
+    return fn(*operands, **params)
 
 
 # ----------------------------------------------------------------------
@@ -197,3 +228,88 @@ def aggregation(matrix: sp.csr_matrix, *, group_size: int = 4) -> sp.csr_matrix:
     cols = rows // group_size
     vals = np.ones(num_rows)
     return sp.csr_matrix((vals, (rows, cols)), shape=(num_rows, num_groups))
+
+
+@register_host_op("tril")
+def tril(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Strictly lower-triangular part (the L of the L·L ⊙ L triangle
+    enumeration — each triangle's vertices are visited in one order)."""
+    return sp.tril(matrix, k=-1).tocsr()
+
+
+@register_host_op("sample_neighbors")
+def sample_neighbors(matrix: sp.csr_matrix, *, fanout: int
+                     ) -> sp.csr_matrix:
+    """Deterministic neighbourhood sampling: keep ``fanout`` entries per row.
+
+    GNN mini-batch pipelines cap each node's neighbourhood before
+    aggregating.  This variant is deterministic — keep the ``fanout``
+    largest-|value| entries of every row, ties broken toward the lowest
+    column — so compiled runs are reproducible across backends and cache
+    fingerprints are stable (no RNG state in the pipeline).
+    """
+    if fanout < 1:
+        raise ValueError(f"fanout must be at least 1, got {fanout}")
+    sampled = matrix.tocsr().copy()
+    sampled.eliminate_zeros()
+    keep = np.zeros(sampled.nnz, dtype=bool)
+    for row in range(sampled.shape[0]):
+        start, end = sampled.indptr[row], sampled.indptr[row + 1]
+        degree = end - start
+        if degree <= fanout:
+            keep[start:end] = True
+            continue
+        magnitudes = np.abs(sampled.data[start:end])
+        # Sort by (-|value|, column): stable top-fanout with low-column
+        # tie-breaking, independent of scipy's internal entry order.
+        ranking = np.lexsort((sampled.indices[start:end], -magnitudes))
+        keep[start + ranking[:fanout]] = True
+    sampled.data[~keep] = 0.0
+    sampled.eliminate_zeros()
+    return sampled
+
+
+@register_host_op("damp")
+def damp(matrix: sp.csr_matrix, base: sp.csr_matrix, *,
+         alpha: float = 0.85) -> sp.csr_matrix:
+    """PageRank damping: ``alpha·matrix + (1 − alpha)·base``."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    return (alpha * matrix + (1.0 - alpha) * base).tocsr()
+
+
+@register_host_op("uniform_column")
+def uniform_column(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """The uniform distribution over ``matrix``'s rows, as an n×1 column."""
+    num_rows = matrix.shape[0]
+    vals = np.full(num_rows, 1.0 / num_rows)
+    rows = np.arange(num_rows, dtype=np.int64)
+    cols = np.zeros(num_rows, dtype=np.int64)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(num_rows, 1))
+
+
+@register_host_op("extract_block")
+def extract_block(matrix: sp.csr_matrix, *, index: int, count: int
+                  ) -> sp.csr_matrix:
+    """Diagonal block ``index`` of a ``count``-way contiguous partition.
+
+    The serving-mix workload slices one operand into ``count`` square
+    diagonal blocks and runs one small SpGEMM per block — the many-small-
+    multiplications regime a batched serving tier sees.
+    """
+    if count < 1:
+        raise ValueError(f"count must be at least 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"index must be in [0, {count}), got {index}")
+    num_rows = matrix.shape[0]
+    start = index * num_rows // count
+    end = (index + 1) * num_rows // count
+    return matrix.tocsr()[start:end, start:end].tocsr()
+
+
+@register_host_op("stack_blocks")
+def stack_blocks(*blocks: sp.csr_matrix) -> sp.csr_matrix:
+    """Block-diagonal stack of every operand (serving-mix gather)."""
+    if not blocks:
+        raise ValueError("stack_blocks needs at least one block")
+    return sp.block_diag(blocks, format="csr")

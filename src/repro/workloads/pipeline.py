@@ -35,6 +35,7 @@ backend comparisons apples-to-apples and cached re-runs incremental.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -52,7 +53,7 @@ from repro.engines.sparch import SpArchEngine
 from repro.formats.convert import from_scipy, to_scipy
 from repro.formats.csr import CSRMatrix
 from repro.metrics.report import CostReport
-from repro.workloads.ops import get_host_op
+from repro.workloads.ops import apply_host_op
 
 if TYPE_CHECKING:  # the runner is only an annotation here; importing it at
     # runtime would close an import cycle (experiments.registry imports the
@@ -80,6 +81,10 @@ class StageResult:
         energy_joules: modelled dynamic energy of the stage.
         multiplications: scalar multiplications performed by the kernel.
         additions: scalar additions performed by the kernel.
+        host_seconds: measured host wall-time of the stage (host stages
+            only; SpGEMM stages keep 0).  Excluded from equality — it is
+            a measurement, not modelled cost, so cached re-runs still
+            compare equal.
         report: the stage's canonical cost report (SpGEMM stages only).
         stats: full simulator statistics (SpArch stages only; a lossless
             view over ``report``).
@@ -98,6 +103,7 @@ class StageResult:
     energy_joules: float = 0.0
     multiplications: int = 0
     additions: int = 0
+    host_seconds: float = field(default=0.0, compare=False)
     report: CostReport | None = None
     stats: SimulationStats | None = None
     summary: BaselineSummary | None = None
@@ -177,6 +183,16 @@ class WorkloadResult:
         """Scalar additions summed over all stages."""
         return sum(stage.additions for stage in self.stages)
 
+    @property
+    def total_host_seconds(self) -> float:
+        """Measured host wall-time summed over all host stages."""
+        return sum(stage.host_seconds for stage in self.stages)
+
+    @property
+    def host_stages(self) -> list[StageResult]:
+        """The host (non-SpGEMM) stages, in execution order."""
+        return [stage for stage in self.stages if not stage.is_spgemm]
+
     def summary(self) -> dict[str, float]:
         """Flat dict of the headline numbers, for reporting and JSON."""
         payload = {
@@ -192,19 +208,27 @@ class WorkloadResult:
         payload.update(self.annotations)
         return payload
 
-    def aggregate_report(self) -> CostReport:
+    def aggregate_report(self, *,
+                         include_host_seconds: bool = False) -> CostReport:
         """One ``kind="aggregate"`` cost report summing the SpGEMM stages.
 
         Host stages are charged zero accelerator cost, so the aggregate of
         the SpGEMM stage reports is the pipeline's end-to-end cost in the
         canonical schema (counters, per-category traffic and per-module
         energy all add up).  Workload annotations ride along as extras.
+
+        ``include_host_seconds=True`` adds the measured host wall-time as
+        an extra — off by default because wall-time is nondeterministic
+        and aggregate reports are compared for equality across runs (the
+        fan-out parity tests rely on that).
         """
         reports = [stage.report for stage in self.stages
                    if stage.report is not None]
         extras = dict(self.annotations)
         extras["num_stages"] = float(self.num_stages)
         extras["spgemm_stages"] = float(len(self.spgemm_stages))
+        if include_host_seconds:
+            extras["host_seconds"] = self.total_host_seconds
         return CostReport.aggregate(reports, engine=self.backend,
                                     extras=extras)
 
@@ -484,9 +508,14 @@ class PipelineBuilder:
         """Declare and execute one host stage ``op(*operands, **params)``.
 
         Returns ``name`` so programs can chain stages functionally.
+        Unknown ops and signature mismatches raise with the stage name and
+        the registered vocabulary; the measured wall-time of the op lands
+        in the record's ``host_seconds``.
         """
-        fn = get_host_op(op)
-        result = fn(*[self._get(operand) for operand in operands], **params)
+        values = [self._get(operand) for operand in operands]
+        started = time.perf_counter()
+        result = apply_host_op(op, values, params, stage=name)
+        elapsed = time.perf_counter() - started
         self._store(name, result)
         stored = self._values[name]
         self._record(StageResult(
@@ -495,6 +524,46 @@ class PipelineBuilder:
             inputs=tuple(operands),
             output_shape=stored.shape,
             output_nnz=int(stored.nnz),
+            host_seconds=elapsed,
+        ))
+        return name
+
+    def host_fused(self, name: str,
+                   steps: list[tuple[str, tuple[str, ...], dict]],
+                   *operands: str) -> str:
+        """Declare and execute one *fused* host stage.
+
+        ``steps`` is the collapsed op run produced by the compiler's
+        fusion pass: ``(op, extra_operands, params)`` triples.  The first
+        op consumes ``operands``; every later op consumes the running
+        result plus its extras.  Only the final value is stored as a
+        pipeline value, and the whole run is one ``StageResult`` of kind
+        ``fused(op1+op2+…)`` — which is the fusion win: fewer records,
+        fewer materialised intermediates.
+        """
+        inputs = list(operands)
+        values = [self._get(operand) for operand in operands]
+        elapsed = 0.0
+        result: sp.spmatrix | None = None
+        for index, (op, extras, params) in enumerate(steps):
+            inputs.extend(extras)
+            extra_values = [self._get(extra) for extra in extras]
+            step_operands = (values + extra_values if index == 0
+                             else [result] + extra_values)
+            started = time.perf_counter()
+            result = apply_host_op(op, step_operands, params, stage=name)
+            elapsed += time.perf_counter() - started
+        if result is None:
+            raise ValueError(f"fused stage {name!r} has no steps")
+        self._store(name, result)
+        stored = self._values[name]
+        self._record(StageResult(
+            name=name,
+            kind="fused(" + "+".join(op for op, _, _ in steps) + ")",
+            inputs=tuple(inputs),
+            output_shape=stored.shape,
+            output_nnz=int(stored.nnz),
+            host_seconds=elapsed,
         ))
         return name
 

@@ -1,15 +1,23 @@
-"""Registry mapping workload ids to their pipeline build programs.
+"""Registry mapping workload ids to their compiled specs and build programs.
 
 Mirrors :mod:`repro.experiments.registry`: a tuple of frozen specs, id
 lookup with a helpful unknown-id error, and one entry point —
-:func:`run_workload` — that wires a build program to a backend and returns
-its :class:`~repro.workloads.pipeline.WorkloadResult`.
+:func:`run_workload` — that wires a workload to a backend and returns its
+:class:`~repro.workloads.pipeline.WorkloadResult`.
+
+Every registered workload carries a compiled declarative spec
+(:mod:`repro.workloads.graphs`); the five original workloads additionally
+keep their hand-written build programs (:mod:`repro.workloads.library`) as
+the byte-parity reference.  Both forms lower onto the same
+:class:`~repro.workloads.pipeline.PipelineBuilder`, so ``via="compiled"``
+(the default) and ``via="build"`` produce byte-identical results for the
+legacy five — ``tests/workloads/test_compiler_parity.py`` pins it.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.baselines.base import SpGEMMBaseline
@@ -20,6 +28,8 @@ from repro.formats.csr import CSRMatrix
 if TYPE_CHECKING:  # annotation only — see repro.workloads.pipeline
     from repro.experiments.runner import ExperimentRunner
 from repro.workloads import library
+from repro.workloads.compiler import CompiledWorkload
+from repro.workloads.graphs import compiled_workload
 from repro.workloads.pipeline import (
     BaselineExecutor,
     EngineExecutor,
@@ -38,9 +48,13 @@ class WorkloadSpec:
         workload_id: short id used on the command line ("mcl", "khop").
         title: human-readable description of the pipeline.
         description: what the workload computes and which stages it runs.
-        build: the pipeline build program (see
-            :mod:`repro.workloads.library`); called with the pipeline
-            builder plus the merged parameters.
+        compiled: the workload's compiled declarative spec (every
+            registered workload has one — the CLI's ``--verify-compiled``
+            and the CI smoke job enforce it).
+        build: optional hand-written pipeline build program (see
+            :mod:`repro.workloads.library`); kept for the five original
+            workloads as the byte-parity reference, ``None`` for
+            workloads that exist only as specs.
         defaults: declarative default parameters of the spec, overridable
             per run (``run_workload(..., **params)``).
     """
@@ -48,7 +62,8 @@ class WorkloadSpec:
     workload_id: str
     title: str
     description: str
-    build: Callable[..., str]
+    compiled: CompiledWorkload
+    build: Callable[..., str] | None = field(default=None, compare=False)
     defaults: tuple[tuple[str, object], ...] = ()
 
     def params(self, overrides: dict | None = None) -> dict:
@@ -58,21 +73,23 @@ class WorkloadSpec:
         return merged
 
 
-#: Every workload, in presentation order.
+#: Every workload, in presentation order (the original five first).
 WORKLOADS: tuple[WorkloadSpec, ...] = (
     WorkloadSpec(
         "triangles",
         "Triangle counting ((A·A) ⊙ A)",
         "Square the adjacency on the SpGEMM backend, mask by the adjacency, "
         "and count each triangle exactly (one SpGEMM + one host mask).",
-        library.build_triangles,
+        compiled_workload("triangles"),
+        build=library.build_triangles,
     ),
     WorkloadSpec(
         "mcl",
         "Markov clustering (expansion / inflation)",
         "Alternate SpGEMM expansion with host inflation, pruning and "
         "column normalisation until the chaos measure converges.",
-        library.build_mcl,
+        compiled_workload("mcl"),
+        build=library.build_mcl,
         defaults=(("max_iterations", 30),),
     ),
     WorkloadSpec(
@@ -80,7 +97,8 @@ WORKLOADS: tuple[WorkloadSpec, ...] = (
         "k-hop path counting (A^k chain)",
         "Chain k−1 SpGEMMs to count the length-k walks between every "
         "node pair of a simple graph.",
-        library.build_khop,
+        compiled_workload("khop"),
+        build=library.build_khop,
         defaults=(("k", 3),),
     ),
     WorkloadSpec(
@@ -88,7 +106,8 @@ WORKLOADS: tuple[WorkloadSpec, ...] = (
         "Galerkin triple product R·A·P (multigrid coarsening)",
         "Aggregate nodes into a prolongator P, then compute the coarse "
         "operator Pᵀ·A·P as two chained SpGEMMs.",
-        library.build_galerkin,
+        compiled_workload("galerkin"),
+        build=library.build_galerkin,
         defaults=(("group_size", 4),),
     ),
     WorkloadSpec(
@@ -96,8 +115,52 @@ WORKLOADS: tuple[WorkloadSpec, ...] = (
         "Cosine-similarity self-join (Â·Âᵀ, thresholded)",
         "L2-normalise rows, multiply by the transpose on the SpGEMM "
         "backend, and keep pairs above the similarity threshold.",
-        library.build_cosine,
+        compiled_workload("cosine"),
+        build=library.build_cosine,
         defaults=(("threshold", 0.2),),
+    ),
+    WorkloadSpec(
+        "pagerank",
+        "PageRank power iteration (α·M·r + (1−α)/n)",
+        "Column-normalise the adjacency, then iterate damped SpGEMM "
+        "spreads of the rank column until the update falls below "
+        "tolerance.",
+        compiled_workload("pagerank"),
+        defaults=(("max_iterations", 50),),
+    ),
+    WorkloadSpec(
+        "gnn_sample",
+        "GNN neighbourhood sampling (fanout cap + layer propagation)",
+        "Cap every node's neighbourhood deterministically, then chain "
+        "one propagation SpGEMM per layer over the sampled adjacency.",
+        compiled_workload("gnn_sample"),
+        defaults=(("fanout", 3), ("layers", 2)),
+    ),
+    WorkloadSpec(
+        "amg_vcycle",
+        "AMG V-cycle setup (repeated Galerkin coarsening)",
+        "Coarsen the operator level by level — aggregate, transpose, "
+        "A·P, R·AP — until it is small enough or the level budget runs "
+        "out.",
+        compiled_workload("amg_vcycle"),
+        defaults=(("max_levels", 3),),
+    ),
+    WorkloadSpec(
+        "tri_enum",
+        "Masked triangle enumeration ((L·L) ⊙ L)",
+        "Strict lower triangle of the simple graph, squared on the "
+        "backend and masked by itself — every stored entry lists the "
+        "triangles through one edge.",
+        compiled_workload("tri_enum"),
+    ),
+    WorkloadSpec(
+        "serve_mix",
+        "Batched small-SpGEMM serving mix (block partition)",
+        "Slice the operand into diagonal blocks, run one small "
+        "self-product per block, and gather the results block-diagonally "
+        "— the many-small-multiplications regime of a serving tier.",
+        compiled_workload("serve_mix"),
+        defaults=(("batch", 4),),
     ),
 )
 
@@ -126,6 +189,8 @@ def run_workload(workload_id: str, matrix: CSRMatrix, *,
                  engine: SpArch | None = None,
                  runner: ExperimentRunner | None = None,
                  config: SpArchConfig | None = None,
+                 via: str = "compiled",
+                 fuse: bool = False,
                  **params) -> WorkloadResult:
     """Run one registered workload on ``matrix`` under a SpGEMM backend.
 
@@ -144,12 +209,26 @@ def run_workload(workload_id: str, matrix: CSRMatrix, *,
         engine: explicit SpArch instance (direct execution).
         runner: experiment runner for per-stage memoisation.
         config: SpArch configuration (Table I by default).
+        via: ``"compiled"`` (default) runs the declarative spec through
+            the compiler's executor; ``"build"`` runs the hand-written
+            build program (legacy workloads only).  The two are
+            byte-identical for every workload that has both.
+        fuse: collapse adjacent host ops into fused stages (compiled path
+            only; identical functional output, fewer host stage records).
         **params: workload parameters, overriding the spec's defaults.
 
     Returns:
         The pipeline's :class:`WorkloadResult`, output matrix included.
     """
     spec = get_workload(workload_id)
+    if via not in ("compiled", "build"):
+        raise ValueError(f"via must be 'compiled' or 'build', got {via!r}")
+    if via == "build" and spec.build is None:
+        raise ValueError(
+            f"workload {workload_id!r} has no hand-written build program; "
+            "it exists only as a compiled spec (use via='compiled')")
+    if fuse and via == "build":
+        raise ValueError("fuse=True applies to the compiled path only")
     if isinstance(executor, str):
         if baseline is not None or engine is not None:
             raise ValueError(
@@ -175,6 +254,11 @@ def run_workload(workload_id: str, matrix: CSRMatrix, *,
             executor = SpArchExecutor(runner=runner, config=config)
         else:
             executor = SpArchExecutor(engine=engine, config=config)
-    pipeline = PipelineBuilder(executor, inputs={"A": matrix})
-    output = spec.build(pipeline, **spec.params(params))
+    first_input = spec.compiled.graph.inputs[0].name
+    pipeline = PipelineBuilder(executor, inputs={first_input: matrix})
+    if via == "build":
+        output = spec.build(pipeline, **spec.params(params))
+    else:
+        output = spec.compiled.run(pipeline, params=spec.params(params),
+                                   fuse=fuse)
     return pipeline.result(spec.workload_id, output)

@@ -1,0 +1,140 @@
+"""The spec checker rejects ill-formed graphs *before* any engine runs.
+
+Each test feeds the compiler a graph that is wrong in a distinct way and
+pins the diagnostic: a :class:`~repro.workloads.compiler.SpecError` that
+names the failing stage and says what to fix.  The workload registry
+compiles every spec at import, so these are exactly the mistakes a new
+workload author would otherwise discover mid-pipeline as a scipy
+traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.compiler import SpecError, compile_graph
+
+
+def _graph(nodes, *, inputs=None, params=(), output="s"):
+    return {
+        "workload": "w",
+        "inputs": inputs or [{"name": "A"}],
+        "params": list(params),
+        "nodes": nodes,
+        "output": output,
+    }
+
+
+def test_spgemm_inner_dimension_mismatch_names_the_stage():
+    with pytest.raises(SpecError, match=r"stage 'bad': shape mismatch — "
+                                        r"SpGEMM inner dimensions"):
+        compile_graph(_graph([
+            {"stage": "p", "op": "aggregation", "inputs": ["A"]},
+            {"stage": "bad", "op": "spgemm", "inputs": ["A", "p"]},
+        ], output="bad"))
+
+
+def test_square_inputs_admit_the_same_product():
+    # The identical product type-checks once A is declared square.
+    compile_graph(_graph([
+        {"stage": "p", "op": "aggregation", "inputs": ["A"]},
+        {"stage": "fine", "op": "spgemm", "inputs": ["A", "p"]},
+    ], inputs=[{"name": "A", "square": True}], output="fine"))
+
+
+def test_unknown_host_op_lists_the_registered_vocabulary():
+    with pytest.raises(SpecError, match=r"stage 's': unknown host op "
+                                        r"'frobnicate'; registered ops: "
+                                        r".*mask.*transpose"):
+        compile_graph(_graph(
+            [{"stage": "s", "op": "frobnicate", "inputs": ["A"]}]))
+
+
+def test_dangling_reference_lists_the_defined_values():
+    with pytest.raises(SpecError, match=r"stage 's': unknown value 'B'; "
+                                        r"defined values: A"):
+        compile_graph(_graph(
+            [{"stage": "s", "op": "transpose", "inputs": ["B"]}]))
+
+
+def test_duplicate_definition_is_rejected():
+    with pytest.raises(SpecError, match=r"value 's' is defined more than "
+                                        r"once"):
+        compile_graph(_graph([
+            {"stage": "s", "op": "transpose", "inputs": ["A"]},
+            {"stage": "s", "op": "binarize", "inputs": ["A"]},
+        ]))
+
+
+def test_dependency_cycle_names_the_participating_stages():
+    with pytest.raises(SpecError, match=r"dependency cycle among stages: "
+                                        r"x, y"):
+        compile_graph(_graph([
+            {"stage": "x", "op": "mask", "inputs": ["A", "y"]},
+            {"stage": "y", "op": "mask", "inputs": ["A", "x"]},
+        ], output="y"))
+
+
+def test_operand_count_mismatch_names_op_and_arity():
+    with pytest.raises(SpecError, match=r"stage 's': host op 'transpose' "
+                                        r"takes 1 operand\(s\), got 2"):
+        compile_graph(_graph(
+            [{"stage": "s", "op": "transpose", "inputs": ["A", "A"]}]))
+
+
+def test_structure_domain_violation_suggests_the_fix():
+    # inflate raises entries to a power: meaningless on possibly-negative
+    # data, fine once the input is declared nonnegative.
+    bad = _graph([{"stage": "s", "op": "inflate", "inputs": ["A"],
+                   "params": {"power": 2.0}}])
+    with pytest.raises(SpecError, match=r"stage 's': host op 'inflate' "
+                                        r"requires a nonnegative operand"):
+        compile_graph(bad)
+    compile_graph(_graph(
+        [{"stage": "s", "op": "inflate", "inputs": ["A"],
+          "params": {"power": 2.0}}],
+        inputs=[{"name": "A", "assume": ["nonnegative"]}]))
+
+
+def test_undeclared_parameter_reference_is_rejected():
+    with pytest.raises(SpecError, match=r"stage 's': references undeclared "
+                                        r"parameter 'thresh'"):
+        compile_graph(_graph(
+            [{"stage": "s", "op": "prune", "inputs": ["A"],
+              "params": {"threshold": {"param": "thresh"}}}]))
+
+
+def test_unknown_output_is_rejected():
+    with pytest.raises(SpecError, match=r"output 't' names no input or "
+                                        r"stage"):
+        compile_graph(_graph(
+            [{"stage": "s", "op": "transpose", "inputs": ["A"]}],
+            output="t"))
+
+
+def test_unknown_probe_lists_the_registry():
+    with pytest.raises(SpecError, match=r"stage 'annotate\[x\]': unknown "
+                                        r"probe 'zorps'; known probes"):
+        compile_graph(_graph(
+            [{"annotate": "x", "probe": "zorps", "of": "A"}], output="A"))
+
+
+def test_chain_fixed_operand_must_be_square():
+    with pytest.raises(SpecError, match=r"stage 'c\[\{step\}\]': shape "
+                                        r"mismatch"):
+        compile_graph(_graph([
+            {"stage": "p", "op": "aggregation", "inputs": ["A"]},
+            {"chain": "c[{step}]", "first": "A", "fixed": "p",
+             "count": 2, "bind": "out"},
+        ], output="out"))
+
+
+def test_parameter_bounds_are_validated_at_run_time():
+    from repro.matrices import random_matrix
+    from repro.workloads import run_workload
+
+    matrix = random_matrix(16, 16, 40, seed=1)
+    with pytest.raises(ValueError, match=r"k.*must be at least 2, got 1"):
+        run_workload("khop", matrix, k=1)
+    with pytest.raises(TypeError, match=r"unexpected parameter 'zorp'"):
+        run_workload("khop", matrix, zorp=3)

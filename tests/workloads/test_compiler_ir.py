@@ -1,0 +1,110 @@
+"""The compiler IR: payload encodings, parameter validation, diagnostics.
+
+The IR is a lossless value type: ``GraphSpec.to_dict`` and ``from_dict``
+are exact inverses (the hypothesis property lives in
+``test_compiler_roundtrip.py``), scalars (literals, ``{"param": ...}``
+references with offsets, ``{"counter": ...}`` references) survive the
+JSON encoding, and every malformed payload or out-of-range parameter is
+rejected with a message that names the offending piece.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.compiler import SpecError, compile_graph
+from repro.workloads.compiler.ir import (
+    CounterRef,
+    GraphSpec,
+    ParamIR,
+    ParamRef,
+    scalar_from_payload,
+    scalar_to_payload,
+)
+
+
+@pytest.mark.parametrize("scalar", [
+    ParamRef("k"), ParamRef("expansion", -1), CounterRef("j"),
+    3, 2.5, True, False, 1e-6,
+])
+def test_scalar_payloads_round_trip(scalar):
+    assert scalar_from_payload(scalar_to_payload(scalar)) == scalar
+
+
+def test_unknown_node_kind_is_rejected():
+    with pytest.raises(SpecError, match=r"unknown node kind.*bogus.*"
+                                        r"stage/fused/chain/loop/repeat"):
+        GraphSpec.from_dict({"workload": "w", "inputs": [{"name": "A"}],
+                             "nodes": [{"bogus": 1}], "output": "A"})
+
+
+def test_non_mapping_stage_params_are_rejected():
+    with pytest.raises(SpecError, match=r"stage params must be a mapping"):
+        GraphSpec.from_dict({"workload": "w", "inputs": [{"name": "A"}],
+                             "nodes": [{"stage": "s", "op": "binarize",
+                                        "inputs": ["A"], "params": [1]}],
+                             "output": "s"})
+
+
+def test_missing_workload_name_is_rejected():
+    with pytest.raises(SpecError, match=r"missing workload"):
+        GraphSpec.from_dict({"inputs": [{"name": "A"}], "nodes": [],
+                             "output": "A"})
+
+
+def test_param_bounds_name_the_parameter():
+    with pytest.raises(ValueError, match=r"k must be at least 2, got 1"):
+        ParamIR("k", 3, 2, None).validate(1)
+    with pytest.raises(ValueError, match=r"inflation must exceed 1, "
+                                         r"got 1.0"):
+        ParamIR("inflation", 2.0, None, 1).validate(1.0)
+
+
+def test_unexpected_parameter_names_the_workload():
+    graph = compile_graph({
+        "workload": "w", "inputs": [{"name": "A"}],
+        "nodes": [{"stage": "s", "op": "binarize", "inputs": ["A"]}],
+        "output": "s"})
+    with pytest.raises(TypeError, match=r"workload 'w' got an unexpected "
+                                        r"parameter 'zorp'"):
+        graph.resolve_params({"zorp": 1})
+
+
+def test_param_key_order_is_canonical():
+    # Params are keyword arguments: declaring {index, count} and
+    # {count, index} must produce the same IR (and the same JSON).
+    def build(params):
+        return GraphSpec.from_dict({
+            "workload": "w", "inputs": [{"name": "A", "square": True}],
+            "nodes": [{"stage": "s", "op": "extract_block", "inputs": ["A"],
+                       "params": params}],
+            "output": "s"})
+
+    one = build({"index": 0, "count": 4})
+    two = build({"count": 4, "index": 0})
+    assert one == two
+    assert one.to_dict() == two.to_dict()
+
+
+def test_compiled_workload_schedule_is_declaration_order():
+    graph = compile_graph({
+        "workload": "w", "inputs": [{"name": "A", "square": True}],
+        "nodes": [
+            {"stage": "b", "op": "binarize", "inputs": ["A"]},
+            {"stage": "t", "op": "transpose", "inputs": ["b"]},
+            {"stage": "m", "op": "mask", "inputs": ["t", "b"]},
+        ],
+        "output": "m"})
+    assert graph.order == (0, 1, 2)
+
+
+def test_out_of_declaration_order_graphs_are_scheduled_topologically():
+    graph = compile_graph({
+        "workload": "w", "inputs": [{"name": "A", "square": True}],
+        "nodes": [
+            {"stage": "m", "op": "mask", "inputs": ["t", "b"]},
+            {"stage": "b", "op": "binarize", "inputs": ["A"]},
+            {"stage": "t", "op": "transpose", "inputs": ["b"]},
+        ],
+        "output": "m"})
+    assert graph.order == (1, 2, 0)

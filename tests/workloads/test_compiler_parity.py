@@ -1,0 +1,96 @@
+"""Golden byte-parity: compiled specs vs the hand-written build programs.
+
+The compiler's contract with the legacy five workloads is not "close" —
+it is *byte-identical*: the canonical JSON encoding of a compiled run
+(stage names, kinds, inputs, costs, annotations, output hash) must equal
+the hand-written build program's, for every workload, parameterisation
+and backend below.  ``host_seconds`` is wall-clock and therefore excluded
+from the canonical payload (it lives behind ``host_seconds=True``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import HashSpGEMM
+from repro.experiments.runner import ExperimentRunner
+from repro.matrices import powerlaw_matrix, random_matrix
+from repro.workloads import list_workloads, run_workload
+from repro.workloads.compiler import payload_bytes, result_payload
+from repro.workloads.registry import get_workload
+
+#: The five legacy workloads and a non-default parameterisation each.
+LEGACY = {
+    "triangles": {},
+    "mcl": {"max_iterations": 4, "inflation": 1.8},
+    "khop": {"k": 4},
+    "galerkin": {"group_size": 3},
+    "cosine": {"threshold": 0.35},
+}
+
+
+def _matrix(seed: int = 7):
+    return random_matrix(24, 24, 110, seed=seed)
+
+
+@pytest.mark.parametrize("workload_id", sorted(LEGACY))
+def test_compiled_run_is_byte_identical_to_the_build_program(workload_id):
+    matrix = _matrix()
+    params = LEGACY[workload_id]
+    built = run_workload(workload_id, matrix, runner=ExperimentRunner(),
+                         via="build", **params)
+    compiled = run_workload(workload_id, matrix, runner=ExperimentRunner(),
+                            via="compiled", **params)
+    assert payload_bytes(compiled) == payload_bytes(built)
+    # The parity is structural too, not just through the encoding.
+    assert [s.name for s in compiled.stages] == [s.name for s in built.stages]
+    assert compiled.annotations == built.annotations
+    np.testing.assert_array_equal(compiled.output.data, built.output.data)
+
+
+@pytest.mark.parametrize("workload_id", ["triangles", "khop"])
+def test_parity_holds_with_normalisation_disabled(workload_id):
+    matrix = powerlaw_matrix(30, 3.0, seed=3)
+    built = run_workload(workload_id, matrix, runner=ExperimentRunner(),
+                         via="build", normalize=False)
+    compiled = run_workload(workload_id, matrix, runner=ExperimentRunner(),
+                            via="compiled", normalize=False)
+    assert payload_bytes(compiled) == payload_bytes(built)
+    # normalize=False skips the simple_graph stage on both paths.
+    assert "adjacency" not in [s.name for s in compiled.stages]
+
+
+def test_parity_holds_on_a_baseline_backend():
+    matrix = _matrix(seed=11)
+    built = run_workload("mcl", matrix, baseline=HashSpGEMM(),
+                         via="build", max_iterations=3)
+    compiled = run_workload("mcl", matrix, baseline=HashSpGEMM(),
+                            via="compiled", max_iterations=3)
+    assert payload_bytes(compiled) == payload_bytes(built)
+
+
+def test_canonical_payload_excludes_host_wall_time_by_default():
+    matrix = _matrix(seed=5)
+    result = run_workload("triangles", matrix, runner=ExperimentRunner())
+    lean = result_payload(result)
+    timed = result_payload(result, host_seconds=True)
+    assert all("host_seconds" not in stage for stage in lean["stages"])
+    host = [stage["host_seconds"] for stage in timed["stages"]
+            if stage["kind"] != "spgemm"]
+    assert host and all(value > 0.0 for value in host)
+
+
+def test_every_registered_workload_has_a_compiled_spec():
+    for workload_id in list_workloads():
+        assert get_workload(workload_id).compiled is not None
+
+
+def test_build_path_is_rejected_for_spec_only_workloads():
+    matrix = _matrix(seed=9)
+    with pytest.raises(ValueError, match="no hand-written build program"):
+        run_workload("pagerank", matrix, via="build")
+    with pytest.raises(ValueError, match="via must be"):
+        run_workload("triangles", matrix, via="interpreted")
+    with pytest.raises(ValueError, match="compiled path only"):
+        run_workload("triangles", matrix, via="build", fuse=True)

@@ -1,0 +1,80 @@
+"""Hypothesis property: IR → JSON → IR is lossless and schedule-stable.
+
+Two sources of graphs: every *registered* workload spec (loops, repeats,
+chains, fusions — the full IR surface), and randomly generated straight-
+line pipelines over the structure-safe host-op vocabulary.  In both cases
+the JSON encoding must reconstruct an *identical* ``GraphSpec`` (dataclass
+equality, not just semantic equivalence) and an identical deterministic
+schedule.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.compiler import CompiledWorkload, compile_graph
+from repro.workloads.compiler.ir import GraphSpec
+from repro.workloads.compiler.schedule import schedule_nodes
+from repro.workloads.graphs import COMPILED
+from repro.workloads.registry import list_workloads
+
+#: Unary host ops that keep a square operand square — chaining any mix of
+#: them after a square input always type-checks.
+SQUARE_SAFE_OPS = ["transpose", "binarize", "simple_graph",
+                   "normalize_rows", "normalize_columns"]
+
+
+def _roundtrip(graph: GraphSpec) -> GraphSpec:
+    return GraphSpec.from_dict(json.loads(json.dumps(graph.to_dict())))
+
+
+@given(workload_id=st.sampled_from(list_workloads()))
+@settings(max_examples=20, deadline=None)
+def test_registered_specs_round_trip_to_an_identical_schedule(workload_id):
+    compiled = COMPILED[workload_id]
+    back = _roundtrip(compiled.graph)
+    assert back == compiled.graph
+    assert schedule_nodes(back) == compiled.order
+    # The CompiledWorkload JSON form is a fixed point too.
+    again = CompiledWorkload.from_json(compiled.to_json())
+    assert again.graph == compiled.graph
+    assert again.order == compiled.order
+    assert CompiledWorkload.from_json(again.to_json()).graph == again.graph
+
+
+@st.composite
+def _random_pipelines(draw):
+    ops = draw(st.lists(st.sampled_from(SQUARE_SAFE_OPS + ["spgemm",
+                                                           "prune"]),
+                        min_size=1, max_size=8))
+    nodes = []
+    previous = "A"
+    for index, op in enumerate(ops):
+        stage = f"s{index}"
+        if op == "spgemm":
+            nodes.append({"stage": stage, "op": "spgemm",
+                          "inputs": [previous, previous]})
+        elif op == "prune":
+            threshold = draw(st.floats(min_value=0.0, max_value=1.0,
+                                       allow_nan=False))
+            nodes.append({"stage": stage, "op": "prune",
+                          "inputs": [previous],
+                          "params": {"threshold": threshold}})
+        else:
+            nodes.append({"stage": stage, "op": op, "inputs": [previous]})
+        previous = stage
+    return {"workload": "generated",
+            "inputs": [{"name": "A", "square": True}],
+            "nodes": nodes, "output": previous}
+
+
+@given(payload=_random_pipelines())
+@settings(max_examples=40, deadline=None)
+def test_generated_pipelines_round_trip_losslessly(payload):
+    compiled = compile_graph(payload)
+    back = _roundtrip(compiled.graph)
+    assert back == compiled.graph
+    assert schedule_nodes(back) == compiled.order

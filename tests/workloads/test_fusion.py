@@ -1,0 +1,100 @@
+"""Host-op fusion: fewer host stages, identical functional results.
+
+``fuse=True`` collapses adjacent single-consumer host stages into one
+fused stage per run of ops (``fused(inflate+prune+normalize_columns)``),
+inside loop bodies included.  The functional output, the annotations and
+every SpGEMM stage record are unchanged — only the host-stage bookkeeping
+shrinks, which the per-stage host wall-times make measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.matrices import powerlaw_matrix
+from repro.workloads import run_workload
+from repro.workloads.compiler.fuse import fuse_graph
+from repro.workloads.graphs import COMPILED
+
+
+def _mcl_runs():
+    matrix = powerlaw_matrix(40, 3.0, seed=19)
+    plain = run_workload("mcl", matrix, runner=ExperimentRunner(),
+                         max_iterations=4)
+    fused = run_workload("mcl", matrix, runner=ExperimentRunner(),
+                         max_iterations=4, fuse=True)
+    return plain, fused
+
+
+def test_fusion_reduces_the_host_stage_count():
+    plain, fused = _mcl_runs()
+    assert len(fused.host_stages) < len(plain.host_stages)
+    assert len(fused.stages) < len(plain.stages)
+    # Every iteration's inflate/prune/normalize triple became one stage.
+    kinds = {stage.kind for stage in fused.host_stages
+             if stage.kind.startswith("fused(")}
+    assert kinds == {"fused(inflate+prune+normalize_columns)"}
+
+
+def test_fusion_preserves_outputs_annotations_and_spgemm_records():
+    plain, fused = _mcl_runs()
+    np.testing.assert_array_equal(fused.output.data, plain.output.data)
+    np.testing.assert_array_equal(fused.output.indices,
+                                  plain.output.indices)
+    assert fused.annotations == plain.annotations
+    assert fused.spgemm_stages == plain.spgemm_stages
+    assert fused.total_cycles == plain.total_cycles
+    assert fused.total_dram_bytes == plain.total_dram_bytes
+
+
+def test_fused_stages_record_their_host_wall_time():
+    plain, fused = _mcl_runs()
+    assert plain.total_host_seconds > 0.0
+    assert fused.total_host_seconds > 0.0
+    for stage in fused.host_stages:
+        assert stage.host_seconds > 0.0
+    # The wall-time shows up in the aggregate report only on request —
+    # the default report stays comparable across runs.
+    lean = fused.aggregate_report()
+    timed = fused.aggregate_report(include_host_seconds=True)
+    assert "host_seconds" not in lean.extras
+    assert timed.extras["host_seconds"] == pytest.approx(
+        fused.total_host_seconds)
+
+
+def test_fused_stage_inputs_name_every_consumed_value():
+    _, fused = _mcl_runs()
+    stage = next(s for s in fused.host_stages
+                 if s.kind.startswith("fused("))
+    # The fused record keeps the *last* step's stage name and lists the
+    # first step's operand, so lineage stays traceable.
+    assert stage.name.startswith("normalize[")
+    assert stage.inputs[0].startswith("expand[")
+
+
+def test_fusion_is_idempotent_and_leaves_unfusable_graphs_alone():
+    mcl = COMPILED["mcl"].graph
+    once = fuse_graph(mcl)
+    assert fuse_graph(once) == once
+    # cosine's host stages all feed the SpGEMM or have two consumers —
+    # nothing to fuse.
+    cosine = COMPILED["cosine"].graph
+    assert fuse_graph(cosine) == cosine
+
+
+def test_fusion_never_changes_any_registered_workload_result():
+    matrix = powerlaw_matrix(30, 3.0, seed=23)
+    params = {"mcl": {"max_iterations": 2},
+              "pagerank": {"max_iterations": 3},
+              "amg_vcycle": {"max_levels": 2}}
+    for workload_id in COMPILED:
+        overrides = params.get(workload_id, {})
+        plain = run_workload(workload_id, matrix,
+                             runner=ExperimentRunner(), **overrides)
+        fused = run_workload(workload_id, matrix,
+                             runner=ExperimentRunner(), fuse=True,
+                             **overrides)
+        np.testing.assert_array_equal(fused.output.data, plain.output.data)
+        assert fused.annotations == plain.annotations

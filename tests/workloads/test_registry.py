@@ -146,3 +146,35 @@ class TestWorkloadsCli:
     def test_unknown_workload_raises_with_suggestions(self):
         with pytest.raises(KeyError, match="known ids"):
             main(["not-a-workload"])
+
+    def test_verify_compiled_passes_on_the_registry(self, capsys):
+        assert main(["--verify-compiled"]) == 0
+        assert "compiled spec" in capsys.readouterr().out
+
+    def test_engine_fuse_and_json_flags(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "payloads.json"
+        assert main(["triangles", "tri_enum", "--matrix", "wiki-Vote",
+                     "--max-rows", "120", "--engine", "scalar", "--fuse",
+                     "--json", str(out)]) == 0
+        assert "host [s]" in capsys.readouterr().out
+        merged = json.loads(out.read_text())
+        assert merged["engine"] == "scalar"
+        assert merged["fused"] is True
+        assert [r["workload_id"] for r in merged["results"]] == [
+            "triangles", "tri_enum"]
+        for result in merged["results"]:
+            assert "output_sha256" in result
+            host = [stage for stage in result["stages"]
+                    if stage["kind"] != "spgemm"]
+            assert all("host_seconds" in stage for stage in host)
+
+    def test_scenario_flag_runs_on_a_corpus_scenario(self, capsys):
+        assert main(["galerkin", "--scenario", "smoke/wiki-Vote@120"]) == 0
+        assert "smoke/wiki-Vote@120" in capsys.readouterr().out
+
+    def test_via_build_matches_compiled_output(self, capsys):
+        assert main(["khop", "--matrix", "wiki-Vote", "--max-rows", "120",
+                     "--via", "build"]) == 0
+        assert "power[3]" in capsys.readouterr().out

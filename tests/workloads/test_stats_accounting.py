@@ -22,7 +22,10 @@ from repro.matrices import powerlaw_matrix, random_matrix
 from repro.workloads import list_workloads, run_workload
 
 #: Cheap per-workload parameters for the property test.
-TINY_PARAMS = {"mcl": {"max_iterations": 2}, "khop": {"k": 3}}
+TINY_PARAMS = {"mcl": {"max_iterations": 2}, "khop": {"k": 3},
+               "pagerank": {"max_iterations": 4},
+               "amg_vcycle": {"max_levels": 2},
+               "gnn_sample": {"layers": 2}}
 
 
 def _tiny_matrix(seed: int, family: str):
